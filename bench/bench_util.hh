@@ -1,0 +1,69 @@
+/**
+ * @file
+ * Shared helpers for the benchmark harnesses.
+ *
+ * Each bench binary reproduces one table or figure of the paper: it
+ * runs the relevant simulations once, prints the paper-style table
+ * (simulated-cycle ratios — the substrate is a simulator, so relative
+ * numbers are the result), and then registers google-benchmark rows
+ * that expose the measured metrics as counters.
+ */
+
+#ifndef SHIFT_BENCH_BENCH_UTIL_HH
+#define SHIFT_BENCH_BENCH_UTIL_HH
+
+#include <benchmark/benchmark.h>
+
+#include <cmath>
+#include <cstdio>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace shift::benchutil
+{
+
+/** Geometric mean of a vector of ratios. */
+inline double
+geomean(const std::vector<double> &values)
+{
+    if (values.empty())
+        return 0.0;
+    double logSum = 0.0;
+    for (double v : values)
+        logSum += std::log(v);
+    return std::exp(logSum / static_cast<double>(values.size()));
+}
+
+/** Print a horizontal rule sized to a header line. */
+inline void
+rule(size_t width)
+{
+    for (size_t i = 0; i < width; ++i)
+        std::putchar('-');
+    std::putchar('\n');
+}
+
+/**
+ * Register a google-benchmark row that exposes precomputed metrics as
+ * counters (the simulation itself ran during table construction).
+ */
+inline void
+registerMetricRow(const std::string &name,
+                  std::map<std::string, double> counters)
+{
+    benchmark::RegisterBenchmark(
+        name.c_str(),
+        [counters = std::move(counters)](benchmark::State &state) {
+            for (auto _ : state) {
+                benchmark::DoNotOptimize(counters.size());
+            }
+            for (const auto &kv : counters)
+                state.counters[kv.first] = kv.second;
+        })
+        ->Iterations(1);
+}
+
+} // namespace shift::benchutil
+
+#endif // SHIFT_BENCH_BENCH_UTIL_HH

@@ -1,0 +1,112 @@
+/**
+ * @file
+ * Quickstart: the SHIFT pipeline in one page.
+ *
+ * Compiles a small MiniC program, instruments it with SHIFT, runs it
+ * on the simulated Itanium-style machine, and shows (1) the
+ * instrumentation the compiler emitted for a load (paper figure 5),
+ * (2) taint flowing from a file read through computation into memory,
+ * and (3) a low-level policy catching a tainted pointer dereference.
+ *
+ * Build & run:  ./build/examples/quickstart
+ */
+
+#include <cstdio>
+
+#include "core/instrument.hh"
+#include "support/logging.hh"
+#include "lang/compiler.hh"
+#include "runtime/session.hh"
+
+using namespace shift;
+
+namespace
+{
+
+const char *kProgram = R"MC(
+int table[64];
+
+int main() {
+    char buf[16];
+    int fd = open("input.txt", 0);
+    int n = read(fd, buf, 15);
+    buf[n] = 0;
+    close(fd);
+
+    // Taint propagates through arithmetic in REGISTERS via the NaT
+    // bit -- zero instrumentation on these lines.
+    int x = buf[0] - '0';
+    int y = x * 10 + 3;
+
+    print("tainted? ");
+    print_num(__arg_tainted(y));
+    print("\n");
+
+    // ... and back into MEMORY via the instrumented store.
+    table[0] = y;
+    print("memory tainted? ");
+    print_num(__mem_tainted(table));
+    print("\n");
+
+    // Policy L1: using tainted data as a load address faults.
+    return table[y];
+}
+)MC";
+
+void
+showInstrumentedLoad()
+{
+    // Compile a one-load function twice and diff the shapes.
+    const char *tiny =
+        "long g; int main() { long *p = &g; return (int)*p; }";
+    Program plain = minic::compileProgram(tiny);
+    Program instrumented = minic::compileProgram(tiny);
+    InstrumentOptions options;
+    options.granularity = Granularity::Word;
+    instrumentProgram(instrumented, options);
+
+    std::printf("--- figure 5 in the flesh: one ld8, before/after "
+                "(word level) ---\n");
+    auto mainIdx = instrumented.findFunction("main");
+    const Function &fn = instrumented.functions[*mainIdx];
+    for (const Instr &instr : fn.code) {
+        const char *tag = instr.prov == Provenance::Original
+                              ? ""
+                              : provenanceName(instr.prov);
+        std::printf("  %-34s %s\n", disassemble(instr).c_str(), tag);
+    }
+    std::printf("\n");
+}
+
+} // namespace
+
+int
+main()
+{
+    setVerbose(false);
+    showInstrumentedLoad();
+
+    SessionOptions options;
+    options.mode = TrackingMode::Shift;          // the paper's system
+    options.policy.granularity = Granularity::Byte;
+    options.policy.taintFile = true;             // [sources] file=taint
+
+    Session session(kProgram, options);
+    session.os().addFile("input.txt", "7");
+
+    RunResult result = session.run();
+
+    std::printf("--- run ---\n%s", session.os().stdoutText().c_str());
+    if (result.killedByPolicy) {
+        std::printf("policy %s stopped the program: %s\n",
+                    result.alerts.back().policy.c_str(),
+                    result.alerts.back().message.c_str());
+    } else {
+        std::printf("program exited with %lld\n",
+                    static_cast<long long>(result.exitCode));
+    }
+    std::printf("%llu instructions, %llu cycles simulated\n",
+                static_cast<unsigned long long>(result.instructions),
+                static_cast<unsigned long long>(result.cycles));
+    return 0;
+}

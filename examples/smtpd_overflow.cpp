@@ -1,0 +1,144 @@
+/**
+ * @file
+ * The paper's figure-1 walk-through: a buffer overflow in
+ * qwik-smtpd 0.3.
+ *
+ * The SMTP server checks the client IP to prohibit relaying mail not
+ * from localhost — but HELO does not bound-check its argument, so a
+ * long HELO overflows clientHELO into localIP. The attacker then
+ * relays freely.
+ *
+ * With SHIFT, the overflowing strcpy drags taint over localIP; the
+ * figure-1 policy ("disallow tainted data to be compared and alter
+ * the control flow") turns the tainted comparison into an alert.
+ *
+ * Build & run:  ./build/examples/smtpd_overflow
+ */
+
+#include <cstdio>
+
+#include "runtime/session.hh"
+#include "support/logging.hh"
+
+using namespace shift;
+
+namespace
+{
+
+// The vulnerable server, modelled on the paper's figure 1. clientHELO
+// and localIP are adjacent buffers; strcpy does not check the length
+// of the HELO argument (line 5 of the figure).
+const char *kSmtpd = R"MC(
+char buffers[96];      /* clientHELO[32] then localIP[64], adjacent */
+char req[256];
+char clientip[64];
+
+/* The sensitive comparison of figure 1 lines 6-7. The figure-1 SHIFT
+ * policy is scoped to this function: tainted data reaching either
+ * operand of these compares raises an alert. */
+int check_relay(char *ip, char *local) {
+    long i = 0;
+    while (ip[i] && ip[i] == local[i]) i++;
+    if (ip[i] == 0 && local[i] == 0) return 1;
+    return 0;
+}
+
+int main() {
+    char *clienthelo = buffers;
+    char *localip = buffers + 32;
+
+    strcpy(localip, "127.0.0.1");
+    strcpy(clientip, "10.9.8.7");          /* a remote client */
+
+    int conn = accept();
+    while (conn >= 0) {
+        int n = recv(conn, req, 255);
+        req[n] = 0;
+        if (strncmp(req, "HELO ", 5) == 0) {
+            /* no check for length of the argument! */
+            strcpy(clienthelo, req + 5);
+            send(conn, "250 ok\n", 7);
+        } else if (strncmp(req, "MAIL", 4) == 0) {
+            if (check_relay(clientip, "127.0.0.1")
+                || check_relay(clientip, localip)) {
+                send(conn, "250 relaying\n", 13);   /* exploited! */
+            } else {
+                send(conn, "550 relaying denied\n", 20);
+            }
+        }
+        close(conn);
+        conn = accept();
+    }
+    return 0;
+}
+)MC";
+
+RunResult
+runServer(bool attack, bool protect, std::string &output)
+{
+    SessionOptions options;
+    options.mode = protect ? TrackingMode::Shift : TrackingMode::None;
+    options.policy.taintNetwork = true;
+    // The figure-1 policy: tainted data must not decide the relay
+    // check. Scoped to the sensitive comparison, like the paper's
+    // "if (Tainted(localIP)) Alert".
+    if (protect)
+        options.instr.cmpTaintAlertFunctions = {"check_relay"};
+
+    Session session(kSmtpd, options);
+    if (attack) {
+        // Overflow clientHELO[32] so the attacker's spoofed IP lands
+        // exactly over localIP.
+        std::string helo = "HELO ";
+        helo += std::string(32, 'A');
+        helo += "10.9.8.7"; // lands exactly over localIP
+        session.os().queueConnection(helo);
+    } else {
+        session.os().queueConnection("HELO mail.example.com\n");
+    }
+    session.os().queueConnection("MAIL FROM:<spam@evil>\n");
+
+    RunResult result = session.run();
+    for (const std::string &resp : session.os().responses())
+        output += resp;
+    return result;
+}
+
+} // namespace
+
+int
+main()
+{
+    setVerbose(false);
+
+    std::printf("1) benign session, no protection:\n");
+    std::string out;
+    runServer(false, false, out);
+    std::printf("%s\n", out.c_str());
+
+    std::printf("2) overflow attack, no protection (the exploit "
+                "succeeds):\n");
+    out.clear();
+    runServer(true, false, out);
+    std::printf("%s\n", out.c_str());
+
+    std::printf("3) overflow attack under SHIFT with the figure-1 "
+                "policy:\n");
+    out.clear();
+    RunResult result = runServer(true, true, out);
+    if (result.killedByPolicy) {
+        std::printf("   ALERT (%s): %s\n",
+                    result.alerts.back().policy.c_str(),
+                    result.alerts.back().message.c_str());
+    } else {
+        std::printf("   NOT DETECTED — responses: %s\n", out.c_str());
+    }
+
+    std::printf("\n4) benign session under the same policy (no false "
+                "positive):\n");
+    out.clear();
+    result = runServer(false, true, out);
+    std::printf("%s   alerts: %zu\n", out.c_str(),
+                result.alerts.size());
+    return 0;
+}

@@ -1,0 +1,250 @@
+#include "policy.hh"
+
+#include <cctype>
+
+#include "support/logging.hh"
+
+namespace shift
+{
+
+PolicyConfig
+PolicyConfig::fromConfig(const Config &cfg)
+{
+    PolicyConfig pc;
+
+    auto sourceTaints = [&](const char *key, bool dflt) {
+        if (!cfg.has("sources", key))
+            return dflt;
+        std::string v = cfg.get("sources", key);
+        if (iequals(v, "taint"))
+            return true;
+        if (iequals(v, "clean"))
+            return false;
+        SHIFT_FATAL("sources.%s must be 'taint' or 'clean', got '%s'",
+                    key, v.c_str());
+    };
+    pc.taintNetwork = sourceTaints("network", pc.taintNetwork);
+    pc.taintFile = sourceTaints("file", pc.taintFile);
+    pc.taintStdin = sourceTaints("stdin", pc.taintStdin);
+
+    pc.h1 = cfg.getBool("policies", "H1", pc.h1);
+    pc.h2 = cfg.getBool("policies", "H2", pc.h2);
+    pc.h3 = cfg.getBool("policies", "H3", pc.h3);
+    pc.h4 = cfg.getBool("policies", "H4", pc.h4);
+    pc.h5 = cfg.getBool("policies", "H5", pc.h5);
+    pc.l1 = cfg.getBool("policies", "L1", pc.l1);
+    pc.l2 = cfg.getBool("policies", "L2", pc.l2);
+    pc.l3 = cfg.getBool("policies", "L3", pc.l3);
+    pc.checkSyscallArgs =
+        cfg.getBool("policies", "syscall_args", pc.checkSyscallArgs);
+
+    pc.docRoot = cfg.get("tracking", "docroot", pc.docRoot);
+    std::string gran = cfg.get("tracking", "granularity", "byte");
+    if (iequals(gran, "byte"))
+        pc.granularity = Granularity::Byte;
+    else if (iequals(gran, "word"))
+        pc.granularity = Granularity::Word;
+    else
+        SHIFT_FATAL("tracking.granularity must be byte or word");
+
+    std::string action = cfg.get("tracking", "action", "kill");
+    if (iequals(action, "kill"))
+        pc.alertKills = true;
+    else if (iequals(action, "log"))
+        pc.alertKills = false;
+    else
+        SHIFT_FATAL("tracking.action must be kill or log");
+
+    return pc;
+}
+
+PolicyConfig
+PolicyConfig::fromText(const std::string &text)
+{
+    return fromConfig(Config::parse(text));
+}
+
+bool
+PolicyEngine::taintChannel(const std::string &channel) const
+{
+    if (channel == "network")
+        return cfg_.taintNetwork;
+    if (channel == "file")
+        return cfg_.taintFile;
+    if (channel == "stdin")
+        return cfg_.taintStdin;
+    return false;
+}
+
+namespace
+{
+
+SecurityAlert
+makeAlert(const char *policy, const std::string &msg)
+{
+    SecurityAlert alert;
+    alert.policy = policy;
+    alert.message = msg;
+    return alert;
+}
+
+bool
+taintedAt(const std::vector<bool> &taint, size_t i)
+{
+    return i < taint.size() && taint[i];
+}
+
+} // namespace
+
+std::optional<SecurityAlert>
+PolicyEngine::checkFileOpen(const std::string &path,
+                            const std::vector<bool> &taint) const
+{
+    // H1: tainted data cannot be used as an absolute file path.
+    if (cfg_.h1 && !path.empty() && path[0] == '/' &&
+        taintedAt(taint, 0)) {
+        return makeAlert("H1", "tainted absolute file path: " + path);
+    }
+
+    // H2: tainted data cannot traverse out of the document root. Walk
+    // the path components tracking depth below the document root; a
+    // tainted ".." component that escapes is the violation.
+    if (cfg_.h2) {
+        // Strip the document root prefix when present.
+        size_t pos = 0;
+        if (path.rfind(cfg_.docRoot, 0) == 0)
+            pos = cfg_.docRoot.size();
+        int depth = 0;
+        size_t i = pos;
+        while (i < path.size()) {
+            while (i < path.size() && path[i] == '/')
+                ++i;
+            size_t start = i;
+            while (i < path.size() && path[i] != '/')
+                ++i;
+            std::string comp = path.substr(start, i - start);
+            if (comp.empty() || comp == ".")
+                continue;
+            if (comp == "..") {
+                --depth;
+                if (depth < 0 &&
+                    (taintedAt(taint, start) ||
+                     taintedAt(taint, start + 1))) {
+                    return makeAlert(
+                        "H2", "tainted path escapes document root: " +
+                                  path);
+                }
+            } else {
+                ++depth;
+            }
+        }
+    }
+    return std::nullopt;
+}
+
+std::optional<SecurityAlert>
+PolicyEngine::checkSql(const std::string &query,
+                       const std::vector<bool> &taint) const
+{
+    if (!cfg_.h3)
+        return std::nullopt;
+    for (size_t i = 0; i < query.size(); ++i) {
+        if (!taintedAt(taint, i))
+            continue;
+        char c = query[i];
+        if (c == '\'' || c == '"' || c == ';') {
+            return makeAlert("H3",
+                             std::string("tainted SQL metacharacter '") +
+                                 c + "' in query: " + query);
+        }
+        if (c == '-' && i + 1 < query.size() && query[i + 1] == '-') {
+            return makeAlert("H3",
+                             "tainted SQL comment marker in query: " +
+                                 query);
+        }
+    }
+    return std::nullopt;
+}
+
+std::optional<SecurityAlert>
+PolicyEngine::checkSystem(const std::string &command,
+                          const std::vector<bool> &taint) const
+{
+    if (!cfg_.h4)
+        return std::nullopt;
+    static const char kMeta[] = ";|&`$><\n";
+    for (size_t i = 0; i < command.size(); ++i) {
+        if (!taintedAt(taint, i))
+            continue;
+        for (char m : kMeta) {
+            if (m && command[i] == m) {
+                return makeAlert(
+                    "H4", std::string("tainted shell metacharacter '") +
+                              command[i] + "' in command: " + command);
+            }
+        }
+    }
+    return std::nullopt;
+}
+
+std::optional<SecurityAlert>
+PolicyEngine::checkHtml(const std::string &html,
+                        const std::vector<bool> &taint) const
+{
+    if (!cfg_.h5)
+        return std::nullopt;
+    static const std::string kTag = "<script";
+    if (html.size() < kTag.size())
+        return std::nullopt;
+    for (size_t i = 0; i + kTag.size() <= html.size(); ++i) {
+        bool match = true;
+        for (size_t j = 0; j < kTag.size(); ++j) {
+            if (std::tolower(static_cast<unsigned char>(html[i + j])) !=
+                kTag[j]) {
+                match = false;
+                break;
+            }
+        }
+        if (!match)
+            continue;
+        for (size_t j = 0; j < kTag.size(); ++j) {
+            if (taintedAt(taint, i + j)) {
+                return makeAlert("H5",
+                                 "tainted <script> tag in HTML output");
+            }
+        }
+    }
+    return std::nullopt;
+}
+
+std::optional<SecurityAlert>
+PolicyEngine::natFaultAlert(const Fault &fault) const
+{
+    switch (fault.context) {
+      case FaultContext::LoadAddress:
+        if (cfg_.l1) {
+            return makeAlert("L1", "tainted pointer dereferenced: " +
+                                       fault.detail);
+        }
+        return std::nullopt;
+      case FaultContext::StoreAddress:
+        if (cfg_.l2) {
+            return makeAlert("L2", "tainted store address: " +
+                                       fault.detail);
+        }
+        return std::nullopt;
+      case FaultContext::ControlFlow:
+      case FaultContext::SyscallArg:
+      case FaultContext::AppRegister:
+        if (cfg_.l3) {
+            return makeAlert("L3",
+                             "tainted data reached critical CPU state: " +
+                                 fault.detail);
+        }
+        return std::nullopt;
+      default:
+        return std::nullopt;
+    }
+}
+
+} // namespace shift

@@ -1,0 +1,86 @@
+#include "taint_map.hh"
+
+#include "support/bitops.hh"
+#include "support/logging.hh"
+
+namespace shift
+{
+
+void
+TaintMap::setBit(uint64_t addr, bool value)
+{
+    uint64_t tagAddr = tagByteAddr(addr, granularity_);
+    unsigned bitIdx = tagBitIndex(addr, granularity_);
+    uint64_t byte = 0;
+    MemFault fault = mem_->read(tagAddr, 1, byte);
+    SHIFT_ASSERT(fault == MemFault::None);
+    byte = insertBit(byte, bitIdx, value);
+    fault = mem_->write(tagAddr, 1, byte);
+    SHIFT_ASSERT(fault == MemFault::None);
+}
+
+void
+TaintMap::taint(uint64_t addr, uint64_t len)
+{
+    unsigned unit = 1U << granularityShift(granularity_);
+    // Walk aligned units so an unaligned range still covers the unit
+    // holding its last byte.
+    uint64_t first = addr & ~static_cast<uint64_t>(unit - 1);
+    for (uint64_t a = first; a < addr + len; a += unit)
+        setBit(a, true);
+}
+
+void
+TaintMap::clear(uint64_t addr, uint64_t len)
+{
+    unsigned unit = 1U << granularityShift(granularity_);
+    // Clear every unit any byte of the range touches.
+    uint64_t first = addr & ~static_cast<uint64_t>(unit - 1);
+    for (uint64_t a = first; a < addr + len; a += unit)
+        setBit(a, false);
+}
+
+bool
+TaintMap::isTainted(uint64_t addr) const
+{
+    uint64_t tagAddr = tagByteAddr(addr, granularity_);
+    unsigned bitIdx = tagBitIndex(addr, granularity_);
+    uint64_t byte = 0;
+    MemFault fault = mem_->read(tagAddr, 1, byte);
+    SHIFT_ASSERT(fault == MemFault::None);
+    return bit(byte, bitIdx);
+}
+
+bool
+TaintMap::anyTainted(uint64_t addr, uint64_t len) const
+{
+    unsigned unit = 1U << granularityShift(granularity_);
+    uint64_t first = addr & ~static_cast<uint64_t>(unit - 1);
+    for (uint64_t a = first; a < addr + len; a += unit) {
+        if (isTainted(a))
+            return true;
+    }
+    return false;
+}
+
+std::vector<bool>
+TaintMap::taintOf(uint64_t addr, uint64_t len) const
+{
+    std::vector<bool> out(len);
+    for (uint64_t i = 0; i < len; ++i)
+        out[i] = isTainted(addr + i);
+    return out;
+}
+
+uint64_t
+TaintMap::countTainted(uint64_t addr, uint64_t len) const
+{
+    unsigned unit = 1U << granularityShift(granularity_);
+    uint64_t count = 0;
+    uint64_t first = addr & ~static_cast<uint64_t>(unit - 1);
+    for (uint64_t a = first; a < addr + len; a += unit)
+        count += isTainted(a);
+    return count;
+}
+
+} // namespace shift

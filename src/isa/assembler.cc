@@ -1,0 +1,533 @@
+#include "assembler.hh"
+
+#include <cctype>
+#include <map>
+#include <sstream>
+#include <vector>
+
+#include "support/config.hh"
+#include "support/logging.hh"
+
+namespace shift
+{
+
+namespace
+{
+
+/** Token stream over one instruction line. */
+class LineLexer
+{
+  public:
+    explicit LineLexer(const std::string &line, int lineno)
+        : line_(line), lineno_(lineno)
+    {
+        tokenize();
+    }
+
+    bool atEnd() const { return pos_ >= tokens_.size(); }
+    const std::string &
+    peek() const
+    {
+        static const std::string empty;
+        return atEnd() ? empty : tokens_[pos_];
+    }
+    std::string
+    next()
+    {
+        if (atEnd())
+            fail("unexpected end of line");
+        return tokens_[pos_++];
+    }
+    bool
+    accept(const std::string &tok)
+    {
+        if (!atEnd() && tokens_[pos_] == tok) {
+            ++pos_;
+            return true;
+        }
+        return false;
+    }
+    void
+    expect(const std::string &tok)
+    {
+        if (!accept(tok))
+            fail("expected '" + tok + "', got '" + peek() + "'");
+    }
+
+    [[noreturn]] void
+    fail(const std::string &msg) const
+    {
+        SHIFT_FATAL("asm line %d: %s (in '%s')", lineno_, msg.c_str(),
+                    line_.c_str());
+    }
+
+    /** Parse rN. */
+    int
+    gpr()
+    {
+        std::string tok = next();
+        if (tok.size() < 2 || tok[0] != 'r')
+            fail("expected a general register, got '" + tok + "'");
+        int n = parseInt(tok.substr(1));
+        if (n < 0 || n >= kNumGpr)
+            fail("register out of range: " + tok);
+        return n;
+    }
+
+    /** Parse pN. */
+    int
+    pr()
+    {
+        std::string tok = next();
+        if (tok.size() < 2 || tok[0] != 'p')
+            fail("expected a predicate register, got '" + tok + "'");
+        int n = parseInt(tok.substr(1));
+        if (n < 0 || n >= kNumPred)
+            fail("predicate out of range: " + tok);
+        return n;
+    }
+
+    /** Parse bN. */
+    int
+    br()
+    {
+        std::string tok = next();
+        if (tok.size() < 2 || tok[0] != 'b')
+            fail("expected a branch register, got '" + tok + "'");
+        int n = parseInt(tok.substr(1));
+        if (n < 0 || n >= kNumBr)
+            fail("branch register out of range: " + tok);
+        return n;
+    }
+
+    /** Parse a signed integer literal. */
+    int64_t
+    imm()
+    {
+        std::string tok = next();
+        bool neg = false;
+        if (tok == "-") {
+            neg = true;
+            tok = next();
+        }
+        try {
+            size_t used = 0;
+            uint64_t v = std::stoull(tok, &used, 0);
+            if (used != tok.size())
+                throw std::invalid_argument(tok);
+            int64_t s = static_cast<int64_t>(v);
+            return neg ? -s : s;
+        } catch (const std::exception &) {
+            fail("expected an integer, got '" + tok + "'");
+        }
+    }
+
+    /** True when the next token looks like a register rN. */
+    bool
+    peekGpr() const
+    {
+        const std::string &tok = peek();
+        return tok.size() >= 2 && tok[0] == 'r' &&
+               std::isdigit(static_cast<unsigned char>(tok[1]));
+    }
+
+    int
+    parseInt(const std::string &text)
+    {
+        try {
+            return std::stoi(text);
+        } catch (const std::exception &) {
+            fail("bad number '" + text + "'");
+        }
+    }
+
+  private:
+    void
+    tokenize()
+    {
+        size_t i = 0;
+        size_t n = line_.size();
+        while (i < n) {
+            char c = line_[i];
+            if (std::isspace(static_cast<unsigned char>(c))) {
+                ++i;
+                continue;
+            }
+            if (std::isalnum(static_cast<unsigned char>(c)) ||
+                c == '_' || c == '.') {
+                size_t start = i;
+                while (i < n &&
+                       (std::isalnum(
+                            static_cast<unsigned char>(line_[i])) ||
+                        line_[i] == '_' || line_[i] == '.'))
+                    ++i;
+                tokens_.push_back(line_.substr(start, i - start));
+                continue;
+            }
+            tokens_.push_back(std::string(1, c));
+            ++i;
+        }
+    }
+
+    std::string line_;
+    int lineno_;
+    std::vector<std::string> tokens_;
+    size_t pos_ = 0;
+};
+
+/** Per-function label interning. */
+struct LabelTable
+{
+    Function *fn = nullptr;
+    std::map<std::string, int> ids;
+
+    int
+    intern(const std::string &name)
+    {
+        auto it = ids.find(name);
+        if (it != ids.end())
+            return it->second;
+        int id = fn->newLabel();
+        ids[name] = id;
+        return id;
+    }
+};
+
+/** Split "ld8.s" into ("ld", 8, {"s"}). */
+struct Mnemonic
+{
+    std::string base;   ///< letters before any digit/dot
+    int size = 0;       ///< trailing digits of the first part
+    std::vector<std::string> suffixes;
+};
+
+Mnemonic
+splitMnemonic(const std::string &text)
+{
+    Mnemonic m;
+    std::vector<std::string> parts = splitTrim(text, '.');
+    const std::string &head = parts[0];
+    size_t i = 0;
+    while (i < head.size() &&
+           !std::isdigit(static_cast<unsigned char>(head[i])))
+        ++i;
+    m.base = head.substr(0, i);
+    if (i < head.size())
+        m.size = std::stoi(head.substr(i));
+    for (size_t p = 1; p < parts.size(); ++p)
+        m.suffixes.push_back(parts[p]);
+    return m;
+}
+
+bool
+hasSuffix(const Mnemonic &m, const char *sfx)
+{
+    for (const std::string &s : m.suffixes) {
+        if (s == sfx)
+            return true;
+    }
+    return false;
+}
+
+std::map<std::string, Opcode>
+aluOpcodes()
+{
+    return {
+        {"add", Opcode::Add},     {"sub", Opcode::Sub},
+        {"mul", Opcode::Mul},     {"div", Opcode::Div},
+        {"mod", Opcode::Mod},     {"and", Opcode::And},
+        {"andcm", Opcode::Andcm}, {"or", Opcode::Or},
+        {"xor", Opcode::Xor},     {"shl", Opcode::Shl},
+    };
+}
+
+CmpRel
+relFromName(LineLexer &lex, const std::string &name)
+{
+    if (name == "eq") return CmpRel::Eq;
+    if (name == "ne") return CmpRel::Ne;
+    if (name == "lt") return CmpRel::Lt;
+    if (name == "le") return CmpRel::Le;
+    if (name == "gt") return CmpRel::Gt;
+    if (name == "ge") return CmpRel::Ge;
+    if (name == "ltu") return CmpRel::LtU;
+    if (name == "leu") return CmpRel::LeU;
+    if (name == "gtu") return CmpRel::GtU;
+    if (name == "geu") return CmpRel::GeU;
+    lex.fail("unknown compare relation '" + name + "'");
+}
+
+/** Parse "rA, rB" or "rA, imm" into instr.{r2, r3/imm}. */
+void
+parseTwoSources(LineLexer &lex, Instr &instr)
+{
+    instr.r2 = static_cast<uint16_t>(lex.gpr());
+    lex.expect(",");
+    if (lex.peekGpr()) {
+        instr.r3 = static_cast<uint16_t>(lex.gpr());
+    } else {
+        instr.useImm = true;
+        instr.imm = lex.imm();
+    }
+}
+
+Instr
+parseInstr(LineLexer &lex, LabelTable *labels)
+{
+    Instr instr;
+
+    // Qualifying predicate.
+    if (lex.accept("(")) {
+        instr.qp = static_cast<uint8_t>(lex.pr());
+        lex.expect(")");
+    }
+
+    std::string rawMnemonic = lex.next();
+    Mnemonic m = splitMnemonic(rawMnemonic);
+    auto alu = aluOpcodes();
+
+    auto labelOperand = [&]() -> int64_t {
+        std::string name = lex.next();
+        if (!labels)
+            lex.fail("label operand outside a function body");
+        return labels->intern(name);
+    };
+
+    if (m.base == "nop") {
+        instr.op = Opcode::Nop;
+    } else if (m.base == "halt") {
+        instr.op = Opcode::Halt;
+    } else if (m.base == "syscall") {
+        instr.op = Opcode::Syscall;
+        instr.imm = lex.imm();
+    } else if (m.base == "setnat" || m.base == "clrnat") {
+        instr.op = m.base == "setnat" ? Opcode::Setnat : Opcode::Clrnat;
+        instr.r1 = static_cast<uint16_t>(lex.gpr());
+    } else if (m.base == "movl") {
+        instr.op = Opcode::Movi;
+        instr.useImm = true;
+        instr.r1 = static_cast<uint16_t>(lex.gpr());
+        lex.expect("=");
+        instr.imm = lex.imm();
+    } else if (m.base == "mov") {
+        // mov rD = rS | mov rD = bN | mov bN = rS
+        // mov ar.unat = rS | mov rD = ar.unat
+        const std::string &dst = lex.peek();
+        if (dst == "ar.unat") {
+            lex.next();
+            lex.expect("=");
+            instr.op = Opcode::MovToUnat;
+            instr.r2 = static_cast<uint16_t>(lex.gpr());
+        } else if (!dst.empty() && dst[0] == 'b' && dst.size() >= 2 &&
+                   std::isdigit(static_cast<unsigned char>(dst[1]))) {
+            instr.op = Opcode::MovToBr;
+            instr.br = static_cast<uint8_t>(lex.br());
+            lex.expect("=");
+            instr.r2 = static_cast<uint16_t>(lex.gpr());
+        } else {
+            instr.r1 = static_cast<uint16_t>(lex.gpr());
+            lex.expect("=");
+            const std::string &src = lex.peek();
+            if (src == "ar.unat") {
+                lex.next();
+                instr.op = Opcode::MovFromUnat;
+            } else if (!src.empty() && src[0] == 'b' &&
+                       src.size() >= 2 &&
+                       std::isdigit(
+                           static_cast<unsigned char>(src[1]))) {
+                instr.op = Opcode::MovFromBr;
+                instr.br = static_cast<uint8_t>(lex.br());
+            } else {
+                instr.op = Opcode::Mov;
+                instr.r2 = static_cast<uint16_t>(lex.gpr());
+            }
+        }
+    } else if (m.base == "sxt" || m.base == "zxt") {
+        instr.op = m.base == "sxt" ? Opcode::Sxt : Opcode::Zxt;
+        instr.size = static_cast<uint8_t>(m.size);
+        instr.r1 = static_cast<uint16_t>(lex.gpr());
+        lex.expect("=");
+        instr.r2 = static_cast<uint16_t>(lex.gpr());
+    } else if (m.base == "extr") {
+        instr.op = Opcode::Extr;
+        instr.r1 = static_cast<uint16_t>(lex.gpr());
+        lex.expect("=");
+        instr.r2 = static_cast<uint16_t>(lex.gpr());
+        lex.expect(",");
+        instr.pos = static_cast<uint8_t>(lex.imm());
+        lex.expect(",");
+        instr.len = static_cast<uint8_t>(lex.imm());
+    } else if (m.base == "shladd") {
+        instr.op = Opcode::Shladd;
+        instr.r1 = static_cast<uint16_t>(lex.gpr());
+        lex.expect("=");
+        instr.r2 = static_cast<uint16_t>(lex.gpr());
+        lex.expect(",");
+        instr.pos = static_cast<uint8_t>(lex.imm());
+        lex.expect(",");
+        if (lex.peekGpr()) {
+            instr.r3 = static_cast<uint16_t>(lex.gpr());
+        } else {
+            instr.useImm = true;
+            instr.imm = lex.imm();
+        }
+    } else if (m.base == "shr") {
+        // shr.u = logical, shr = arithmetic (IA-64 convention).
+        instr.op = hasSuffix(m, "u") ? Opcode::Shr : Opcode::Sar;
+        instr.r1 = static_cast<uint16_t>(lex.gpr());
+        lex.expect("=");
+        parseTwoSources(lex, instr);
+    } else if (m.base == "div" || m.base == "mod") {
+        instr.op = hasSuffix(m, "u")
+                       ? (m.base == "div" ? Opcode::DivU : Opcode::ModU)
+                       : (m.base == "div" ? Opcode::Div : Opcode::Mod);
+        instr.r1 = static_cast<uint16_t>(lex.gpr());
+        lex.expect("=");
+        parseTwoSources(lex, instr);
+    } else if (alu.count(m.base)) {
+        instr.op = alu[m.base];
+        instr.r1 = static_cast<uint16_t>(lex.gpr());
+        lex.expect("=");
+        parseTwoSources(lex, instr);
+    } else if (m.base == "cmp") {
+        instr.op = hasSuffix(m, "nat") ? Opcode::CmpNat : Opcode::Cmp;
+        std::string rel = m.suffixes.empty() ? "" : m.suffixes.back();
+        instr.rel = relFromName(lex, rel);
+        instr.p1 = static_cast<uint8_t>(lex.pr());
+        lex.expect(",");
+        instr.p2 = static_cast<uint8_t>(lex.pr());
+        lex.expect("=");
+        parseTwoSources(lex, instr);
+    } else if (m.base == "tnat" || m.base == "tbit") {
+        instr.op = m.base == "tnat" ? Opcode::Tnat : Opcode::Tbit;
+        instr.p1 = static_cast<uint8_t>(lex.pr());
+        lex.expect(",");
+        instr.p2 = static_cast<uint8_t>(lex.pr());
+        lex.expect("=");
+        instr.r2 = static_cast<uint16_t>(lex.gpr());
+        if (instr.op == Opcode::Tbit) {
+            lex.expect(",");
+            instr.imm = lex.imm();
+        }
+    } else if (m.base == "ld") {
+        instr.op = Opcode::Ld;
+        instr.size = static_cast<uint8_t>(m.size ? m.size : 8);
+        instr.spec = hasSuffix(m, "s");
+        instr.fill = hasSuffix(m, "fill");
+        instr.r1 = static_cast<uint16_t>(lex.gpr());
+        lex.expect("=");
+        lex.expect("[");
+        instr.r2 = static_cast<uint16_t>(lex.gpr());
+        lex.expect("]");
+    } else if (m.base == "st") {
+        instr.op = Opcode::St;
+        instr.size = static_cast<uint8_t>(m.size ? m.size : 8);
+        instr.spill = hasSuffix(m, "spill");
+        lex.expect("[");
+        instr.r1 = static_cast<uint16_t>(lex.gpr());
+        lex.expect("]");
+        lex.expect("=");
+        instr.r2 = static_cast<uint16_t>(lex.gpr());
+    } else if (m.base == "chk") {
+        instr.op = Opcode::Chk;
+        instr.r2 = static_cast<uint16_t>(lex.gpr());
+        lex.expect(",");
+        instr.imm = labelOperand();
+    } else if (m.base == "br") {
+        if (hasSuffix(m, "ret")) {
+            instr.op = Opcode::BrRet;
+        } else if (hasSuffix(m, "call")) {
+            instr.op = Opcode::BrCall;
+            instr.callee = lex.next();
+        } else if (hasSuffix(m, "calli")) {
+            instr.op = Opcode::BrCalli;
+            instr.br = static_cast<uint8_t>(lex.br());
+        } else {
+            instr.op = Opcode::Br;
+            instr.imm = labelOperand();
+        }
+    } else {
+        lex.fail("unknown mnemonic '" + rawMnemonic + "'");
+    }
+
+    if (!lex.atEnd())
+        lex.fail("trailing tokens after instruction");
+    return instr;
+}
+
+std::string
+stripComment(const std::string &line)
+{
+    size_t semi = line.find(';');
+    size_t slashes = line.find("//");
+    size_t cut = std::min(semi == std::string::npos ? line.size() : semi,
+                          slashes == std::string::npos ? line.size()
+                                                       : slashes);
+    return trim(line.substr(0, cut));
+}
+
+} // namespace
+
+Instr
+assembleLine(const std::string &line)
+{
+    LineLexer lex(stripComment(line), 1);
+    return parseInstr(lex, nullptr);
+}
+
+Program
+assemble(const std::string &source)
+{
+    Program program;
+    Function *current = nullptr;
+    LabelTable labels;
+
+    std::istringstream in(source);
+    std::string raw;
+    int lineno = 0;
+    while (std::getline(in, raw)) {
+        ++lineno;
+        std::string line = stripComment(raw);
+        if (line.empty())
+            continue;
+
+        if (line.rfind("func ", 0) == 0) {
+            std::string name = trim(line.substr(5));
+            if (!name.empty() && name.back() == ':')
+                name.pop_back();
+            if (name.empty())
+                SHIFT_FATAL("asm line %d: missing function name",
+                            lineno);
+            Function fn;
+            fn.name = trim(name);
+            program.addFunction(std::move(fn));
+            current = &program.functions.back();
+            labels = LabelTable{};
+            labels.fn = current;
+            continue;
+        }
+        if (!current)
+            SHIFT_FATAL("asm line %d: code before any 'func' header",
+                        lineno);
+
+        // Label definition: "NAME:" alone on a line.
+        if (line.back() == ':' &&
+            line.find_first_of(" \t=[],") == std::string::npos) {
+            std::string name = line.substr(0, line.size() - 1);
+            current->code.push_back(
+                makeLabel(labels.intern(name)));
+            continue;
+        }
+
+        LineLexer lex(line, lineno);
+        current->code.push_back(parseInstr(lex, &labels));
+    }
+
+    if (program.functions.empty())
+        SHIFT_FATAL("assembly contains no functions");
+    if (!program.findFunction("main"))
+        program.entry = program.functions[0].name;
+    return program;
+}
+
+} // namespace shift

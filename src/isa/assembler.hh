@@ -1,0 +1,48 @@
+/**
+ * @file
+ * SHIFT-64 assembler: parses the disassembler's syntax back into
+ * programs.
+ *
+ * Useful for writing architectural tests as readable text, for
+ * round-trip checks against the disassembler, and for hand-crafting
+ * code sequences (e.g. the paper's figure-5 listings) without going
+ * through the MiniC compiler. Accepted form, one instruction per
+ * line:
+ *
+ *     func main:
+ *         movl r4 = 42
+ *         cmp.eq p1, p2 = r4, 42
+ *         (p1) br L0
+ *         halt
+ *     L0:
+ *         mov r8 = r4
+ *         br.ret
+ *
+ * Comments run from ';' or '//' to end of line. Labels may be
+ * "L<number>" or any identifier. Function bodies start after a
+ * "func <name>:" header.
+ */
+
+#ifndef SHIFT_ISA_ASSEMBLER_HH
+#define SHIFT_ISA_ASSEMBLER_HH
+
+#include <string>
+
+#include "isa/program.hh"
+
+namespace shift
+{
+
+/**
+ * Assemble a whole program. Throws FatalError with a line number on
+ * malformed input. The entry point is "main" when present, else the
+ * first function.
+ */
+Program assemble(const std::string &source);
+
+/** Assemble a single instruction line (no label definitions). */
+Instr assembleLine(const std::string &line);
+
+} // namespace shift
+
+#endif // SHIFT_ISA_ASSEMBLER_HH

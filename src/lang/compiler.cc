@@ -1,0 +1,80 @@
+#include "compiler.hh"
+
+#include "lang/codegen.hh"
+#include "lang/parser.hh"
+#include "lang/regalloc.hh"
+#include "lang/type.hh"
+#include "support/logging.hh"
+
+namespace shift::minic
+{
+
+void
+linkProgram(Program &program)
+{
+    GlobalLayout layout = computeGlobalLayout(program);
+
+    auto resolve = [&](const std::string &symbol) -> uint64_t {
+        auto it = layout.addr.find(symbol);
+        if (it != layout.addr.end())
+            return it->second;
+        auto fn = program.findFunction(symbol);
+        if (fn)
+            return funcDescAddr(*fn);
+        SHIFT_FATAL("link error: undefined symbol '%s'", symbol.c_str());
+    };
+
+    for (Function &fn : program.functions) {
+        for (Instr &instr : fn.code) {
+            if (instr.op == Opcode::Movi && !instr.callee.empty()) {
+                instr.imm = static_cast<int64_t>(resolve(instr.callee));
+                instr.callee.clear();
+            }
+        }
+    }
+    for (GlobalDef &g : program.globals) {
+        if (!g.initSymbol.empty()) {
+            uint64_t addr = resolve(g.initSymbol);
+            g.init.assign(8, 0);
+            for (int i = 0; i < 8; ++i)
+                g.init[static_cast<size_t>(i)] =
+                    static_cast<uint8_t>(addr >> (8 * i));
+            g.initSymbol.clear();
+        }
+    }
+}
+
+Program
+compileProgram(const std::vector<std::string> &sources,
+               const CompileOptions &options)
+{
+    std::string merged;
+    for (const std::string &src : sources) {
+        merged += src;
+        merged += "\n";
+    }
+
+    TypePool pool;
+    TranslationUnit unit = parse(merged, pool);
+    GenOutput gen = generate(unit, pool);
+
+    for (Function &fn : gen.program.functions) {
+        auto it = gen.info.find(fn.name);
+        SHIFT_ASSERT(it != gen.info.end());
+        allocateRegisters(fn, it->second);
+    }
+
+    if (options.requireMain && !gen.program.findFunction("main"))
+        SHIFT_FATAL("program has no 'main' function");
+
+    linkProgram(gen.program);
+    return gen.program;
+}
+
+Program
+compileProgram(const std::string &source, const CompileOptions &options)
+{
+    return compileProgram(std::vector<std::string>{source}, options);
+}
+
+} // namespace shift::minic

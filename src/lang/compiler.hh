@@ -1,0 +1,46 @@
+/**
+ * @file
+ * MiniC compiler driver: source text -> linked, executable Program.
+ */
+
+#ifndef SHIFT_LANG_COMPILER_HH
+#define SHIFT_LANG_COMPILER_HH
+
+#include <string>
+#include <vector>
+
+#include "isa/program.hh"
+
+namespace shift::minic
+{
+
+/** Compilation options. */
+struct CompileOptions
+{
+    bool requireMain = true;
+};
+
+/**
+ * Compile one or more MiniC source modules into a single linked
+ * Program. Modules share one global namespace (they are concatenated
+ * into one translation unit, like a single link step). All symbolic
+ * operands are resolved; the result can be handed to an
+ * instrumentation pass and/or a Machine.
+ */
+Program compileProgram(const std::vector<std::string> &sources,
+                       const CompileOptions &options = {});
+
+/** Convenience overload for a single module. */
+Program compileProgram(const std::string &source,
+                       const CompileOptions &options = {});
+
+/**
+ * Resolve symbolic movl operands (globals, function descriptors) and
+ * pointer-global initializers in place. Idempotent. compileProgram
+ * calls this; exposed for passes that synthesize code.
+ */
+void linkProgram(Program &program);
+
+} // namespace shift::minic
+
+#endif // SHIFT_LANG_COMPILER_HH

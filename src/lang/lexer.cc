@@ -1,0 +1,195 @@
+#include "lexer.hh"
+
+#include <cctype>
+#include <set>
+
+#include "support/logging.hh"
+
+namespace shift::minic
+{
+
+namespace
+{
+
+const std::set<std::string> kKeywords = {
+    "void", "char", "int", "long",
+    "if", "else", "while", "for", "return", "break", "continue",
+};
+
+// Multi-character punctuation, longest first so maximal munch works.
+const char *kPuncts[] = {
+    "<<=", ">>=", "<<", ">>", "<=", ">=", "==", "!=", "&&", "||",
+    "+=", "-=", "*=", "/=", "%=", "&=", "|=", "^=", "++", "--",
+    "+", "-", "*", "/", "%", "&", "|", "^", "~", "!", "<", ">",
+    "=", "(", ")", "{", "}", "[", "]", ";", ",", "?", ":",
+};
+
+/** Decode one escape sequence starting after the backslash. */
+char
+decodeEscape(char c, int line)
+{
+    switch (c) {
+      case 'n': return '\n';
+      case 't': return '\t';
+      case 'r': return '\r';
+      case '0': return '\0';
+      case '\\': return '\\';
+      case '\'': return '\'';
+      case '"': return '"';
+      default:
+        SHIFT_FATAL("line %d: unknown escape '\\%c'", line, c);
+    }
+}
+
+} // namespace
+
+std::vector<Token>
+tokenize(const std::string &source)
+{
+    std::vector<Token> tokens;
+    size_t i = 0;
+    int line = 1;
+    size_t n = source.size();
+
+    auto peek = [&](size_t off = 0) -> char {
+        return i + off < n ? source[i + off] : '\0';
+    };
+
+    while (i < n) {
+        char c = source[i];
+        if (c == '\n') {
+            ++line;
+            ++i;
+            continue;
+        }
+        if (std::isspace(static_cast<unsigned char>(c))) {
+            ++i;
+            continue;
+        }
+        // Comments.
+        if (c == '/' && peek(1) == '/') {
+            while (i < n && source[i] != '\n')
+                ++i;
+            continue;
+        }
+        if (c == '/' && peek(1) == '*') {
+            i += 2;
+            while (i + 1 < n && !(source[i] == '*' && source[i + 1] == '/')) {
+                if (source[i] == '\n')
+                    ++line;
+                ++i;
+            }
+            if (i + 1 >= n)
+                SHIFT_FATAL("line %d: unterminated comment", line);
+            i += 2;
+            continue;
+        }
+
+        Token tok;
+        tok.line = line;
+
+        if (std::isalpha(static_cast<unsigned char>(c)) || c == '_') {
+            size_t start = i;
+            while (i < n && (std::isalnum(
+                                 static_cast<unsigned char>(source[i])) ||
+                             source[i] == '_'))
+                ++i;
+            tok.text = source.substr(start, i - start);
+            tok.kind = kKeywords.count(tok.text) ? TokKind::Keyword
+                                                 : TokKind::Ident;
+            tokens.push_back(std::move(tok));
+            continue;
+        }
+
+        if (std::isdigit(static_cast<unsigned char>(c))) {
+            size_t start = i;
+            int base = 10;
+            if (c == '0' && (peek(1) == 'x' || peek(1) == 'X')) {
+                base = 16;
+                i += 2;
+            }
+            while (i < n && (std::isalnum(
+                       static_cast<unsigned char>(source[i]))))
+                ++i;
+            std::string text = source.substr(start, i - start);
+            try {
+                tok.intVal = static_cast<int64_t>(
+                    std::stoull(text, nullptr, base));
+            } catch (const std::exception &) {
+                SHIFT_FATAL("line %d: bad integer literal '%s'", line,
+                            text.c_str());
+            }
+            tok.kind = TokKind::IntLit;
+            tok.text = std::move(text);
+            tokens.push_back(std::move(tok));
+            continue;
+        }
+
+        if (c == '\'') {
+            ++i;
+            if (i >= n)
+                SHIFT_FATAL("line %d: unterminated char literal", line);
+            char v = source[i++];
+            if (v == '\\') {
+                if (i >= n)
+                    SHIFT_FATAL("line %d: unterminated char literal",
+                                line);
+                v = decodeEscape(source[i++], line);
+            }
+            if (i >= n || source[i] != '\'')
+                SHIFT_FATAL("line %d: unterminated char literal", line);
+            ++i;
+            tok.kind = TokKind::CharLit;
+            tok.intVal = static_cast<unsigned char>(v);
+            tokens.push_back(std::move(tok));
+            continue;
+        }
+
+        if (c == '"') {
+            ++i;
+            std::string value;
+            while (i < n && source[i] != '"') {
+                char v = source[i++];
+                if (v == '\n')
+                    SHIFT_FATAL("line %d: newline in string literal",
+                                line);
+                if (v == '\\') {
+                    if (i >= n)
+                        break;
+                    v = decodeEscape(source[i++], line);
+                }
+                value.push_back(v);
+            }
+            if (i >= n)
+                SHIFT_FATAL("line %d: unterminated string literal", line);
+            ++i;
+            tok.kind = TokKind::StrLit;
+            tok.strVal = std::move(value);
+            tokens.push_back(std::move(tok));
+            continue;
+        }
+
+        bool matched = false;
+        for (const char *punct : kPuncts) {
+            size_t len = std::char_traits<char>::length(punct);
+            if (source.compare(i, len, punct) == 0) {
+                tok.kind = TokKind::Punct;
+                tok.text = punct;
+                i += len;
+                tokens.push_back(std::move(tok));
+                matched = true;
+                break;
+            }
+        }
+        if (!matched)
+            SHIFT_FATAL("line %d: unexpected character '%c'", line, c);
+    }
+
+    Token end;
+    end.kind = TokKind::End;
+    end.line = line;
+    tokens.push_back(std::move(end));
+    return tokens;
+}
+
+} // namespace shift::minic

@@ -1,0 +1,56 @@
+/**
+ * @file
+ * MiniC lexer.
+ */
+
+#ifndef SHIFT_LANG_LEXER_HH
+#define SHIFT_LANG_LEXER_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace shift::minic
+{
+
+/** Token kinds. Punctuation tokens carry their spelling in `text`. */
+enum class TokKind : uint8_t
+{
+    End,
+    Ident,
+    IntLit,
+    CharLit,
+    StrLit,
+    Keyword,
+    Punct,
+};
+
+/** One token. */
+struct Token
+{
+    TokKind kind = TokKind::End;
+    std::string text;      ///< identifier / keyword / punct spelling
+    std::string strVal;    ///< decoded string literal contents
+    int64_t intVal = 0;    ///< integer / char literal value
+    int line = 0;
+
+    bool is(TokKind k) const { return kind == k; }
+    bool isPunct(const char *p) const
+    {
+        return kind == TokKind::Punct && text == p;
+    }
+    bool isKeyword(const char *k) const
+    {
+        return kind == TokKind::Keyword && text == k;
+    }
+};
+
+/**
+ * Tokenize MiniC source. Throws FatalError with a line number on
+ * malformed input. The returned vector always ends with an End token.
+ */
+std::vector<Token> tokenize(const std::string &source);
+
+} // namespace shift::minic
+
+#endif // SHIFT_LANG_LEXER_HH

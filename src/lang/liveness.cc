@@ -1,0 +1,130 @@
+#include "liveness.hh"
+
+#include "support/logging.hh"
+
+namespace shift::minic
+{
+
+Cfg
+buildCfg(const Function &fn)
+{
+    std::vector<int32_t> labelPos(static_cast<size_t>(fn.nextLabel), -1);
+    for (size_t i = 0; i < fn.code.size(); ++i) {
+        const Instr &instr = fn.code[i];
+        if (instr.op == Opcode::Label) {
+            if (static_cast<size_t>(instr.imm) >= labelPos.size())
+                labelPos.resize(static_cast<size_t>(instr.imm) + 1, -1);
+            labelPos[static_cast<size_t>(instr.imm)] =
+                static_cast<int32_t>(i);
+        }
+    }
+
+    size_t n = fn.code.size();
+    std::vector<bool> leader(n + 1, false);
+    if (n)
+        leader[0] = true;
+    for (size_t i = 0; i < n; ++i) {
+        const Instr &instr = fn.code[i];
+        if (instr.op == Opcode::Label)
+            leader[i] = true;
+        if (instr.op == Opcode::Br || instr.op == Opcode::BrRet ||
+            instr.op == Opcode::Chk) {
+            if (i + 1 < n)
+                leader[i + 1] = true;
+        }
+    }
+
+    Cfg cfg;
+    cfg.blockOf.assign(n, 0);
+    for (size_t i = 0; i < n;) {
+        size_t j = i + 1;
+        while (j < n && !leader[j])
+            ++j;
+        cfg.blockStart.push_back(i);
+        cfg.blockEnd.push_back(j);
+        for (size_t k = i; k < j; ++k)
+            cfg.blockOf[k] = static_cast<int>(cfg.blockStart.size()) - 1;
+        i = j;
+    }
+
+    auto blockOfLabel = [&](int64_t label) {
+        int32_t pos = labelPos[static_cast<size_t>(label)];
+        SHIFT_ASSERT(pos >= 0, "branch to undefined label");
+        return cfg.blockOf[static_cast<size_t>(pos)];
+    };
+
+    cfg.succ.resize(cfg.numBlocks());
+    for (size_t b = 0; b < cfg.numBlocks(); ++b) {
+        size_t last = cfg.blockEnd[b] - 1;
+        const Instr &instr = fn.code[last];
+        bool fallsThrough = true;
+        if (instr.op == Opcode::Br) {
+            cfg.succ[b].push_back(blockOfLabel(instr.imm));
+            fallsThrough = instr.qp != 0; // predicated branch may fall
+        } else if (instr.op == Opcode::Chk) {
+            cfg.succ[b].push_back(blockOfLabel(instr.imm));
+        } else if (instr.op == Opcode::BrRet) {
+            fallsThrough = false;
+        }
+        if (fallsThrough && b + 1 < cfg.numBlocks())
+            cfg.succ[b].push_back(static_cast<int>(b) + 1);
+    }
+    return cfg;
+}
+
+Liveness
+computeLiveness(const Function &fn, const Cfg &cfg,
+                bool (*tracked)(int reg))
+{
+    size_t numBlocks = cfg.numBlocks();
+    std::vector<std::set<int>> use(numBlocks), def(numBlocks);
+    for (size_t b = 0; b < numBlocks; ++b) {
+        for (size_t i = cfg.blockStart[b]; i < cfg.blockEnd[b]; ++i) {
+            const Instr &instr = fn.code[i];
+            forEachUse(instr, [&](uint16_t r) {
+                if (tracked(r) && !def[b].count(r))
+                    use[b].insert(r);
+            });
+            int d = defReg(instr);
+            // A predicated definition may not execute: it does not
+            // kill the incoming value.
+            if (d >= 0 && tracked(d) && instr.qp == 0)
+                def[b].insert(d);
+        }
+    }
+
+    Liveness live;
+    live.liveIn.resize(numBlocks);
+    live.liveOut.resize(numBlocks);
+    bool changed = true;
+    while (changed) {
+        changed = false;
+        for (size_t b = numBlocks; b-- > 0;) {
+            std::set<int> out;
+            for (int s : cfg.succ[b]) {
+                out.insert(live.liveIn[static_cast<size_t>(s)].begin(),
+                           live.liveIn[static_cast<size_t>(s)].end());
+            }
+            std::set<int> in = use[b];
+            for (int v : out) {
+                if (!def[b].count(v))
+                    in.insert(v);
+            }
+            if (out != live.liveOut[b] || in != live.liveIn[b]) {
+                live.liveOut[b] = std::move(out);
+                live.liveIn[b] = std::move(in);
+                changed = true;
+            }
+        }
+    }
+    return live;
+}
+
+bool
+liveAt(const Liveness &live, const Cfg &cfg, size_t target, int reg)
+{
+    int block = cfg.blockOf[target];
+    return live.liveIn[static_cast<size_t>(block)].count(reg) != 0;
+}
+
+} // namespace shift::minic

@@ -1,0 +1,61 @@
+/**
+ * @file
+ * Control-flow graph construction and register liveness over SHIFT-64
+ * instruction sequences.
+ *
+ * Used by register allocation (over virtual registers) and by the
+ * control-speculation optimizer (over physical registers). Operand
+ * traversal lives here so every pass agrees on what each instruction
+ * reads and writes.
+ */
+
+#ifndef SHIFT_LANG_LIVENESS_HH
+#define SHIFT_LANG_LIVENESS_HH
+
+#include <cstdint>
+#include <set>
+#include <vector>
+
+#include "isa/program.hh"
+
+namespace shift::minic
+{
+
+/** Basic-block boundaries and successor edges of one function. */
+struct Cfg
+{
+    std::vector<size_t> blockStart; ///< index of first instruction
+    std::vector<size_t> blockEnd;   ///< one past the last instruction
+    std::vector<std::vector<int>> succ;
+    std::vector<int> blockOf;       ///< instruction index -> block
+
+    size_t numBlocks() const { return blockStart.size(); }
+};
+
+/** Build the CFG of a function (labels must be resolvable). */
+Cfg buildCfg(const Function &fn);
+
+/** Per-block liveness sets. */
+struct Liveness
+{
+    std::vector<std::set<int>> liveIn;
+    std::vector<std::set<int>> liveOut;
+};
+
+/**
+ * Compute liveness of all registers satisfying `tracked` (e.g. only
+ * virtual registers, or only allocatable physical registers).
+ */
+Liveness computeLiveness(const Function &fn, const Cfg &cfg,
+                         bool (*tracked)(int reg));
+
+/**
+ * True when register `reg` is live at the entry of the block that
+ * starts at the instruction with index `target`.
+ */
+bool liveAt(const Liveness &live, const Cfg &cfg, size_t target,
+            int reg);
+
+} // namespace shift::minic
+
+#endif // SHIFT_LANG_LIVENESS_HH

@@ -1,0 +1,25 @@
+/**
+ * @file
+ * MiniC recursive-descent parser.
+ */
+
+#ifndef SHIFT_LANG_PARSER_HH
+#define SHIFT_LANG_PARSER_HH
+
+#include <string>
+
+#include "lang/ast.hh"
+#include "lang/type.hh"
+
+namespace shift::minic
+{
+
+/**
+ * Parse MiniC source into an AST. Types are interned in `pool`, which
+ * must outlive the returned tree. Throws FatalError on syntax errors.
+ */
+TranslationUnit parse(const std::string &source, TypePool &pool);
+
+} // namespace shift::minic
+
+#endif // SHIFT_LANG_PARSER_HH

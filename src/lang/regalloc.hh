@@ -1,0 +1,42 @@
+/**
+ * @file
+ * Linear-scan register allocation for MiniC functions.
+ *
+ * Virtual registers are mapped onto a callee-saved pool; intervals that
+ * do not fit are spilled to frame slots. All register save/restore and
+ * spill traffic uses st8.spill / ld8.fill so that NaT (taint) bits
+ * survive memory round-trips — the same property the paper relies on
+ * ("ld8.spill and st8.fill ... automatically saved across function
+ * calls", section 4.1). The prologue saves ar.unat per the IA-64 ABI.
+ *
+ * The SHIFT instrumentation pass runs after this pass, exactly where
+ * the paper inserted its GCC phase (between pass_leaf_regs and
+ * pass_sched2): all registers are physical and loads/stores are final.
+ */
+
+#ifndef SHIFT_LANG_REGALLOC_HH
+#define SHIFT_LANG_REGALLOC_HH
+
+#include "isa/program.hh"
+#include "lang/codegen.hh"
+
+namespace shift::minic
+{
+
+/** Statistics from allocating one function. */
+struct AllocStats
+{
+    int assigned = 0;   ///< vregs given a register
+    int spilled = 0;    ///< vregs assigned frame slots
+    uint64_t frameSize = 0;
+};
+
+/**
+ * Allocate registers for `fn` in place. `info` comes from code
+ * generation. Returns allocation statistics.
+ */
+AllocStats allocateRegisters(Function &fn, const FuncGenInfo &info);
+
+} // namespace shift::minic
+
+#endif // SHIFT_LANG_REGALLOC_HH

@@ -1,0 +1,75 @@
+#include "type.hh"
+
+#include "support/logging.hh"
+
+namespace shift::minic
+{
+
+uint64_t
+Type::size() const
+{
+    switch (kind) {
+      case TypeKind::Void: return 0;
+      case TypeKind::Char: return 1;
+      case TypeKind::Int: return 4;
+      case TypeKind::Long: return 8;
+      case TypeKind::Ptr: return 8;
+      case TypeKind::Array: return elem->size() * count;
+    }
+    return 0;
+}
+
+std::string
+Type::name() const
+{
+    switch (kind) {
+      case TypeKind::Void: return "void";
+      case TypeKind::Char: return "char";
+      case TypeKind::Int: return "int";
+      case TypeKind::Long: return "long";
+      case TypeKind::Ptr: return elem->name() + "*";
+      case TypeKind::Array:
+        return elem->name() + "[" + std::to_string(count) + "]";
+    }
+    return "?";
+}
+
+TypePool::TypePool()
+{
+    void_.kind = TypeKind::Void;
+    char_.kind = TypeKind::Char;
+    int_.kind = TypeKind::Int;
+    long_.kind = TypeKind::Long;
+}
+
+const Type *
+TypePool::ptr(const Type *elem)
+{
+    for (const auto &t : derived_) {
+        if (t->kind == TypeKind::Ptr && t->elem == elem)
+            return t.get();
+    }
+    auto t = std::make_unique<Type>();
+    t->kind = TypeKind::Ptr;
+    t->elem = elem;
+    derived_.push_back(std::move(t));
+    return derived_.back().get();
+}
+
+const Type *
+TypePool::array(const Type *elem, uint64_t count)
+{
+    for (const auto &t : derived_) {
+        if (t->kind == TypeKind::Array && t->elem == elem &&
+            t->count == count)
+            return t.get();
+    }
+    auto t = std::make_unique<Type>();
+    t->kind = TypeKind::Array;
+    t->elem = elem;
+    t->count = count;
+    derived_.push_back(std::move(t));
+    return derived_.back().get();
+}
+
+} // namespace shift::minic

@@ -1,0 +1,68 @@
+#include "cache.hh"
+
+#include "support/bitops.hh"
+#include "support/logging.hh"
+
+namespace shift
+{
+
+Cache::Cache(const Params &params) : params_(params)
+{
+    SHIFT_ASSERT(isPowerOf2(params_.lineBytes));
+    SHIFT_ASSERT(params_.assoc > 0);
+    lineShift_ = 0;
+    while ((1U << lineShift_) < params_.lineBytes)
+        ++lineShift_;
+    uint64_t numLines = params_.sizeBytes / params_.lineBytes;
+    SHIFT_ASSERT(numLines % params_.assoc == 0);
+    numSets_ = static_cast<unsigned>(numLines / params_.assoc);
+    SHIFT_ASSERT(isPowerOf2(numSets_));
+    lines_.resize(numLines);
+}
+
+bool
+Cache::access(uint64_t addr)
+{
+    uint64_t lineAddr = addr >> lineShift_;
+    unsigned set = static_cast<unsigned>(lineAddr & (numSets_ - 1));
+    uint64_t tag = lineAddr; // full line address as tag: exact
+    Line *ways = &lines_[static_cast<size_t>(set) * params_.assoc];
+    ++tick_;
+
+    for (unsigned w = 0; w < params_.assoc; ++w) {
+        Line &line = ways[w];
+        if (line.valid && line.tag == tag) {
+            line.lru = tick_;
+            ++hits_;
+            return true;
+        }
+    }
+    // Miss: fill an invalid way if one exists, else evict the LRU way.
+    Line *victim = &ways[0];
+    for (unsigned w = 0; w < params_.assoc; ++w) {
+        Line &line = ways[w];
+        if (!line.valid) {
+            victim = &line;
+            break;
+        }
+        if (line.lru < victim->lru)
+            victim = &line;
+    }
+    victim->valid = true;
+    victim->tag = tag;
+    victim->lru = tick_;
+    ++misses_;
+    return false;
+}
+
+void
+Cache::reset()
+{
+    for (Line &line : lines_)
+        line = Line{};
+    tick_ = 0;
+    hits_ = 0;
+    misses_ = 0;
+}
+
+} // namespace shift

@@ -1,0 +1,111 @@
+/**
+ * @file
+ * Sparse paged simulated memory with a spill/fill NaT sidecar.
+ *
+ * Data is stored in demand-allocated 4 KiB pages. Each page carries one
+ * NaT bit per 8-byte word, written only by st8.spill and read only by
+ * ld8.fill: this folds the compiler's UNAT-window bookkeeping into the
+ * memory model (see DESIGN.md section 5.2). Ordinary loads and stores
+ * never touch the sidecar, so taint for normal data flows exclusively
+ * through SHIFT's software-managed bitmap, exactly as in the paper.
+ *
+ * Regions 0 (tag space) and 4 (OS scratch) are demand-mapped: a touch
+ * allocates a zero page. All other regions must be mapped explicitly
+ * (by the loader / sbrk / stack setup); access to unmapped addresses
+ * faults, which is what lets a speculative load manufacture a NaT.
+ */
+
+#ifndef SHIFT_MEM_MEMORY_HH
+#define SHIFT_MEM_MEMORY_HH
+
+#include <array>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "mem/address_space.hh"
+
+namespace shift
+{
+
+/** Memory access outcomes. */
+enum class MemFault : uint8_t
+{
+    None,          ///< success
+    Unmapped,      ///< no page at this address
+    Unimplemented, ///< address has unimplemented bits set
+};
+
+/** Sparse paged memory. */
+class Memory
+{
+  public:
+    static constexpr unsigned kPageShift = 12;
+    static constexpr uint64_t kPageSize = 1ULL << kPageShift;
+
+    Memory() = default;
+
+    /** Map [base, base+len): allocates zeroed pages. */
+    void map(uint64_t base, uint64_t len);
+
+    /** True when the byte at addr is backed by a page. */
+    bool isMapped(uint64_t addr) const;
+
+    /**
+     * Check whether an access of `size` bytes at addr would succeed,
+     * without allocating demand pages.
+     */
+    MemFault probe(uint64_t addr, unsigned size) const;
+
+    /** Read `size` bytes (1/2/4/8), little-endian, zero-extended. */
+    MemFault read(uint64_t addr, unsigned size, uint64_t &value);
+
+    /** Write the low `size` bytes of value. */
+    MemFault write(uint64_t addr, unsigned size, uint64_t value);
+
+    /** st8.spill: write a word plus its NaT bit to the sidecar. */
+    MemFault writeSpill(uint64_t addr, uint64_t value, bool nat);
+
+    /** ld8.fill: read a word plus its sidecar NaT bit. */
+    MemFault readFill(uint64_t addr, uint64_t &value, bool &nat);
+
+    /** Bulk host-side copy out of simulated memory. */
+    MemFault readBytes(uint64_t addr, void *out, uint64_t len);
+
+    /** Bulk host-side copy into simulated memory. */
+    MemFault writeBytes(uint64_t addr, const void *src, uint64_t len);
+
+    /** Read a NUL-terminated string (bounded by maxLen). */
+    MemFault readCString(uint64_t addr, std::string &out,
+                         uint64_t maxLen = 1 << 20);
+
+    /** Number of pages currently allocated. */
+    size_t pageCount() const { return pages_.size(); }
+
+  private:
+    struct Page
+    {
+        std::array<uint8_t, kPageSize> data{};
+        /** One NaT bit per 8-byte word: kPageSize/8 = 512 bits. */
+        std::array<uint64_t, kPageSize / 8 / 64> nat{};
+    };
+
+    /** Fetch the page backing addr, honouring demand-map regions. */
+    Page *pageFor(uint64_t addr, bool allocate);
+    const Page *pageForConst(uint64_t addr) const;
+
+    static bool
+    demandMapped(uint64_t addr)
+    {
+        unsigned region = regionOf(addr);
+        return region == kTagRegion || region == kOsRegion;
+    }
+
+    std::unordered_map<uint64_t, std::unique_ptr<Page>> pages_;
+};
+
+} // namespace shift
+
+#endif // SHIFT_MEM_MEMORY_HH

@@ -1,0 +1,67 @@
+/**
+ * @file
+ * Native runtime built-ins ("wrap functions").
+ *
+ * Everything MiniC code cannot express — I/O, allocation, variadic
+ * formatting, the security-sensitive sinks (system, sql_exec) — is a
+ * native built-in. Each built-in carries a hand-written taint summary
+ * that keeps the bitmap and register NaT bits coherent, mirroring the
+ * paper's wrap functions for untransformed assembly routines
+ * (section 4.2).
+ *
+ * Security-sensitive built-ins consult the policy engine before
+ * acting, implementing the high-level policies H1-H5 at the exact
+ * boundaries the paper names (fopen arguments, SQL strings, system()
+ * arguments, HTML output).
+ */
+
+#ifndef SHIFT_RUNTIME_BUILTINS_HH
+#define SHIFT_RUNTIME_BUILTINS_HH
+
+#include "core/policy.hh"
+#include "core/taint_map.hh"
+#include "sim/machine.hh"
+#include "sim/os.hh"
+
+namespace shift
+{
+
+/** Shared context the built-ins close over. */
+struct RuntimeContext
+{
+    Os *os = nullptr;
+    TaintMap *taint = nullptr;        ///< null when tracking is off
+    PolicyEngine *policy = nullptr;   ///< null when tracking is off
+
+    /** True when taint tracking (and thus policy checking) is active. */
+    bool tracking() const { return taint != nullptr && policy != nullptr; }
+};
+
+/**
+ * Register every built-in on the machine. The context must outlive the
+ * machine. The built-ins:
+ *
+ *   exit(code)                         terminate
+ *   print(s) / print_num(n)            write to stdout
+ *   open(path, flags) -> fd            H1/H2 checked when tracking
+ *   read(fd, buf, len) -> n            taints per [sources]
+ *   write(fd, buf, len) -> n
+ *   close(fd) -> 0/-1
+ *   accept() -> fd | -1
+ *   recv/send                          socket aliases; send checks H5
+ *   file_size(path) -> n | -1
+ *   malloc(n) -> p, free(p)
+ *   sprintf(buf, fmt, ...) -> len      %s %d %c %x, taint-propagating
+ *   sql_exec(query) -> 0               H3 checked
+ *   system(cmd) -> 0                   H4 checked
+ *   html_write(s) -> len               H5 checked, then stdout
+ *   __taint(buf, len)                  test helper: mark tainted
+ *   __untaint(buf, len)                test helper: clear taint
+ *   __mem_tainted(addr) -> 0/1         test helper: query the bitmap
+ *   __arg_tainted(x) -> 0/1            test helper: query register NaT
+ */
+void registerRuntimeBuiltins(Machine &machine, RuntimeContext &ctx);
+
+} // namespace shift
+
+#endif // SHIFT_RUNTIME_BUILTINS_HH

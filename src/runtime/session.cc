@@ -1,0 +1,125 @@
+#include "session.hh"
+
+#include "lang/compiler.hh"
+#include "runtime/minic_stdlib.hh"
+#include "support/logging.hh"
+
+namespace shift
+{
+
+Session::Session(const std::vector<std::string> &sources,
+                 SessionOptions options)
+    : options_(std::move(options))
+{
+    build(sources);
+}
+
+Session::Session(const std::string &source, SessionOptions options)
+    : options_(std::move(options))
+{
+    build({source});
+}
+
+void
+Session::build(const std::vector<std::string> &sources)
+{
+    // 1. Compile (application + MiniC libc in one link).
+    std::vector<std::string> modules;
+    if (options_.includeStdlib)
+        modules.push_back(kMiniCStdlib);
+    modules.insert(modules.end(), sources.begin(), sources.end());
+    program_ = minic::compileProgram(modules);
+
+    // Optional compiler optimization: control speculation. Runs
+    // before instrumentation, exactly as a speculating compiler would
+    // emit ld.s/chk.s before SHIFT's GCC phase sees the code.
+    if (options_.speculate) {
+        speculateStats_ =
+            minic::speculateLoads(program_, options_.speculateOptions);
+    }
+
+    // 2. Instrument per tracking mode. Granularity follows the policy
+    // configuration so instrumented code and native taint summaries
+    // always agree on the bitmap layout.
+    switch (options_.mode) {
+      case TrackingMode::None:
+        break;
+      case TrackingMode::Shift: {
+        options_.instr.granularity = options_.policy.granularity;
+        options_.instr.natSetClear = options_.features.natSetClear;
+        options_.instr.natAwareCompare = options_.features.natAwareCompare;
+        instrStats_ = instrumentProgram(program_, options_.instr);
+        break;
+      }
+      case TrackingMode::SoftwareDift: {
+        options_.baseline.granularity = options_.policy.granularity;
+        instrStats_ = instrumentSoftwareDift(program_, options_.baseline);
+        break;
+      }
+    }
+
+    // 3. Machine + runtime wiring.
+    machine_ = std::make_unique<Machine>(program_, options_.features);
+    policy_ = std::make_unique<PolicyEngine>(options_.policy);
+    bool tracking = options_.mode != TrackingMode::None;
+    if (tracking) {
+        taint_ = std::make_unique<TaintMap>(machine_->memory(),
+                                            options_.policy.granularity);
+    }
+
+    runtimeCtx_.os = &os_;
+    runtimeCtx_.taint = tracking ? taint_.get() : nullptr;
+    runtimeCtx_.policy = tracking ? policy_.get() : nullptr;
+    registerRuntimeBuiltins(*machine_, runtimeCtx_);
+
+    // 4. Taint sources: OS input lands tainted per [sources].
+    if (tracking) {
+        TaintMap *tm = taint_.get();
+        PolicyEngine *pe = policy_.get();
+        os_.setInputHook([tm, pe](Machine &, uint64_t addr, uint64_t len,
+                                  const std::string &channel) {
+            if (pe->taintChannel(channel))
+                tm->taint(addr, len);
+            else
+                tm->clear(addr, len);
+        });
+    }
+
+    // 5. Security monitor: NaT-consumption faults become L1-L3 alerts
+    // (SHIFT mode; the software baseline traps through syscall 99).
+    if (options_.mode == TrackingMode::Shift) {
+        PolicyEngine *pe = policy_.get();
+        machine_->setNatFaultHandler(
+            [pe](Machine &, const Fault &fault) {
+                return pe->natFaultAlert(fault);
+            });
+    }
+
+    machine_->setSyscallHandler([this](Machine &m, int64_t number) {
+        if (number == kDiftAlertSyscall) {
+            Fault fault;
+            fault.kind = FaultKind::NatConsumption;
+            int64_t reason = static_cast<int64_t>(
+                m.gprVal(kDiftAlertReasonReg));
+            fault.context = reason == kDiftAlertStore
+                                ? FaultContext::StoreAddress
+                                : FaultContext::LoadAddress;
+            fault.detail = "software DIFT address check";
+            auto alert = policy_->natFaultAlert(fault);
+            if (alert)
+                m.raiseAlert(std::move(*alert),
+                             policy_->config().alertKills);
+            return;
+        }
+        SHIFT_FATAL("unknown system call %lld",
+                    static_cast<long long>(number));
+    });
+}
+
+RunResult
+Session::run()
+{
+    return machine_->run(options_.maxSteps);
+}
+
+} // namespace shift

@@ -1,0 +1,110 @@
+/**
+ * @file
+ * Session: the top-level SHIFT API.
+ *
+ * A Session compiles MiniC sources (with the MiniC libc), applies the
+ * selected tracking mode (none / SHIFT / software-DIFT baseline),
+ * builds a machine with the simulated OS and runtime, wires taint
+ * sources and the security monitor per the policy configuration, and
+ * runs the program. This is the interface examples, tests and every
+ * benchmark harness use.
+ *
+ *   PolicyConfig policy = PolicyConfig::fromText(
+ *       "[sources]\nnetwork = taint\n[policies]\nH1 = on\n");
+ *   Session session({appSource}, {.mode = TrackingMode::Shift,
+ *                                 .policy = policy});
+ *   session.os().addFile("/www/index.html", "hello");
+ *   RunResult result = session.run();
+ */
+
+#ifndef SHIFT_RUNTIME_SESSION_HH
+#define SHIFT_RUNTIME_SESSION_HH
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "baseline/software_dift.hh"
+#include "core/instrument.hh"
+#include "lang/speculate.hh"
+#include "core/policy.hh"
+#include "core/taint_map.hh"
+#include "isa/program.hh"
+#include "runtime/builtins.hh"
+#include "sim/machine.hh"
+#include "sim/os.hh"
+
+namespace shift
+{
+
+/** How (and whether) information flow is tracked. */
+enum class TrackingMode
+{
+    None,         ///< plain execution (the "original GCC" baseline)
+    Shift,        ///< the paper's system
+    SoftwareDift, ///< LIFT-style software-only DIFT comparison
+};
+
+/** Session construction options. */
+struct SessionOptions
+{
+    TrackingMode mode = TrackingMode::Shift;
+    PolicyConfig policy;
+    CpuFeatures features;            ///< architectural enhancements
+    InstrumentOptions instr;         ///< granularity is taken from policy
+    BaselineOptions baseline;        ///< for SoftwareDift mode
+    bool includeStdlib = true;
+    uint64_t maxSteps = 2'000'000'000ULL;
+
+    /** Apply the control-speculation optimizer before tracking. */
+    bool speculate = false;
+    minic::SpeculateOptions speculateOptions;
+};
+
+/** One compile+instrument+run pipeline instance. */
+class Session
+{
+  public:
+    Session(const std::vector<std::string> &sources,
+            SessionOptions options);
+
+    /** Convenience: single source module. */
+    Session(const std::string &source, SessionOptions options);
+
+    // The machine holds pointers into this object (the program, the
+    // runtime context): a Session is pinned to its address.
+    Session(const Session &) = delete;
+    Session &operator=(const Session &) = delete;
+
+    /** Execute to completion; may only be called once. */
+    RunResult run();
+
+    Machine &machine() { return *machine_; }
+    Os &os() { return os_; }
+    TaintMap &taint() { return *taint_; }
+    PolicyEngine &policy() { return *policy_; }
+    const Program &program() const { return program_; }
+    const InstrumentStats &instrStats() const { return instrStats_; }
+    const minic::SpeculateStats &speculateStats() const
+    {
+        return speculateStats_;
+    }
+    const SessionOptions &options() const { return options_; }
+
+  private:
+    void build(const std::vector<std::string> &sources);
+
+    SessionOptions options_;
+    Program program_;
+    InstrumentStats instrStats_;
+    minic::SpeculateStats speculateStats_;
+    Os os_;
+    std::unique_ptr<Machine> machine_;
+    std::unique_ptr<TaintMap> taint_;
+    std::unique_ptr<PolicyEngine> policy_;
+    RuntimeContext runtimeCtx_;
+};
+
+} // namespace shift
+
+#endif // SHIFT_RUNTIME_SESSION_HH

@@ -1,0 +1,36 @@
+#include "faults.hh"
+
+namespace shift
+{
+
+const char *
+faultKindName(FaultKind kind)
+{
+    switch (kind) {
+      case FaultKind::None: return "none";
+      case FaultKind::NatConsumption: return "nat-consumption";
+      case FaultKind::IllegalAddress: return "illegal-address";
+      case FaultKind::DivByZero: return "div-by-zero";
+      case FaultKind::BadIndirect: return "bad-indirect-branch";
+      case FaultKind::UnknownFunction: return "unknown-function";
+      case FaultKind::StepLimit: return "step-limit";
+    }
+    return "???";
+}
+
+const char *
+faultContextName(FaultContext ctx)
+{
+    switch (ctx) {
+      case FaultContext::None: return "none";
+      case FaultContext::LoadAddress: return "load-address";
+      case FaultContext::StoreAddress: return "store-address";
+      case FaultContext::StoreValue: return "store-value";
+      case FaultContext::ControlFlow: return "control-flow";
+      case FaultContext::SyscallArg: return "syscall-argument";
+      case FaultContext::AppRegister: return "app-register";
+    }
+    return "???";
+}
+
+} // namespace shift

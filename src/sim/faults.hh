@@ -1,0 +1,73 @@
+/**
+ * @file
+ * Faults and security alerts.
+ *
+ * The low-level SHIFT policies (L1-L3 of paper table 1) are enforced by
+ * the hardware itself: improper consumption of a NaT (tainted) value
+ * raises a NaT-consumption fault, and the fault *context* says which
+ * policy was violated (load address / store address / control transfer /
+ * system call argument). High-level policies (H1-H5) are raised in
+ * software by runtime built-ins through Machine::raiseAlert().
+ */
+
+#ifndef SHIFT_SIM_FAULTS_HH
+#define SHIFT_SIM_FAULTS_HH
+
+#include <cstdint>
+#include <string>
+
+namespace shift
+{
+
+/** Machine-level fault kinds. */
+enum class FaultKind : uint8_t
+{
+    None,
+    NatConsumption, ///< NaT token consumed by a non-speculative use
+    IllegalAddress, ///< unmapped or unimplemented address
+    DivByZero,
+    BadIndirect,    ///< indirect branch to a non-function address
+    UnknownFunction,///< call target neither user code nor a built-in
+    StepLimit,      ///< execution exceeded the configured step budget
+};
+
+/** What the faulting instruction was doing with the NaT value. */
+enum class FaultContext : uint8_t
+{
+    None,
+    LoadAddress,   ///< tainted pointer dereferenced (policy L1)
+    StoreAddress,  ///< tainted store address (policy L2)
+    StoreValue,    ///< NaT source stored through plain st (no policy; bug)
+    ControlFlow,   ///< tainted value moved into a branch register (L3)
+    SyscallArg,    ///< tainted system-call argument (L3 family)
+    AppRegister,   ///< tainted value moved into an application register
+};
+
+/** A recorded fault. */
+struct Fault
+{
+    FaultKind kind = FaultKind::None;
+    FaultContext context = FaultContext::None;
+    int function = -1;      ///< function index
+    uint64_t pc = 0;        ///< instruction index within the function
+    uint64_t addr = 0;      ///< offending address, when applicable
+    std::string detail;
+
+    explicit operator bool() const { return kind != FaultKind::None; }
+};
+
+const char *faultKindName(FaultKind kind);
+const char *faultContextName(FaultContext ctx);
+
+/** A security alert raised by policy enforcement. */
+struct SecurityAlert
+{
+    std::string policy;  ///< "L1", "H3", ...
+    std::string message;
+    int function = -1;
+    uint64_t pc = 0;
+};
+
+} // namespace shift
+
+#endif // SHIFT_SIM_FAULTS_HH

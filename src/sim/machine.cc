@@ -1,0 +1,778 @@
+#include "machine.hh"
+
+#include "support/bitops.hh"
+#include "support/logging.hh"
+
+namespace shift
+{
+
+namespace
+{
+
+/** Stack region layout. */
+constexpr uint64_t kStackBase = regionBase(kStackRegion) + 0x10000;
+constexpr uint64_t kStackSize = 4ULL << 20;
+constexpr uint64_t kHeapGap = 1ULL << 20;
+constexpr uint64_t kHeapMax = 1ULL << 32;
+constexpr size_t kMaxCallDepth = 1 << 16;
+
+} // namespace
+
+Machine::Machine(const Program &program, CpuFeatures features)
+    : program_(&program), features_(features)
+{
+    layout();
+    resolveLabels();
+    reset();
+}
+
+void
+Machine::layout()
+{
+    // Globals: shared deterministic layout (see computeGlobalLayout).
+    GlobalLayout layout = computeGlobalLayout(*program_);
+    globalAddr_ = layout.addr;
+    mem_.map(kGlobalBase, std::max<uint64_t>(layout.end - kGlobalBase, 16));
+    for (const GlobalDef &g : program_->globals) {
+        if (!g.init.empty()) {
+            MemFault f = mem_.writeBytes(globalAddr_[g.name],
+                                         g.init.data(), g.init.size());
+            SHIFT_ASSERT(f == MemFault::None);
+        }
+    }
+
+    heapBreak_ = roundUp(layout.end + kHeapGap, Memory::kPageSize);
+    heapLimit_ = heapBreak_ + kHeapMax;
+
+    mem_.map(kStackBase, kStackSize);
+}
+
+void
+Machine::resolveLabels()
+{
+    labelPos_.resize(program_->functions.size());
+    for (size_t f = 0; f < program_->functions.size(); ++f) {
+        const Function &fn = program_->functions[f];
+        std::vector<int32_t> &pos = labelPos_[f];
+        pos.assign(static_cast<size_t>(fn.nextLabel), -1);
+        for (size_t i = 0; i < fn.code.size(); ++i) {
+            const Instr &instr = fn.code[i];
+            if (instr.op == Opcode::Label) {
+                if (instr.imm < 0 ||
+                    static_cast<size_t>(instr.imm) >= pos.size()) {
+                    pos.resize(static_cast<size_t>(instr.imm) + 1, -1);
+                }
+                pos[static_cast<size_t>(instr.imm)] =
+                    static_cast<int32_t>(i);
+            }
+        }
+    }
+}
+
+void
+Machine::reset()
+{
+    gpr_.fill(Gpr{});
+    pred_.fill(false);
+    pred_[0] = true;
+    br_.fill(0);
+    unat_ = 0;
+    setGpr(reg::sp, kStackBase + kStackSize - 128);
+    callStack_.clear();
+    auto entry = program_->findFunction(program_->entry);
+    if (!entry)
+        SHIFT_FATAL("entry function '%s' not found",
+                    program_->entry.c_str());
+    curFunc_ = *entry;
+    pc_ = 0;
+}
+
+void
+Machine::setGpr(int r, uint64_t val, bool nat)
+{
+    if (r == reg::zero)
+        return; // r0 is hardwired
+    gpr_[r].val = val;
+    gpr_[r].nat = nat;
+}
+
+void
+Machine::setPred(int p, bool v)
+{
+    if (p == 0)
+        return; // p0 is hardwired true
+    pred_[p] = v;
+}
+
+void
+Machine::setRetval(uint64_t val, bool nat)
+{
+    setGpr(reg::rv, val, nat);
+}
+
+uint64_t
+Machine::globalAddr(const std::string &name) const
+{
+    auto it = globalAddr_.find(name);
+    if (it == globalAddr_.end())
+        SHIFT_FATAL("no global named '%s'", name.c_str());
+    return it->second;
+}
+
+uint64_t
+Machine::sbrk(uint64_t bytes)
+{
+    uint64_t old = heapBreak_;
+    uint64_t next = roundUp(heapBreak_ + bytes, 16);
+    if (next > heapLimit_)
+        SHIFT_FATAL("simulated heap exhausted");
+    mem_.map(old, next - old);
+    heapBreak_ = next;
+    return old;
+}
+
+void
+Machine::registerBuiltin(const std::string &name, BuiltinFn fn)
+{
+    builtins_[name] = std::move(fn);
+}
+
+void
+Machine::raiseAlert(SecurityAlert alert, bool kill)
+{
+    alert.function = curFunc_;
+    alert.pc = pc_;
+    alerts_.push_back(std::move(alert));
+    if (kill) {
+        killedByPolicy_ = true;
+        stopped_ = true;
+    }
+}
+
+void
+Machine::requestExit(int64_t code)
+{
+    exited_ = true;
+    exitCode_ = code;
+    stopped_ = true;
+}
+
+void
+Machine::setFault(FaultKind kind, FaultContext ctx, uint64_t addr,
+                  const std::string &detail)
+{
+    Fault fault;
+    fault.kind = kind;
+    fault.context = ctx;
+    fault.function = curFunc_;
+    fault.pc = pc_;
+    fault.addr = addr;
+    fault.detail = detail;
+
+    if (kind == FaultKind::NatConsumption && natFault_) {
+        std::optional<SecurityAlert> alert = natFault_(*this, fault);
+        if (alert) {
+            alert->function = curFunc_;
+            alert->pc = pc_;
+            alerts_.push_back(std::move(*alert));
+            killedByPolicy_ = true;
+            stopped_ = true;
+            return;
+        }
+    }
+    fault_ = fault;
+    stopped_ = true;
+}
+
+void
+Machine::natConsumptionFault(FaultContext ctx, const std::string &detail)
+{
+    setFault(FaultKind::NatConsumption, ctx, 0, detail);
+}
+
+void
+Machine::chargeCycles(const Instr &instr, uint64_t cycles)
+{
+    cycles_ += cycles;
+    ++instrs_;
+    int prov = static_cast<int>(instr.prov);
+    int cls = static_cast<int>(instr.origClass);
+    cyclesBy_[prov][cls] += cycles;
+    instrsBy_[prov][cls] += 1;
+}
+
+void
+Machine::chargeMemAccess(const Instr &instr, uint64_t addr, bool isLoadAcc)
+{
+    bool hit = dcache_.access(addr);
+    uint64_t extra;
+    if (isLoadAcc)
+        extra = hit ? cycleModel_.loadHit : cycleModel_.loadMiss;
+    else
+        extra = hit ? 0 : cycleModel_.storeMiss;
+    cycles_ += extra;
+    cyclesBy_[static_cast<int>(instr.prov)]
+             [static_cast<int>(instr.origClass)] += extra;
+}
+
+uint64_t
+Machine::src2Val(const Instr &instr) const
+{
+    return instr.useImm ? static_cast<uint64_t>(instr.imm)
+                        : gpr_[instr.r3].val;
+}
+
+bool
+Machine::src2Nat(const Instr &instr) const
+{
+    return instr.useImm ? false : gpr_[instr.r3].nat;
+}
+
+void
+Machine::execAlu(const Instr &instr)
+{
+    uint64_t a = gpr_[instr.r2].val;
+    uint64_t b = src2Val(instr);
+    bool nat = gpr_[instr.r2].nat || src2Nat(instr);
+    uint64_t result = 0;
+    uint64_t cost = cycleModel_.alu;
+
+    auto shiftAmount = [](uint64_t v) { return v > 63 ? 64U
+        : static_cast<unsigned>(v); };
+
+    switch (instr.op) {
+      case Opcode::Add: result = a + b; break;
+      case Opcode::Sub: result = a - b; break;
+      case Opcode::And: result = a & b; break;
+      case Opcode::Andcm: result = a & ~b; break;
+      case Opcode::Or: result = a | b; break;
+      case Opcode::Xor: result = a ^ b; break;
+      case Opcode::Mul:
+        result = a * b;
+        cost = cycleModel_.mul;
+        break;
+      case Opcode::Div:
+      case Opcode::Mod:
+      case Opcode::DivU:
+      case Opcode::ModU: {
+        cost = cycleModel_.div;
+        if (b == 0) {
+            if (!nat) {
+                setFault(FaultKind::DivByZero, FaultContext::None, 0,
+                         "division by zero");
+                return;
+            }
+            result = 0;
+        } else if (instr.op == Opcode::DivU) {
+            result = a / b;
+        } else if (instr.op == Opcode::ModU) {
+            result = a % b;
+        } else {
+            int64_t sa = static_cast<int64_t>(a);
+            int64_t sb = static_cast<int64_t>(b);
+            if (sa == INT64_MIN && sb == -1) {
+                result = instr.op == Opcode::Div
+                             ? static_cast<uint64_t>(INT64_MIN)
+                             : 0;
+            } else if (instr.op == Opcode::Div) {
+                result = static_cast<uint64_t>(sa / sb);
+            } else {
+                result = static_cast<uint64_t>(sa % sb);
+            }
+        }
+        break;
+      }
+      case Opcode::Shl: {
+        unsigned sh = shiftAmount(b);
+        result = sh >= 64 ? 0 : (a << sh);
+        break;
+      }
+      case Opcode::Shr: {
+        unsigned sh = shiftAmount(b);
+        result = sh >= 64 ? 0 : (a >> sh);
+        break;
+      }
+      case Opcode::Sar: {
+        unsigned sh = shiftAmount(b);
+        int64_t sa = static_cast<int64_t>(a);
+        result = static_cast<uint64_t>(sh >= 64 ? (sa < 0 ? -1 : 0)
+                                                : (sa >> sh));
+        break;
+      }
+      case Opcode::Sxt:
+        result = static_cast<uint64_t>(signExtend(a, instr.size * 8));
+        break;
+      case Opcode::Zxt:
+        result = a & lowMask(instr.size * 8);
+        break;
+      case Opcode::Extr:
+        result = (a >> instr.pos) &
+                 lowMask(instr.len ? instr.len : 64);
+        break;
+      case Opcode::Shladd:
+        result = (a << instr.pos) + b;
+        break;
+      case Opcode::Mov:
+        result = a;
+        break;
+      case Opcode::Movi:
+        result = b;
+        nat = false;
+        break;
+      default:
+        SHIFT_PANIC("execAlu: not an ALU op: %s", opcodeName(instr.op));
+    }
+
+    setGpr(instr.r1, result, nat);
+    chargeCycles(instr, cost);
+    ++pc_;
+}
+
+void
+Machine::execCmp(const Instr &instr)
+{
+    uint64_t a = gpr_[instr.r2].val;
+    uint64_t b = src2Val(instr);
+    bool nat = gpr_[instr.r2].nat || src2Nat(instr);
+
+    bool taken = false;
+    int64_t sa = static_cast<int64_t>(a);
+    int64_t sb = static_cast<int64_t>(b);
+    switch (instr.rel) {
+      case CmpRel::Eq: taken = a == b; break;
+      case CmpRel::Ne: taken = a != b; break;
+      case CmpRel::Lt: taken = sa < sb; break;
+      case CmpRel::Le: taken = sa <= sb; break;
+      case CmpRel::Gt: taken = sa > sb; break;
+      case CmpRel::Ge: taken = sa >= sb; break;
+      case CmpRel::LtU: taken = a < b; break;
+      case CmpRel::LeU: taken = a <= b; break;
+      case CmpRel::GtU: taken = a > b; break;
+      case CmpRel::GeU: taken = a >= b; break;
+    }
+
+    if (instr.op == Opcode::Cmp && nat) {
+        // Itanium semantics: a NaT operand clears both target
+        // predicates so mis-speculated code cannot commit state. This
+        // is exactly the behaviour SHIFT must relax for taint-carrying
+        // compares (paper section 4.1).
+        setPred(instr.p1, false);
+        setPred(instr.p2, false);
+    } else {
+        setPred(instr.p1, taken);
+        setPred(instr.p2, !taken);
+    }
+    chargeCycles(instr, cycleModel_.alu);
+    ++pc_;
+}
+
+void
+Machine::execLd(const Instr &instr)
+{
+    const Gpr &addrReg = gpr_[instr.r2];
+    uint64_t addr = addrReg.val;
+
+    if (instr.spec) {
+        // Speculative load: all failures defer into the NaT bit.
+        if (addrReg.nat || mem_.probe(addr, instr.size) != MemFault::None) {
+            setGpr(instr.r1, 0, true);
+            chargeCycles(instr, cycleModel_.loadBase);
+            ++pc_;
+            return;
+        }
+    } else if (addrReg.nat) {
+        // Instrumentation's own tag-bitmap access inherits the NaT of
+        // the ORIGINAL address register; report the policy context of
+        // the instruction being instrumented, not of the helper load.
+        FaultContext ctx = instr.origClass == OrigClass::ForStore
+                               ? FaultContext::StoreAddress
+                               : FaultContext::LoadAddress;
+        setFault(FaultKind::NatConsumption, ctx, addr,
+                 "load through a NaT (tainted) address");
+        return;
+    }
+
+    uint64_t value = 0;
+    bool nat = false;
+    MemFault mf;
+    if (instr.fill)
+        mf = mem_.readFill(addr, value, nat);
+    else
+        mf = mem_.read(addr, instr.size, value);
+    if (mf != MemFault::None) {
+        setFault(FaultKind::IllegalAddress, FaultContext::LoadAddress,
+                 addr, "load from illegal address");
+        return;
+    }
+
+    setGpr(instr.r1, value, nat);
+    ++loadCount_;
+    chargeCycles(instr, cycleModel_.loadBase);
+    chargeMemAccess(instr, addr, true);
+    ++pc_;
+}
+
+void
+Machine::execSt(const Instr &instr)
+{
+    const Gpr &addrReg = gpr_[instr.r1];
+    const Gpr &srcReg = gpr_[instr.r2];
+    uint64_t addr = addrReg.val;
+
+    if (addrReg.nat) {
+        setFault(FaultKind::NatConsumption, FaultContext::StoreAddress,
+                 addr, "store through a NaT (tainted) address");
+        return;
+    }
+    if (srcReg.nat && !instr.spill) {
+        setFault(FaultKind::NatConsumption, FaultContext::StoreValue,
+                 addr, "plain store of a NaT source register");
+        return;
+    }
+
+    MemFault mf;
+    if (instr.spill) {
+        mf = mem_.writeSpill(addr, srcReg.val, srcReg.nat);
+        if (mf == MemFault::None) {
+            // Track the NaT bit in ar.unat as well, as Itanium does.
+            unsigned bitIdx = static_cast<unsigned>((addr >> 3) & 63);
+            unat_ = insertBit(unat_, bitIdx, srcReg.nat);
+        }
+    } else {
+        mf = mem_.write(addr, instr.size, srcReg.val);
+    }
+    if (mf != MemFault::None) {
+        setFault(FaultKind::IllegalAddress, FaultContext::StoreAddress,
+                 addr, "store to illegal address");
+        return;
+    }
+
+    ++storeCount_;
+    chargeCycles(instr, cycleModel_.storeBase);
+    chargeMemAccess(instr, addr, false);
+    ++pc_;
+}
+
+void
+Machine::doCall(int funcIndex)
+{
+    if (callStack_.size() >= kMaxCallDepth) {
+        setFault(FaultKind::IllegalAddress, FaultContext::None, 0,
+                 "call stack overflow");
+        return;
+    }
+    callStack_.push_back(Frame{curFunc_, pc_ + 1});
+    curFunc_ = funcIndex;
+    pc_ = 0;
+}
+
+void
+Machine::doBuiltinOrFault(const Instr &instr)
+{
+    auto it = builtins_.find(instr.callee);
+    if (it == builtins_.end()) {
+        setFault(FaultKind::UnknownFunction, FaultContext::None, 0,
+                 "no function or built-in named '" + instr.callee + "'");
+        return;
+    }
+    chargeCycles(instr, cycleModel_.call);
+    uint64_t pcBefore = pc_;
+    it->second(*this);
+    // A built-in may stop the machine (alert / fault / exit).
+    if (!stopped_ && pc_ == pcBefore)
+        ++pc_;
+}
+
+void
+Machine::step()
+{
+    const Function &fn = program_->functions[curFunc_];
+    if (pc_ >= fn.code.size()) {
+        setFault(FaultKind::IllegalAddress, FaultContext::None, pc_,
+                 "fell off the end of function '" + fn.name + "'");
+        return;
+    }
+    const Instr &instr = fn.code[pc_];
+
+    if (instr.op == Opcode::Label) {
+        ++pc_; // zero-cost marker
+        return;
+    }
+
+    if (trace_)
+        trace_(*this, instr);
+
+    // Qualifying predicate: a false predicate nullifies the
+    // instruction, but it still occupies an issue slot.
+    if (instr.qp != 0 && !pred_[instr.qp]) {
+        chargeCycles(instr, cycleModel_.nullified);
+        lastLoadDst_ = -1;
+        ++pc_;
+        return;
+    }
+
+    // Load-use stall: consuming a load result in the very next issue
+    // slot stalls the in-order pipeline. This is what hoisting a load
+    // with control speculation buys back (section 3.3.4).
+    // (chk.s only inspects the NaT bit, which is available early.)
+    if (lastLoadDst_ >= 0 && instr.op != Opcode::Chk &&
+        usesReg(instr, lastLoadDst_)) {
+        uint64_t stall = cycleModel_.loadUseStall;
+        cycles_ += stall;
+        stallCycles_ += stall;
+        cyclesBy_[static_cast<int>(instr.prov)]
+                 [static_cast<int>(instr.origClass)] += stall;
+    }
+    lastLoadDst_ = instr.op == Opcode::Ld ? instr.r1 : -1;
+
+    switch (instr.op) {
+      case Opcode::Nop:
+        chargeCycles(instr, cycleModel_.alu);
+        ++pc_;
+        break;
+
+      case Opcode::Add: case Opcode::Sub: case Opcode::Mul:
+      case Opcode::Div: case Opcode::Mod: case Opcode::DivU:
+      case Opcode::ModU: case Opcode::And: case Opcode::Andcm:
+      case Opcode::Or: case Opcode::Xor: case Opcode::Shl:
+      case Opcode::Shr: case Opcode::Sar: case Opcode::Sxt:
+      case Opcode::Zxt: case Opcode::Extr: case Opcode::Shladd:
+      case Opcode::Mov: case Opcode::Movi:
+        execAlu(instr);
+        break;
+
+      case Opcode::Cmp:
+        execCmp(instr);
+        break;
+
+      case Opcode::CmpNat:
+        if (!features_.natAwareCompare) {
+            setFault(FaultKind::UnknownFunction, FaultContext::None, 0,
+                     "cmp.nat requires the natAwareCompare feature");
+            return;
+        }
+        execCmp(instr);
+        break;
+
+      case Opcode::Tnat:
+        setPred(instr.p1, gpr_[instr.r2].nat);
+        setPred(instr.p2, !gpr_[instr.r2].nat);
+        chargeCycles(instr, cycleModel_.alu);
+        ++pc_;
+        break;
+
+      case Opcode::Tbit: {
+        if (gpr_[instr.r2].nat) {
+            setPred(instr.p1, false);
+            setPred(instr.p2, false);
+        } else {
+            bool b = bit(gpr_[instr.r2].val,
+                         static_cast<unsigned>(instr.imm));
+            setPred(instr.p1, b);
+            setPred(instr.p2, !b);
+        }
+        chargeCycles(instr, cycleModel_.alu);
+        ++pc_;
+        break;
+      }
+
+      case Opcode::Ld:
+        execLd(instr);
+        break;
+
+      case Opcode::St:
+        execSt(instr);
+        break;
+
+      case Opcode::Chk:
+        if (gpr_[instr.r2].nat) {
+            int32_t target = labelPos_[curFunc_]
+                [static_cast<size_t>(instr.imm)];
+            SHIFT_ASSERT(target >= 0, "unresolved label");
+            chargeCycles(instr, cycleModel_.branchTaken);
+            pc_ = static_cast<uint64_t>(target);
+        } else {
+            chargeCycles(instr, cycleModel_.branch);
+            ++pc_;
+        }
+        break;
+
+      case Opcode::Br: {
+        int32_t target =
+            labelPos_[curFunc_][static_cast<size_t>(instr.imm)];
+        SHIFT_ASSERT(target >= 0, "unresolved label");
+        chargeCycles(instr, cycleModel_.branchTaken);
+        pc_ = static_cast<uint64_t>(target);
+        break;
+      }
+
+      case Opcode::BrCall: {
+        auto callee = program_->findFunction(instr.callee);
+        if (callee) {
+            chargeCycles(instr, cycleModel_.call);
+            doCall(*callee);
+        } else {
+            doBuiltinOrFault(instr);
+        }
+        break;
+      }
+
+      case Opcode::BrCalli: {
+        uint64_t target = br_[instr.br];
+        auto callee = funcIndexForDesc(target,
+                                       program_->functions.size());
+        if (!callee) {
+            setFault(FaultKind::BadIndirect, FaultContext::ControlFlow,
+                     target, "indirect call to a non-function address");
+            return;
+        }
+        chargeCycles(instr, cycleModel_.call);
+        doCall(*callee);
+        break;
+      }
+
+      case Opcode::BrRet:
+        chargeCycles(instr, cycleModel_.call);
+        if (callStack_.empty()) {
+            exited_ = true;
+            exitCode_ = static_cast<int64_t>(gpr_[reg::rv].val);
+            stopped_ = true;
+        } else {
+            Frame frame = callStack_.back();
+            callStack_.pop_back();
+            curFunc_ = frame.function;
+            pc_ = frame.returnPc;
+        }
+        break;
+
+      case Opcode::MovToBr:
+        if (gpr_[instr.r2].nat) {
+            setFault(FaultKind::NatConsumption,
+                     FaultContext::ControlFlow, gpr_[instr.r2].val,
+                     "NaT (tainted) value moved into a branch register");
+            return;
+        }
+        br_[instr.br] = gpr_[instr.r2].val;
+        chargeCycles(instr, cycleModel_.alu);
+        ++pc_;
+        break;
+
+      case Opcode::MovFromBr:
+        setGpr(instr.r1, br_[instr.br], false);
+        chargeCycles(instr, cycleModel_.alu);
+        ++pc_;
+        break;
+
+      case Opcode::MovToUnat:
+        if (gpr_[instr.r2].nat) {
+            setFault(FaultKind::NatConsumption,
+                     FaultContext::AppRegister, 0,
+                     "NaT value moved into ar.unat");
+            return;
+        }
+        unat_ = gpr_[instr.r2].val;
+        chargeCycles(instr, cycleModel_.alu);
+        ++pc_;
+        break;
+
+      case Opcode::MovFromUnat:
+        setGpr(instr.r1, unat_, false);
+        chargeCycles(instr, cycleModel_.alu);
+        ++pc_;
+        break;
+
+      case Opcode::Setnat:
+        if (!features_.natSetClear) {
+            setFault(FaultKind::UnknownFunction, FaultContext::None, 0,
+                     "setnat requires the natSetClear feature");
+            return;
+        }
+        gpr_[instr.r1].nat = instr.r1 != reg::zero;
+        chargeCycles(instr, cycleModel_.alu);
+        ++pc_;
+        break;
+
+      case Opcode::Clrnat:
+        if (!features_.natSetClear) {
+            setFault(FaultKind::UnknownFunction, FaultContext::None, 0,
+                     "clrnat requires the natSetClear feature");
+            return;
+        }
+        gpr_[instr.r1].nat = false;
+        chargeCycles(instr, cycleModel_.alu);
+        ++pc_;
+        break;
+
+      case Opcode::Syscall:
+        chargeCycles(instr, cycleModel_.syscallBase);
+        if (!syscall_) {
+            setFault(FaultKind::UnknownFunction, FaultContext::None, 0,
+                     "no system-call handler installed");
+            return;
+        }
+        syscall_(*this, instr.imm);
+        if (!stopped_)
+            ++pc_;
+        break;
+
+      case Opcode::Halt:
+        exited_ = true;
+        exitCode_ = static_cast<int64_t>(gpr_[reg::rv].val);
+        stopped_ = true;
+        break;
+
+      case Opcode::Label:
+        break; // handled above
+    }
+}
+
+RunResult
+Machine::run(uint64_t maxSteps)
+{
+    SHIFT_ASSERT(!stopped_, "Machine::run() may only be called once");
+
+    uint64_t steps = 0;
+    while (!stopped_) {
+        if (++steps > maxSteps) {
+            setFault(FaultKind::StepLimit, FaultContext::None, 0,
+                     "step limit exceeded");
+            break;
+        }
+        step();
+    }
+
+    RunResult result;
+    result.exited = exited_;
+    result.exitCode = exitCode_;
+    result.fault = fault_;
+    result.alerts = alerts_;
+    result.killedByPolicy = killedByPolicy_;
+    result.instructions = instrs_;
+    result.cycles = cycles_ + osCycles_;
+
+    StatSet &st = result.stats;
+    st.add("cycles.total", result.cycles);
+    st.add("cycles.cpu", cycles_);
+    st.add("cycles.os", osCycles_);
+    st.add("instrs.total", instrs_);
+    st.add("mem.loads", loadCount_);
+    st.add("mem.stores", storeCount_);
+    st.add("cycles.loadUseStall", stallCycles_);
+    st.add("cache.hits", dcache_.hits());
+    st.add("cache.misses", dcache_.misses());
+    for (int p = 0; p < kNumProv; ++p) {
+        for (int c = 0; c < kNumClass; ++c) {
+            if (!instrsBy_[p][c] && !cyclesBy_[p][c])
+                continue;
+            std::string prov = provenanceName(static_cast<Provenance>(p));
+            std::string cls = origClassName(static_cast<OrigClass>(c));
+            st.add("cycles." + prov, cyclesBy_[p][c]);
+            st.add("instrs." + prov, instrsBy_[p][c]);
+            st.add("cycles." + prov + "." + cls, cyclesBy_[p][c]);
+            st.add("instrs." + prov + "." + cls, instrsBy_[p][c]);
+        }
+    }
+    return result;
+}
+
+} // namespace shift

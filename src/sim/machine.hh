@@ -1,0 +1,258 @@
+/**
+ * @file
+ * The SHIFT-64 machine: registers with NaT bits, deferred-exception
+ * semantics, predication, a call stack, simulated memory, an L1D model
+ * and per-provenance cycle accounting.
+ *
+ * Deferred-exception semantics (paper section 2.2):
+ *  - ALU operations OR the NaT bits of their sources into the target.
+ *  - A speculative load (ld.s) whose address is invalid, unmapped or
+ *    itself NaT sets the target's NaT bit (value 0) instead of faulting.
+ *  - Ordinary compares clear BOTH destination predicates when an
+ *    operand carries NaT; cmp.nat (the paper's proposed enhancement)
+ *    compares normally.
+ *  - Consuming a NaT where irreversible state would be produced — a
+ *    non-speculative load/store address, a plain store source, a move
+ *    into a branch or application register, a system-call argument —
+ *    raises a NaT-consumption fault. With taint in the NaT bit these
+ *    faults ARE the low-level SHIFT policies L1-L3.
+ *  - st8.spill/ld8.fill move the NaT bit through the per-word memory
+ *    sidecar; chk.s branches to recovery code when NaT is set.
+ */
+
+#ifndef SHIFT_SIM_MACHINE_HH
+#define SHIFT_SIM_MACHINE_HH
+
+#include <array>
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "isa/instruction.hh"
+#include "isa/program.hh"
+#include "mem/cache.hh"
+#include "mem/memory.hh"
+#include "sim/cycle_model.hh"
+#include "sim/faults.hh"
+#include "support/stats.hh"
+
+namespace shift
+{
+
+class Machine;
+
+/** Architectural feature switches (paper section 6.3 enhancements). */
+struct CpuFeatures
+{
+    bool natSetClear = false;   ///< setnat / clrnat instructions
+    bool natAwareCompare = false; ///< cmp.nat instruction
+};
+
+/** A native built-in: reads args from r16.., writes results to r8. */
+using BuiltinFn = std::function<void(Machine &)>;
+
+/** Handler for system calls (installed by the simulated OS). */
+using SyscallFn = std::function<void(Machine &, int64_t number)>;
+
+/**
+ * Converts a NaT-consumption fault into a security alert. Returning
+ * nullopt leaves the raw hardware fault in place.
+ */
+using NatFaultHandler =
+    std::function<std::optional<SecurityAlert>(Machine &, const Fault &)>;
+
+/**
+ * Called before each (non-label) instruction executes; the machine
+ * state visible through the reference is the pre-execution state.
+ */
+using TraceFn = std::function<void(const Machine &, const Instr &)>;
+
+/** Result of Machine::run(). */
+struct RunResult
+{
+    bool exited = false;         ///< program terminated normally
+    int64_t exitCode = 0;
+    Fault fault;                 ///< set when stopped by a fault
+    std::vector<SecurityAlert> alerts;
+    bool killedByPolicy = false; ///< an alert with kill action stopped us
+    uint64_t instructions = 0;   ///< dynamic instruction count
+    uint64_t cycles = 0;         ///< total simulated cycles (incl. OS)
+    StatSet stats;               ///< detailed breakdown counters
+
+    /** True when the run ended without fault or policy kill. */
+    bool ok() const { return exited && !fault && !killedByPolicy; }
+};
+
+/** The simulated machine. */
+class Machine
+{
+  public:
+    /**
+     * Build a machine around a program: lays out globals in the data
+     * region, maps the stack, resolves label positions. The program
+     * must outlive the machine.
+     */
+    explicit Machine(const Program &program, CpuFeatures features = {});
+
+    // ----- execution ---------------------------------------------------
+
+    /** Run from the entry function until exit, fault or step limit. */
+    RunResult run(uint64_t maxSteps = 2'000'000'000ULL);
+
+    // ----- environment wiring ------------------------------------------
+
+    /** Register a native built-in callable by name. */
+    void registerBuiltin(const std::string &name, BuiltinFn fn);
+
+    /** Install the system-call handler. */
+    void setSyscallHandler(SyscallFn fn) { syscall_ = std::move(fn); }
+
+    /** Install the NaT-fault-to-alert converter (security monitor). */
+    void setNatFaultHandler(NatFaultHandler fn) { natFault_ = std::move(fn); }
+
+    /** Install an instruction trace hook (debugging aid). */
+    void setTraceHook(TraceFn fn) { trace_ = std::move(fn); }
+
+    /** Raise a software security alert (H1-H5); kill stops the run. */
+    void raiseAlert(SecurityAlert alert, bool kill);
+
+    /** Request normal termination with an exit code (exit syscall). */
+    void requestExit(int64_t code);
+
+    /** Charge extra cycles (used by the OS I/O cost model). */
+    void addOsCycles(uint64_t cycles) { osCycles_ += cycles; }
+
+    // ----- architectural state -----------------------------------------
+
+    uint64_t gprVal(int r) const { return gpr_[r].val; }
+    bool gprNat(int r) const { return gpr_[r].nat; }
+    void setGpr(int r, uint64_t val, bool nat = false);
+    bool pred(int p) const { return pred_[p]; }
+    void setPred(int p, bool v);
+    uint64_t brVal(int b) const { return br_[b]; }
+    uint64_t unat() const { return unat_; }
+
+    /** Built-in helpers: i-th argument register (r16+i). */
+    uint64_t arg(int i) const { return gpr_[reg::arg0 + i].val; }
+    bool argNat(int i) const { return gpr_[reg::arg0 + i].nat; }
+    void setRetval(uint64_t val, bool nat = false);
+
+    // ----- memory & layout ----------------------------------------------
+
+    Memory &memory() { return mem_; }
+    const Memory &memory() const { return mem_; }
+    Cache &dcache() { return dcache_; }
+
+    /** Address of a global by name; fatal if absent. */
+    uint64_t globalAddr(const std::string &name) const;
+
+    /** Grow the heap; returns the previous break. */
+    uint64_t sbrk(uint64_t bytes);
+
+    const Program &program() const { return *program_; }
+    const CpuFeatures &features() const { return features_; }
+    CycleModel &cycleModel() { return cycleModel_; }
+
+    /**
+     * Raise a NaT-consumption fault from a built-in or the OS (e.g. a
+     * tainted system-call argument). Stops the run.
+     */
+    void natConsumptionFault(FaultContext ctx, const std::string &detail);
+
+    /** Current function index / pc (for alert records and tests). */
+    int currentFunction() const { return curFunc_; }
+    uint64_t currentPc() const { return pc_; }
+
+  private:
+    struct Gpr
+    {
+        uint64_t val = 0;
+        bool nat = false;
+    };
+
+    struct Frame
+    {
+        int function;
+        uint64_t returnPc;
+    };
+
+    void layout();
+    void resolveLabels();
+    void reset();
+
+    /** Execute one instruction; updates pc/cycles; may set stop state. */
+    void step();
+
+    void execAlu(const Instr &instr);
+    void execCmp(const Instr &instr);
+    void execLd(const Instr &instr);
+    void execSt(const Instr &instr);
+    void doCall(int funcIndex);
+    void doBuiltinOrFault(const Instr &instr);
+
+    /** Source-2 value for reg-or-imm operands. */
+    uint64_t src2Val(const Instr &instr) const;
+    bool src2Nat(const Instr &instr) const;
+
+    void setFault(FaultKind kind, FaultContext ctx, uint64_t addr,
+                  const std::string &detail);
+    void chargeCycles(const Instr &instr, uint64_t cycles);
+    void chargeMemAccess(const Instr &instr, uint64_t addr, bool isLoad);
+
+    const Program *program_;
+    CpuFeatures features_;
+    CycleModel cycleModel_;
+
+    Memory mem_;
+    Cache dcache_;
+
+    std::array<Gpr, kNumGpr> gpr_{};
+    std::array<bool, kNumPred> pred_{};
+    std::array<uint64_t, kNumBr> br_{};
+    uint64_t unat_ = 0;
+
+    int curFunc_ = -1;
+    uint64_t pc_ = 0;
+    std::vector<Frame> callStack_;
+
+    // Label position tables: labelPos_[func][label] = instruction index.
+    std::vector<std::vector<int32_t>> labelPos_;
+
+    std::map<std::string, uint64_t> globalAddr_;
+    uint64_t heapBreak_ = 0;
+    uint64_t heapLimit_ = 0;
+
+    std::map<std::string, BuiltinFn> builtins_;
+    SyscallFn syscall_;
+    NatFaultHandler natFault_;
+    TraceFn trace_;
+
+    // Run state.
+    bool stopped_ = false;
+    bool exited_ = false;
+    int64_t exitCode_ = 0;
+    Fault fault_;
+    std::vector<SecurityAlert> alerts_;
+    bool killedByPolicy_ = false;
+
+    // Accounting.
+    static constexpr int kNumProv = 8;
+    static constexpr int kNumClass = 4;
+    uint64_t cycles_ = 0;
+    uint64_t osCycles_ = 0;
+    uint64_t instrs_ = 0;
+    uint64_t cyclesBy_[kNumProv][kNumClass] = {};
+    uint64_t instrsBy_[kNumProv][kNumClass] = {};
+    uint64_t loadCount_ = 0;
+    uint64_t storeCount_ = 0;
+    int lastLoadDst_ = -1; ///< destination of the previous instruction
+                           ///< when it was a load (for use stalls)
+    uint64_t stallCycles_ = 0;
+};
+
+} // namespace shift
+
+#endif // SHIFT_SIM_MACHINE_HH

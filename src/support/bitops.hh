@@ -1,0 +1,72 @@
+/**
+ * @file
+ * Small bit-manipulation helpers used across the simulator.
+ */
+
+#ifndef SHIFT_SUPPORT_BITOPS_HH
+#define SHIFT_SUPPORT_BITOPS_HH
+
+#include <cstdint>
+
+namespace shift
+{
+
+/** Extract bits [hi:lo] (inclusive) of a 64-bit value. */
+constexpr uint64_t
+bits(uint64_t value, unsigned hi, unsigned lo)
+{
+    uint64_t width = hi - lo + 1;
+    uint64_t mask = width >= 64 ? ~0ULL : ((1ULL << width) - 1);
+    return (value >> lo) & mask;
+}
+
+/** Test a single bit. */
+constexpr bool
+bit(uint64_t value, unsigned n)
+{
+    return (value >> n) & 1ULL;
+}
+
+/** Set or clear bit n of value. */
+constexpr uint64_t
+insertBit(uint64_t value, unsigned n, bool b)
+{
+    uint64_t mask = 1ULL << n;
+    return b ? (value | mask) : (value & ~mask);
+}
+
+/** A mask of n low bits. */
+constexpr uint64_t
+lowMask(unsigned n)
+{
+    return n >= 64 ? ~0ULL : ((1ULL << n) - 1);
+}
+
+/** Sign-extend the low `width` bits of value to 64 bits. */
+constexpr int64_t
+signExtend(uint64_t value, unsigned width)
+{
+    if (width >= 64)
+        return static_cast<int64_t>(value);
+    uint64_t sign = 1ULL << (width - 1);
+    uint64_t masked = value & lowMask(width);
+    return static_cast<int64_t>((masked ^ sign) - sign);
+}
+
+/** Round x up to a multiple of align (align must be a power of two). */
+constexpr uint64_t
+roundUp(uint64_t x, uint64_t align)
+{
+    return (x + align - 1) & ~(align - 1);
+}
+
+/** True when x is a power of two (and nonzero). */
+constexpr bool
+isPowerOf2(uint64_t x)
+{
+    return x != 0 && (x & (x - 1)) == 0;
+}
+
+} // namespace shift
+
+#endif // SHIFT_SUPPORT_BITOPS_HH

@@ -1,0 +1,225 @@
+#include "config.hh"
+
+#include <cctype>
+#include <fstream>
+#include <sstream>
+
+#include "logging.hh"
+
+namespace shift
+{
+
+std::string
+trim(const std::string &s)
+{
+    size_t b = 0;
+    size_t e = s.size();
+    while (b < e && std::isspace(static_cast<unsigned char>(s[b])))
+        ++b;
+    while (e > b && std::isspace(static_cast<unsigned char>(s[e - 1])))
+        --e;
+    return s.substr(b, e - b);
+}
+
+bool
+iequals(const std::string &a, const std::string &b)
+{
+    if (a.size() != b.size())
+        return false;
+    for (size_t i = 0; i < a.size(); ++i) {
+        if (std::tolower(static_cast<unsigned char>(a[i])) !=
+            std::tolower(static_cast<unsigned char>(b[i])))
+            return false;
+    }
+    return true;
+}
+
+std::vector<std::string>
+splitTrim(const std::string &s, char delim)
+{
+    std::vector<std::string> out;
+    std::string cur;
+    for (char c : s) {
+        if (c == delim) {
+            out.push_back(trim(cur));
+            cur.clear();
+        } else {
+            cur.push_back(c);
+        }
+    }
+    out.push_back(trim(cur));
+    return out;
+}
+
+Config
+Config::parse(const std::string &text)
+{
+    Config cfg;
+    std::istringstream in(text);
+    std::string line;
+    std::string section;
+    int lineno = 0;
+    while (std::getline(in, line)) {
+        ++lineno;
+        // Strip comments introduced by '#' or ';'.
+        size_t hash = line.find_first_of("#;");
+        if (hash != std::string::npos)
+            line = line.substr(0, hash);
+        line = trim(line);
+        if (line.empty())
+            continue;
+        if (line.front() == '[') {
+            if (line.back() != ']')
+                SHIFT_FATAL("config line %d: unterminated section header",
+                            lineno);
+            section = trim(line.substr(1, line.size() - 2));
+            if (section.empty())
+                SHIFT_FATAL("config line %d: empty section name", lineno);
+            cfg.getOrCreateSection(section);
+            continue;
+        }
+        size_t eq = line.find('=');
+        if (eq == std::string::npos)
+            SHIFT_FATAL("config line %d: expected 'key = value'", lineno);
+        std::string key = trim(line.substr(0, eq));
+        std::string value = trim(line.substr(eq + 1));
+        if (key.empty())
+            SHIFT_FATAL("config line %d: empty key", lineno);
+        cfg.set(section, key, value);
+    }
+    return cfg;
+}
+
+Config
+Config::parseFile(const std::string &path)
+{
+    std::ifstream in(path);
+    if (!in)
+        SHIFT_FATAL("cannot open config file '%s'", path.c_str());
+    std::ostringstream ss;
+    ss << in.rdbuf();
+    return parse(ss.str());
+}
+
+const Config::Section *
+Config::findSection(const std::string &name) const
+{
+    for (const auto &sec : sections_) {
+        if (iequals(sec.name, name))
+            return &sec;
+    }
+    return nullptr;
+}
+
+Config::Section &
+Config::getOrCreateSection(const std::string &name)
+{
+    for (auto &sec : sections_) {
+        if (iequals(sec.name, name))
+            return sec;
+    }
+    sections_.push_back(Section{name, {}});
+    return sections_.back();
+}
+
+bool
+Config::has(const std::string &section, const std::string &key) const
+{
+    const Section *sec = findSection(section);
+    if (!sec)
+        return false;
+    for (const auto &kv : sec->entries) {
+        if (iequals(kv.first, key))
+            return true;
+    }
+    return false;
+}
+
+std::string
+Config::get(const std::string &section, const std::string &key,
+            const std::string &dflt) const
+{
+    const Section *sec = findSection(section);
+    if (!sec)
+        return dflt;
+    for (const auto &kv : sec->entries) {
+        if (iequals(kv.first, key))
+            return kv.second;
+    }
+    return dflt;
+}
+
+bool
+Config::getBool(const std::string &section, const std::string &key,
+                bool dflt) const
+{
+    if (!has(section, key))
+        return dflt;
+    std::string v = get(section, key);
+    if (iequals(v, "on") || iequals(v, "true") || iequals(v, "yes") ||
+        v == "1")
+        return true;
+    if (iequals(v, "off") || iequals(v, "false") || iequals(v, "no") ||
+        v == "0")
+        return false;
+    SHIFT_FATAL("config %s.%s: '%s' is not a boolean", section.c_str(),
+                key.c_str(), v.c_str());
+}
+
+int64_t
+Config::getInt(const std::string &section, const std::string &key,
+               int64_t dflt) const
+{
+    if (!has(section, key))
+        return dflt;
+    std::string v = get(section, key);
+    try {
+        size_t pos = 0;
+        int64_t result = std::stoll(v, &pos, 0);
+        if (pos != v.size())
+            throw std::invalid_argument(v);
+        return result;
+    } catch (const std::exception &) {
+        SHIFT_FATAL("config %s.%s: '%s' is not an integer",
+                    section.c_str(), key.c_str(), v.c_str());
+    }
+}
+
+void
+Config::set(const std::string &section, const std::string &key,
+            const std::string &value)
+{
+    Section &sec = getOrCreateSection(section);
+    for (auto &kv : sec.entries) {
+        if (iequals(kv.first, key)) {
+            kv.second = value;
+            return;
+        }
+    }
+    sec.entries.emplace_back(key, value);
+}
+
+std::vector<std::string>
+Config::keys(const std::string &section) const
+{
+    std::vector<std::string> out;
+    const Section *sec = findSection(section);
+    if (!sec)
+        return out;
+    out.reserve(sec->entries.size());
+    for (const auto &kv : sec->entries)
+        out.push_back(kv.first);
+    return out;
+}
+
+std::vector<std::string>
+Config::sections() const
+{
+    std::vector<std::string> out;
+    out.reserve(sections_.size());
+    for (const auto &sec : sections_)
+        out.push_back(sec.name);
+    return out;
+}
+
+} // namespace shift

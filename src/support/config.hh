@@ -1,0 +1,91 @@
+/**
+ * @file
+ * INI-style configuration files.
+ *
+ * SHIFT assigns security policy in software: "Users specify policies by
+ * writing a simple configuration file, which is then read by SHIFT to
+ * control the process of instrumentation" (paper section 4.2). This
+ * parser supports the format used throughout the repository:
+ *
+ *     # comment
+ *     [sources]
+ *     network = taint
+ *     [policies]
+ *     H1 = on
+ *     [wrap]
+ *     strcpy = copy(0, 1)
+ */
+
+#ifndef SHIFT_SUPPORT_CONFIG_HH
+#define SHIFT_SUPPORT_CONFIG_HH
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace shift
+{
+
+/** Parsed key/value configuration grouped into sections. */
+class Config
+{
+  public:
+    Config() = default;
+
+    /** Parse configuration text; throws FatalError on syntax errors. */
+    static Config parse(const std::string &text);
+
+    /** Parse a configuration file from disk. */
+    static Config parseFile(const std::string &path);
+
+    /** True when section.key exists. */
+    bool has(const std::string &section, const std::string &key) const;
+
+    /** Fetch section.key, or dflt when absent. */
+    std::string get(const std::string &section, const std::string &key,
+                    const std::string &dflt = "") const;
+
+    /** Fetch a boolean ("on"/"off", "true"/"false", "1"/"0", "yes"/"no"). */
+    bool getBool(const std::string &section, const std::string &key,
+                 bool dflt = false) const;
+
+    /** Fetch an integer (decimal or 0x-hex); throws on malformed values. */
+    int64_t getInt(const std::string &section, const std::string &key,
+                   int64_t dflt = 0) const;
+
+    /** Set section.key = value (used to build configs programmatically). */
+    void set(const std::string &section, const std::string &key,
+             const std::string &value);
+
+    /** All keys of a section in file order. */
+    std::vector<std::string> keys(const std::string &section) const;
+
+    /** All section names in file order. */
+    std::vector<std::string> sections() const;
+
+  private:
+    struct Section
+    {
+        std::string name;
+        std::vector<std::pair<std::string, std::string>> entries;
+    };
+
+    const Section *findSection(const std::string &name) const;
+    Section &getOrCreateSection(const std::string &name);
+
+    std::vector<Section> sections_;
+};
+
+/** Trim leading/trailing whitespace. */
+std::string trim(const std::string &s);
+
+/** Case-insensitive ASCII string equality. */
+bool iequals(const std::string &a, const std::string &b);
+
+/** Split on a delimiter character; pieces are trimmed. */
+std::vector<std::string> splitTrim(const std::string &s, char delim);
+
+} // namespace shift
+
+#endif // SHIFT_SUPPORT_CONFIG_HH

@@ -1,0 +1,72 @@
+#include "logging.hh"
+
+#include <cstdarg>
+#include <vector>
+
+namespace shift
+{
+
+namespace
+{
+bool verboseOutput = true;
+} // namespace
+
+namespace detail
+{
+
+std::string
+formatMessage(const char *fmt, ...)
+{
+    va_list ap;
+    va_start(ap, fmt);
+    va_list ap2;
+    va_copy(ap2, ap);
+    int n = std::vsnprintf(nullptr, 0, fmt, ap);
+    va_end(ap);
+    if (n < 0) {
+        va_end(ap2);
+        return fmt;
+    }
+    std::vector<char> buf(static_cast<size_t>(n) + 1);
+    std::vsnprintf(buf.data(), buf.size(), fmt, ap2);
+    va_end(ap2);
+    return std::string(buf.data(), static_cast<size_t>(n));
+}
+
+} // namespace detail
+
+void
+panicImpl(const char *file, int line, const std::string &msg)
+{
+    std::fprintf(stderr, "panic: %s (%s:%d)\n", msg.c_str(), file, line);
+    std::abort();
+}
+
+void
+fatalImpl(const char *file, int line, const std::string &msg)
+{
+    throw FatalError(detail::formatMessage("%s (%s:%d)", msg.c_str(),
+                                           file, line));
+}
+
+void
+warnImpl(const std::string &msg)
+{
+    if (verboseOutput)
+        std::fprintf(stderr, "warn: %s\n", msg.c_str());
+}
+
+void
+informImpl(const std::string &msg)
+{
+    if (verboseOutput)
+        std::fprintf(stderr, "info: %s\n", msg.c_str());
+}
+
+void
+setVerbose(bool verbose)
+{
+    verboseOutput = verbose;
+}
+
+} // namespace shift

@@ -1,0 +1,74 @@
+/**
+ * @file
+ * Error-reporting and diagnostic helpers in the gem5 style.
+ *
+ * panic()  - an internal invariant was violated (simulator bug); aborts.
+ * fatal()  - the user asked for something impossible (bad config, bad
+ *            source program); throws FatalError so callers/tests can
+ *            observe it.
+ * warn()   - something is suspicious but simulation can continue.
+ * inform() - status messages.
+ */
+
+#ifndef SHIFT_SUPPORT_LOGGING_HH
+#define SHIFT_SUPPORT_LOGGING_HH
+
+#include <cstdio>
+#include <cstdlib>
+#include <stdexcept>
+#include <string>
+
+namespace shift
+{
+
+/** Exception thrown by fatal(): a user-level, recoverable error. */
+class FatalError : public std::runtime_error
+{
+  public:
+    explicit FatalError(const std::string &msg) : std::runtime_error(msg) {}
+};
+
+namespace detail
+{
+std::string formatMessage(const char *fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+} // namespace detail
+
+/** Abort with a message: an internal simulator bug. */
+[[noreturn]] void panicImpl(const char *file, int line,
+                            const std::string &msg);
+
+/** Throw FatalError: a user error (bad config, malformed program...). */
+[[noreturn]] void fatalImpl(const char *file, int line,
+                            const std::string &msg);
+
+/** Print a warning to stderr. */
+void warnImpl(const std::string &msg);
+
+/** Print a status message to stderr. */
+void informImpl(const std::string &msg);
+
+/** Toggle warn()/inform() output (tests silence it). */
+void setVerbose(bool verbose);
+
+#define SHIFT_PANIC(...) \
+    ::shift::panicImpl(__FILE__, __LINE__, \
+                       ::shift::detail::formatMessage(__VA_ARGS__))
+#define SHIFT_FATAL(...) \
+    ::shift::fatalImpl(__FILE__, __LINE__, \
+                       ::shift::detail::formatMessage(__VA_ARGS__))
+#define SHIFT_WARN(...) \
+    ::shift::warnImpl(::shift::detail::formatMessage(__VA_ARGS__))
+#define SHIFT_INFORM(...) \
+    ::shift::informImpl(::shift::detail::formatMessage(__VA_ARGS__))
+
+/** panic() unless a condition holds. */
+#define SHIFT_ASSERT(cond, ...) \
+    do { \
+        if (!(cond)) \
+            SHIFT_PANIC("assertion failed: %s", #cond); \
+    } while (0)
+
+} // namespace shift
+
+#endif // SHIFT_SUPPORT_LOGGING_HH

@@ -1,0 +1,53 @@
+#include "stats.hh"
+
+#include <sstream>
+
+namespace shift
+{
+
+void
+StatSet::add(const std::string &name, uint64_t delta)
+{
+    counters_[name] += delta;
+}
+
+uint64_t
+StatSet::get(const std::string &name) const
+{
+    auto it = counters_.find(name);
+    return it == counters_.end() ? 0 : it->second;
+}
+
+void
+StatSet::clear()
+{
+    counters_.clear();
+}
+
+std::vector<std::string>
+StatSet::names() const
+{
+    std::vector<std::string> out;
+    out.reserve(counters_.size());
+    for (const auto &kv : counters_)
+        out.push_back(kv.first);
+    return out;
+}
+
+std::string
+StatSet::dump() const
+{
+    std::ostringstream ss;
+    for (const auto &kv : counters_)
+        ss << kv.first << " = " << kv.second << "\n";
+    return ss.str();
+}
+
+void
+StatSet::merge(const StatSet &other)
+{
+    for (const auto &kv : other.counters_)
+        counters_[kv.first] += kv.second;
+}
+
+} // namespace shift

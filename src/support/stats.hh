@@ -1,0 +1,49 @@
+/**
+ * @file
+ * A tiny named-counter statistics registry.
+ *
+ * Simulator components register scalar counters here; benchmark
+ * harnesses read them back by name to compute slowdowns and overhead
+ * breakdowns (paper figures 7-9).
+ */
+
+#ifndef SHIFT_SUPPORT_STATS_HH
+#define SHIFT_SUPPORT_STATS_HH
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace shift
+{
+
+/** A bag of named 64-bit counters. */
+class StatSet
+{
+  public:
+    /** Add delta to the named counter (created at zero on first use). */
+    void add(const std::string &name, uint64_t delta = 1);
+
+    /** Read a counter; absent counters read as zero. */
+    uint64_t get(const std::string &name) const;
+
+    /** Reset every counter to zero. */
+    void clear();
+
+    /** Names in sorted order, for dumping. */
+    std::vector<std::string> names() const;
+
+    /** Render "name = value" lines. */
+    std::string dump() const;
+
+    /** Merge another set into this one (counter-wise sum). */
+    void merge(const StatSet &other);
+
+  private:
+    std::map<std::string, uint64_t> counters_;
+};
+
+} // namespace shift
+
+#endif // SHIFT_SUPPORT_STATS_HH

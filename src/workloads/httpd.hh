@@ -1,0 +1,54 @@
+/**
+ * @file
+ * The Apache-like web-server workload (paper figure 6).
+ *
+ * A static-file HTTP server written in MiniC runs on the simulated OS;
+ * the harness queues `ab`-style requests for a file of a given size
+ * and measures per-request latency and aggregate throughput in
+ * simulated cycles. I/O costs are scaled to server-realistic values so
+ * the user-mode compute the SHIFT instrumentation inflates is a small
+ * slice of each request — which is the paper's whole point: ~1%
+ * overhead for I/O-bound servers, largest for the smallest files.
+ */
+
+#ifndef SHIFT_WORKLOADS_HTTPD_HH
+#define SHIFT_WORKLOADS_HTTPD_HH
+
+#include <cstdint>
+#include <string>
+
+#include "runtime/session.hh"
+
+namespace shift::workloads
+{
+
+/** Configuration of one server measurement. */
+struct HttpdConfig
+{
+    TrackingMode mode = TrackingMode::None;
+    Granularity granularity = Granularity::Byte;
+    CpuFeatures features;
+    uint64_t fileSize = 4 * 1024;  ///< served file size in bytes
+    int requests = 50;             ///< number of requests to serve
+};
+
+/** Measured result. */
+struct HttpdRun
+{
+    RunResult result;
+    uint64_t requestsServed = 0;
+    uint64_t totalCycles = 0;
+    double latencyCycles = 0;      ///< cycles per request
+    double throughput = 0;         ///< requests per giga-cycle
+    bool responsesOk = false;      ///< every response carried the file
+};
+
+/** The MiniC source of the server (exposed for tests/examples). */
+extern const char *const kHttpdSource;
+
+/** Run the server against `config.requests` queued connections. */
+HttpdRun runHttpd(const HttpdConfig &config);
+
+} // namespace shift::workloads
+
+#endif // SHIFT_WORKLOADS_HTTPD_HH

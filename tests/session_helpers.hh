@@ -1,0 +1,78 @@
+/**
+ * @file
+ * Shared helpers for tests that run MiniC programs through Session.
+ */
+
+#ifndef SHIFT_TESTS_SESSION_HELPERS_HH
+#define SHIFT_TESTS_SESSION_HELPERS_HH
+
+#include <string>
+
+#include "runtime/session.hh"
+
+namespace shift::testutil
+{
+
+/** Default policy: all sources tainted, all low-level policies on. */
+inline PolicyConfig
+defaultPolicy(Granularity granularity = Granularity::Byte)
+{
+    PolicyConfig policy;
+    policy.granularity = granularity;
+    return policy;
+}
+
+/** Build options for a SHIFT-tracked run. */
+inline SessionOptions
+shiftOptions(Granularity granularity = Granularity::Byte)
+{
+    SessionOptions options;
+    options.mode = TrackingMode::Shift;
+    options.policy = defaultPolicy(granularity);
+    return options;
+}
+
+/** Run a program under SHIFT and return the result. */
+inline RunResult
+runShift(const std::string &source,
+         Granularity granularity = Granularity::Byte,
+         std::function<void(Session &)> setup = {})
+{
+    Session session(source, shiftOptions(granularity));
+    if (setup)
+        setup(session);
+    return session.run();
+}
+
+/** Expect a clean exit with the given code. */
+#define EXPECT_EXIT_CODE(result, code) \
+    do { \
+        EXPECT_TRUE((result).exited) \
+            << "fault: " << faultKindName((result).fault.kind) << " (" \
+            << (result).fault.detail << ") alerts=" \
+            << (result).alerts.size() \
+            << ((result).alerts.empty() ? "" \
+                                        : " [" + (result).alerts[0].policy + \
+                                              ": " + \
+                                              (result).alerts[0].message + \
+                                              "]"); \
+        EXPECT_EQ((result).exitCode, (code)); \
+        EXPECT_TRUE((result).alerts.empty()); \
+    } while (0)
+
+/** Expect the run to have been stopped by the named policy. */
+#define EXPECT_POLICY_KILL(result, policyName) \
+    do { \
+        EXPECT_TRUE((result).killedByPolicy) \
+            << "exited=" << (result).exited << " code=" \
+            << (result).exitCode << " fault=" \
+            << faultKindName((result).fault.kind) << " (" \
+            << (result).fault.detail << ")"; \
+        ASSERT_FALSE((result).alerts.empty()); \
+        EXPECT_EQ((result).alerts.back().policy, (policyName)) \
+            << (result).alerts.back().message; \
+    } while (0)
+
+} // namespace shift::testutil
+
+#endif // SHIFT_TESTS_SESSION_HELPERS_HH

@@ -1,0 +1,350 @@
+/**
+ * @file
+ * Instrumentation-pass tests: the exact shapes of the figure-5
+ * sequences, option toggles (granularity, enhancements, relax rules),
+ * the zero-idiom purifier, and static accounting.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/instrument.hh"
+#include "lang/compiler.hh"
+#include "support/logging.hh"
+
+namespace shift
+{
+namespace
+{
+
+/** Compile a tiny module (no main needed) and instrument it. */
+Program
+instrumented(const std::string &source, const InstrumentOptions &options,
+             InstrumentStats *stats = nullptr)
+{
+    minic::CompileOptions copts;
+    copts.requireMain = false;
+    Program program = minic::compileProgram(source, copts);
+    InstrumentStats st = instrumentProgram(program, options);
+    if (stats)
+        *stats = st;
+    return program;
+}
+
+/** Count instructions of one opcode in a function. */
+int
+countOp(const Function &fn, Opcode op)
+{
+    int n = 0;
+    for (const Instr &instr : fn.code) {
+        if (instr.op == op)
+            ++n;
+    }
+    return n;
+}
+
+int
+countProv(const Function &fn, Provenance prov)
+{
+    int n = 0;
+    for (const Instr &instr : fn.code) {
+        if (instr.prov == prov && instr.op != Opcode::Label)
+            ++n;
+    }
+    return n;
+}
+
+const char *kOneLoad =
+    "long g; long f(long *p) { return *p; }";
+const char *kOneStore =
+    "long g; void f(long *p, long v) { *p = v; }";
+const char *kOneIntStore =
+    "int g; void f(int *p, int v) { *p = v; }";
+const char *kOneCompare =
+    "int f(long a, long b) { if (a < b) return 1; return 0; }";
+
+TEST(Instrument, LoadSequenceShape)
+{
+    for (Granularity g : {Granularity::Byte, Granularity::Word}) {
+        InstrumentOptions options;
+        options.granularity = g;
+        Program program = instrumented(kOneLoad, options);
+        const Function &fn =
+            program.functions[*program.findFunction("f")];
+
+        // Tag-address computation: the figure-4 fold appears.
+        EXPECT_GE(countOp(fn, Opcode::Extr), 2);
+        // Bitmap access: byte granularity reads two tag bytes
+        // (alignment-safe), word granularity one.
+        int tagLoads = 0;
+        for (const Instr &instr : fn.code) {
+            if (instr.op == Opcode::Ld &&
+                instr.prov == Provenance::TagMem)
+                ++tagLoads;
+        }
+        EXPECT_EQ(tagLoads, g == Granularity::Byte ? 2 : 1);
+        // The conditional re-taint rides on the tag predicate.
+        bool hasRetaint = false;
+        for (const Instr &instr : fn.code) {
+            if (instr.op == Opcode::Add && instr.qp != 0 &&
+                instr.r3 == reg::natSrc &&
+                instr.prov == Provenance::TagReg)
+                hasRetaint = true;
+        }
+        EXPECT_TRUE(hasRetaint);
+    }
+}
+
+TEST(Instrument, StoreBecomesSpillForm)
+{
+    InstrumentOptions options;
+    Program program = instrumented(kOneStore, options);
+    const Function &fn = program.functions[*program.findFunction("f")];
+    // The original 8-byte store is converted to st8.spill so a NaT
+    // source does not fault (figure 5, instruction 8)...
+    bool originalIsSpill = false;
+    for (const Instr &instr : fn.code) {
+        if (instr.op == Opcode::St &&
+            instr.prov == Provenance::Original && instr.size == 8)
+            originalIsSpill = instr.spill;
+    }
+    EXPECT_TRUE(originalIsSpill);
+    // ...and the source-register test uses tnat.
+    EXPECT_GE(countOp(fn, Opcode::Tnat), 1);
+}
+
+TEST(Instrument, SubWordStoreGetsRelaxCode)
+{
+    // There is no st4.spill on Itanium: narrow stores of possibly-NaT
+    // sources need the strip/re-taint relax sequence.
+    InstrumentOptions options;
+    Program program = instrumented(kOneIntStore, options);
+    const Function &fn = program.functions[*program.findFunction("f")];
+    EXPECT_GT(countProv(fn, Provenance::Relax), 0);
+    // The original st4 stays a plain store (only the allocator's own
+    // 8-byte register saves use the spill form).
+    for (const Instr &instr : fn.code) {
+        if (instr.op == Opcode::St &&
+            instr.prov == Provenance::Original && instr.size < 8) {
+            EXPECT_FALSE(instr.spill);
+        }
+    }
+}
+
+TEST(Instrument, CompareRelaxation)
+{
+    InstrumentOptions options;
+    InstrumentStats stats;
+    Program program = instrumented(kOneCompare, options, &stats);
+    const Function &fn = program.functions[*program.findFunction("f")];
+    EXPECT_EQ(stats.compares, 1u);
+    // Strip-NaT uses spill + plain reload around the compare.
+    EXPECT_GT(countProv(fn, Provenance::Relax), 0);
+    int spills = 0;
+    for (const Instr &instr : fn.code) {
+        if (instr.op == Opcode::St && instr.spill &&
+            instr.prov == Provenance::Relax)
+            ++spills;
+    }
+    EXPECT_EQ(spills, 2); // both operands stripped
+}
+
+TEST(Instrument, NatAwareCompareReplacesRelaxation)
+{
+    InstrumentOptions options;
+    options.natAwareCompare = true;
+    Program program = instrumented(kOneCompare, options);
+    const Function &fn = program.functions[*program.findFunction("f")];
+    EXPECT_EQ(countOp(fn, Opcode::CmpNat), 1);
+    EXPECT_EQ(countOp(fn, Opcode::Cmp), 0);
+    EXPECT_EQ(countProv(fn, Provenance::Relax), 0);
+}
+
+TEST(Instrument, SetClearNatShortensStripSequences)
+{
+    InstrumentOptions plain;
+    InstrumentStats plainStats;
+    instrumented(kOneCompare, plain, &plainStats);
+
+    InstrumentOptions enhanced;
+    enhanced.natSetClear = true;
+    InstrumentStats enhancedStats;
+    Program program = instrumented(kOneCompare, enhanced,
+                                   &enhancedStats);
+    EXPECT_LT(enhancedStats.newSize, plainStats.newSize);
+    const Function &fn = program.functions[*program.findFunction("f")];
+    EXPECT_GE(countOp(fn, Opcode::Clrnat), 2);
+}
+
+TEST(Instrument, EntryGetsNatSourceInit)
+{
+    InstrumentOptions options;
+    Program program = instrumented(
+        "int main() { return 0; } int other() { return 1; }", options);
+    const Function &entry =
+        program.functions[*program.findFunction("main")];
+    EXPECT_GT(countProv(entry, Provenance::NatGen), 0);
+    // The manufacture uses a speculative load from the invalid address.
+    bool specLoad = false;
+    for (const Instr &instr : entry.code) {
+        if (instr.op == Opcode::Ld && instr.spec &&
+            instr.prov == Provenance::NatGen)
+            specLoad = true;
+    }
+    EXPECT_TRUE(specLoad);
+    const Function &other =
+        program.functions[*program.findFunction("other")];
+    EXPECT_EQ(countProv(other, Provenance::NatGen), 0);
+}
+
+TEST(Instrument, SpillTrafficIsNotInstrumented)
+{
+    // Register-allocator spill/fill already preserves NaT; the pass
+    // must leave it alone. Force spills with many live values.
+    std::string src = "int f() {";
+    for (int i = 0; i < 24; ++i)
+        src += "int v" + std::to_string(i) + " = " + std::to_string(i) +
+               ";";
+    src += "int s = 0;";
+    for (int i = 0; i < 24; ++i)
+        src += "s += v" + std::to_string(i) + ";";
+    src += "return s; }";
+
+    InstrumentOptions options;
+    Program program = instrumented(src, options);
+    const Function &fn = program.functions[*program.findFunction("f")];
+    for (size_t i = 0; i < fn.code.size(); ++i) {
+        const Instr &instr = fn.code[i];
+        if (instr.op == Opcode::Ld && instr.fill) {
+            // No tag lookup may precede a fill: the instruction before
+            // it must be the address computation, not tagmem code.
+            ASSERT_GT(i, 0u);
+            EXPECT_NE(fn.code[i - 1].prov, Provenance::TagMem);
+        }
+    }
+}
+
+TEST(Instrument, ZeroIdiomPurifies)
+{
+    // Build xor r,r,r by hand (the compiler never emits it).
+    Program program;
+    Function fn;
+    fn.name = "main";
+    fn.code.push_back(makeAlu(Opcode::Xor, 4, 4, 4));
+    Instr ret;
+    ret.op = Opcode::BrRet;
+    fn.code.push_back(ret);
+    program.addFunction(std::move(fn));
+
+    InstrumentOptions options;
+    InstrumentStats stats = instrumentProgram(program, options);
+    EXPECT_EQ(stats.purifies, 1u);
+    // Purify code follows the idiom.
+    const Function &out = program.functions[0];
+    EXPECT_GT(countProv(out, Provenance::TagReg), 0);
+}
+
+TEST(Instrument, RelaxRulesSuppressAddressFaultPath)
+{
+    InstrumentOptions options;
+    options.relaxLoadFunctions = {"f"};
+    Program program = instrumented(kOneLoad, options);
+    const Function &fn = program.functions[*program.findFunction("f")];
+    // The relaxed load path carries Relax-provenance strip/restore.
+    EXPECT_GT(countProv(fn, Provenance::Relax), 0);
+
+    InstrumentOptions off;
+    Program program2 = instrumented(kOneLoad, off);
+    const Function &fn2 =
+        program2.functions[*program2.findFunction("f")];
+    EXPECT_EQ(countProv(fn2, Provenance::Relax), 0);
+}
+
+TEST(Instrument, AblationTogglesDropWork)
+{
+    InstrumentOptions all;
+    InstrumentStats allStats;
+    instrumented(kOneLoad, all, &allStats);
+    EXPECT_EQ(allStats.loads, 1u);
+
+    InstrumentOptions noLoads;
+    noLoads.instrumentLoads = false;
+    InstrumentStats noLoadStats;
+    instrumented(kOneLoad, noLoads, &noLoadStats);
+    EXPECT_EQ(noLoadStats.loads, 0u);
+    EXPECT_LT(noLoadStats.newSize, allStats.newSize);
+}
+
+TEST(Instrument, StatsAccounting)
+{
+    InstrumentOptions options;
+    InstrumentStats stats;
+    instrumented("int g[4];"
+                 "int f(int i) { g[0] = i; if (g[1] > 2) return g[2];"
+                 " return 0; }",
+                 options, &stats);
+    EXPECT_GE(stats.loads, 2u);
+    EXPECT_GE(stats.stores, 1u);
+    EXPECT_GE(stats.compares, 1u);
+    EXPECT_EQ(stats.newSize, stats.originalSize + stats.added);
+}
+
+TEST(Instrument, TagAddressReuseShrinksAdjacentAccesses)
+{
+    // A read-modify-write through one pointer: the store can reuse the
+    // load's tag-address fold (paper section 6.4).
+    const char *src = "void f(long *p) { *p = *p + 1; }";
+    InstrumentOptions plain;
+    InstrumentStats plainStats;
+    instrumented(src, plain, &plainStats);
+
+    InstrumentOptions cse;
+    cse.reuseTagAddr = true;
+    InstrumentStats cseStats;
+    instrumented(src, cse, &cseStats);
+
+    EXPECT_LT(cseStats.newSize, plainStats.newSize);
+    // Exactly one 4-instruction fold is saved.
+    EXPECT_EQ(plainStats.newSize - cseStats.newSize, 4u);
+}
+
+TEST(Instrument, TagAddressReuseInvalidatedByRedefinition)
+{
+    // The pointer is rewritten between the accesses: no reuse allowed.
+    const char *src =
+        "void f(long *p, long *q) { *p = 1; p = q; *p = 2; }";
+    InstrumentOptions plain;
+    InstrumentStats plainStats;
+    instrumented(src, plain, &plainStats);
+    InstrumentOptions cse;
+    cse.reuseTagAddr = true;
+    InstrumentStats cseStats;
+    instrumented(src, cse, &cseStats);
+    EXPECT_EQ(cseStats.newSize, plainStats.newSize);
+}
+
+TEST(Instrument, RejectsVirtualRegisters)
+{
+    Program program;
+    Function fn;
+    fn.name = "main";
+    fn.code.push_back(makeMovi(200, 1)); // virtual register
+    program.addFunction(std::move(fn));
+    InstrumentOptions options;
+    EXPECT_THROW(instrumentProgram(program, options), FatalError);
+}
+
+TEST(Instrument, Idempotence)
+{
+    // Instrumenting an already-instrumented program only touches
+    // Original instructions, so a second pass re-instruments only the
+    // original loads/stores/compares, not the synthesized ones.
+    InstrumentOptions options;
+    InstrumentStats first;
+    Program program = instrumented(kOneLoad, options, &first);
+    InstrumentStats second = instrumentProgram(program, options);
+    EXPECT_EQ(second.loads, first.loads);
+    EXPECT_EQ(second.compares, first.compares);
+}
+
+} // namespace
+} // namespace shift

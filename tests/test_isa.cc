@@ -1,0 +1,134 @@
+/**
+ * @file
+ * ISA tests: disassembly golden strings, instruction predicates,
+ * program containers, function descriptors and the global layout.
+ */
+
+#include <gtest/gtest.h>
+
+#include "isa/instruction.hh"
+#include "isa/program.hh"
+
+namespace shift
+{
+namespace
+{
+
+TEST(Disasm, GoldenStrings)
+{
+    EXPECT_EQ(disassemble(makeAlu(Opcode::Add, 4, 5, 6)),
+              "add r4 = r5, r6");
+    EXPECT_EQ(disassemble(makeAluImm(Opcode::Shl, 4, 5, 3)),
+              "shl r4 = r5, 3");
+    EXPECT_EQ(disassemble(makeMovi(7, -9)), "movl r7 = -9");
+    EXPECT_EQ(disassemble(makeMov(2, 3)), "mov r2 = r3");
+    EXPECT_EQ(disassemble(makeCmp(CmpRel::LtU, 1, 2, 3, 4)),
+              "cmp.ltu p1, p2 = r3, r4");
+    EXPECT_EQ(disassemble(makeLd(4, 5, 1)), "ld1 r4 = [r5]");
+    EXPECT_EQ(disassemble(makeSt(5, 4, 8)), "st8 [r5] = r4");
+    EXPECT_EQ(disassemble(makeExtr(4, 5, 61, 3)),
+              "extr.u r4 = r5, 61, 3");
+    EXPECT_EQ(disassemble(makeShladd(4, 5, 3, 6)),
+              "shladd r4 = r5, 3, r6");
+    EXPECT_EQ(disassemble(makeBr(3)), "br L3");
+    EXPECT_EQ(disassemble(makeLabel(3)), "L3:");
+    EXPECT_EQ(disassemble(makeCall("strcpy")), "br.call strcpy");
+}
+
+TEST(Disasm, Modifiers)
+{
+    Instr lds = makeLd(4, 5, 8);
+    lds.spec = true;
+    EXPECT_EQ(disassemble(lds), "ld8.s r4 = [r5]");
+    Instr fill = makeLd(4, 5, 8);
+    fill.fill = true;
+    EXPECT_EQ(disassemble(fill), "ld8.fill r4 = [r5]");
+    Instr spill = makeSt(5, 4, 8);
+    spill.spill = true;
+    EXPECT_EQ(disassemble(spill), "st8.spill [r5] = r4");
+    Instr pred = makeMovi(4, 1);
+    pred.qp = 12;
+    EXPECT_EQ(disassemble(pred), "(p12) movl r4 = 1");
+    Instr chk;
+    chk.op = Opcode::Chk;
+    chk.r2 = 9;
+    chk.imm = 2;
+    EXPECT_EQ(disassemble(chk), "chk.s r9, L2");
+}
+
+TEST(Isa, Predicates)
+{
+    EXPECT_TRUE(isLoad(makeLd(1, 2, 8)));
+    EXPECT_FALSE(isLoad(makeSt(1, 2, 8)));
+    EXPECT_TRUE(isStore(makeSt(1, 2, 8)));
+    EXPECT_TRUE(isAlu(makeAlu(Opcode::Xor, 1, 2, 3)));
+    EXPECT_TRUE(isAlu(makeMovi(1, 0)));
+    EXPECT_FALSE(isAlu(makeLd(1, 2, 8)));
+    EXPECT_TRUE(isBranch(makeBr(0)));
+    EXPECT_TRUE(isBranch(makeCall("f")));
+    EXPECT_FALSE(isBranch(makeMov(1, 2)));
+}
+
+TEST(Program, FunctionLookup)
+{
+    Program program;
+    Function a;
+    a.name = "alpha";
+    Function b;
+    b.name = "beta";
+    program.addFunction(std::move(a));
+    program.addFunction(std::move(b));
+    EXPECT_EQ(program.findFunction("beta"), 1);
+    EXPECT_FALSE(program.findFunction("gamma").has_value());
+}
+
+TEST(Program, StaticInstrCountSkipsLabels)
+{
+    Function fn;
+    fn.code.push_back(makeLabel(0));
+    fn.code.push_back(makeMovi(4, 1));
+    fn.code.push_back(makeLabel(1));
+    fn.code.push_back(makeMov(5, 4));
+    EXPECT_EQ(Program::staticInstrCount(fn), 2u);
+}
+
+TEST(Program, FunctionDescriptors)
+{
+    EXPECT_EQ(funcIndexForDesc(funcDescAddr(0), 4), 0);
+    EXPECT_EQ(funcIndexForDesc(funcDescAddr(3), 4), 3);
+    EXPECT_FALSE(funcIndexForDesc(funcDescAddr(4), 4).has_value());
+    EXPECT_FALSE(funcIndexForDesc(funcDescAddr(0) + 1, 4).has_value());
+    EXPECT_FALSE(funcIndexForDesc(0, 4).has_value());
+    EXPECT_EQ(regionOf(funcDescAddr(0)), kCodeRegion);
+}
+
+TEST(Program, GlobalLayoutIsAlignedAndOrdered)
+{
+    Program program;
+    for (uint64_t size : {1, 24, 8, 100}) {
+        GlobalDef g;
+        g.name = "g" + std::to_string(size);
+        g.size = size;
+        program.globals.push_back(g);
+    }
+    GlobalLayout layout = computeGlobalLayout(program);
+    uint64_t prevEnd = kGlobalBase;
+    for (const GlobalDef &g : program.globals) {
+        uint64_t addr = layout.addr.at(g.name);
+        EXPECT_EQ(addr % 16, 0u);
+        EXPECT_GE(addr, prevEnd);
+        prevEnd = addr + g.size;
+    }
+    EXPECT_GE(layout.end, prevEnd);
+}
+
+TEST(Program, LabelAllocation)
+{
+    Function fn;
+    EXPECT_EQ(fn.newLabel(), 0);
+    EXPECT_EQ(fn.newLabel(), 1);
+    EXPECT_EQ(fn.nextLabel, 2);
+}
+
+} // namespace
+} // namespace shift

@@ -1,0 +1,256 @@
+/**
+ * @file
+ * Memory-system tests: sparse paging, the spill/fill NaT sidecar,
+ * Itanium-style regions and unimplemented-bit holes, the figure-4 tag
+ * address mapping, and the L1D model.
+ */
+
+#include <gtest/gtest.h>
+
+#include <random>
+
+#include "mem/address_space.hh"
+#include "mem/cache.hh"
+#include "mem/memory.hh"
+
+namespace shift
+{
+namespace
+{
+
+constexpr uint64_t kBase = regionBase(kDataRegion) + 0x4000;
+
+TEST(Memory, ReadWriteAllSizes)
+{
+    Memory mem;
+    mem.map(kBase, 4096);
+    for (unsigned size : {1u, 2u, 4u, 8u}) {
+        uint64_t value = 0x1122334455667788ULL;
+        ASSERT_EQ(mem.write(kBase + 64, size, value), MemFault::None);
+        uint64_t out = 0;
+        ASSERT_EQ(mem.read(kBase + 64, size, out), MemFault::None);
+        uint64_t mask = size == 8 ? ~0ULL : ((1ULL << (8 * size)) - 1);
+        EXPECT_EQ(out, value & mask) << size;
+    }
+}
+
+TEST(Memory, LittleEndianLayout)
+{
+    Memory mem;
+    mem.map(kBase, 4096);
+    mem.write(kBase, 4, 0xAABBCCDD);
+    uint64_t byte = 0;
+    mem.read(kBase, 1, byte);
+    EXPECT_EQ(byte, 0xDDu);
+    mem.read(kBase + 3, 1, byte);
+    EXPECT_EQ(byte, 0xAAu);
+}
+
+TEST(Memory, CrossPageAccess)
+{
+    Memory mem;
+    mem.map(kBase, 2 * Memory::kPageSize);
+    uint64_t addr = kBase + Memory::kPageSize - 3;
+    ASSERT_EQ(mem.write(addr, 8, 0x0102030405060708ULL),
+              MemFault::None);
+    uint64_t out = 0;
+    ASSERT_EQ(mem.read(addr, 8, out), MemFault::None);
+    EXPECT_EQ(out, 0x0102030405060708ULL);
+}
+
+TEST(Memory, UnmappedAccessFaults)
+{
+    Memory mem;
+    uint64_t out;
+    EXPECT_EQ(mem.read(kBase, 8, out), MemFault::Unmapped);
+    EXPECT_EQ(mem.write(kBase, 8, 1), MemFault::Unmapped);
+    mem.map(kBase, 16);
+    EXPECT_EQ(mem.read(kBase, 8, out), MemFault::None);
+    // Access straddling into an unmapped page still faults.
+    uint64_t edge = kBase + Memory::kPageSize - 4;
+    EXPECT_EQ(mem.read(edge, 8, out), MemFault::Unmapped);
+}
+
+TEST(Memory, UnimplementedBitsFault)
+{
+    Memory mem;
+    uint64_t out;
+    EXPECT_EQ(mem.read(kInvalidAddress, 8, out),
+              MemFault::Unimplemented);
+    uint64_t holed = regionBase(kDataRegion) | (1ULL << 45);
+    EXPECT_EQ(mem.read(holed, 8, out), MemFault::Unimplemented);
+}
+
+TEST(Memory, TagAndOsRegionsAreDemandMapped)
+{
+    Memory mem;
+    uint64_t out;
+    EXPECT_EQ(mem.read(regionBase(kTagRegion) + 0x999, 1, out),
+              MemFault::None);
+    EXPECT_EQ(out, 0u); // demand pages are zeroed
+    EXPECT_EQ(mem.write(regionBase(kOsRegion) + 0x10, 8, 7),
+              MemFault::None);
+}
+
+TEST(Memory, SpillSidecarRoundTrip)
+{
+    Memory mem;
+    mem.map(kBase, 4096);
+    ASSERT_EQ(mem.writeSpill(kBase + 8, 42, true), MemFault::None);
+    ASSERT_EQ(mem.writeSpill(kBase + 16, 43, false), MemFault::None);
+    uint64_t value;
+    bool nat;
+    ASSERT_EQ(mem.readFill(kBase + 8, value, nat), MemFault::None);
+    EXPECT_EQ(value, 42u);
+    EXPECT_TRUE(nat);
+    ASSERT_EQ(mem.readFill(kBase + 16, value, nat), MemFault::None);
+    EXPECT_EQ(value, 43u);
+    EXPECT_FALSE(nat);
+    // A plain write to the slot clears nothing in the sidecar, but a
+    // plain read never sees it.
+    uint64_t plain;
+    ASSERT_EQ(mem.read(kBase + 8, 8, plain), MemFault::None);
+    EXPECT_EQ(plain, 42u);
+}
+
+TEST(Memory, ReadCString)
+{
+    Memory mem;
+    mem.map(kBase, 4096);
+    const char *text = "hello";
+    mem.writeBytes(kBase, text, 6);
+    std::string out;
+    ASSERT_EQ(mem.readCString(kBase, out), MemFault::None);
+    EXPECT_EQ(out, "hello");
+}
+
+// ---------------------------------------------------------------------
+// Address space / figure 4.
+// ---------------------------------------------------------------------
+
+TEST(AddressSpace, RegionDecomposition)
+{
+    EXPECT_EQ(regionOf(regionBase(3) + 5), 3u);
+    EXPECT_EQ(regionOffset(regionBase(3) + 5), 5u);
+    EXPECT_TRUE(isImplemented(regionBase(7) + ((1ULL << 36) - 1)));
+    EXPECT_FALSE(isImplemented(regionBase(7) + (1ULL << 36)));
+    EXPECT_FALSE(isImplemented(kInvalidAddress));
+}
+
+TEST(AddressSpace, TagAddressesLandInRegionZero)
+{
+    std::mt19937_64 rng(99);
+    for (int i = 0; i < 2000; ++i) {
+        unsigned region = rng() % 8;
+        uint64_t offset = rng() & ((1ULL << 36) - 1);
+        uint64_t va = regionBase(region) + offset;
+        for (Granularity g : {Granularity::Byte, Granularity::Word}) {
+            uint64_t tag = tagByteAddr(va, g);
+            EXPECT_EQ(regionOf(tag), kTagRegion);
+            EXPECT_TRUE(isImplemented(tag));
+            EXPECT_LT(tagBitIndex(va, g), 8u);
+        }
+    }
+}
+
+TEST(AddressSpace, DistinctUnitsGetDistinctBits)
+{
+    // Consecutive tracking units map to consecutive (byte, bit) slots.
+    std::mt19937_64 rng(7);
+    for (int i = 0; i < 500; ++i) {
+        unsigned region = 1 + rng() % 7;
+        uint64_t offset = rng() & ((1ULL << 36) - 2 * 64);
+        uint64_t va = regionBase(region) + offset;
+        for (Granularity g : {Granularity::Byte, Granularity::Word}) {
+            unsigned unit = 1u << granularityShift(g);
+            uint64_t slotA =
+                tagByteAddr(va, g) * 8 + tagBitIndex(va, g);
+            uint64_t slotB = tagByteAddr(va + unit, g) * 8 +
+                             tagBitIndex(va + unit, g);
+            EXPECT_EQ(slotB, slotA + 1);
+        }
+    }
+}
+
+TEST(AddressSpace, ByteMapIsEightTimesDenser)
+{
+    uint64_t va = regionBase(2) + 0x12340;
+    uint64_t spanBytes = 64 * 1024;
+    uint64_t byteSpan = tagByteAddr(va + spanBytes, Granularity::Byte) -
+                        tagByteAddr(va, Granularity::Byte);
+    uint64_t wordSpan = tagByteAddr(va + spanBytes, Granularity::Word) -
+                        tagByteAddr(va, Granularity::Word);
+    EXPECT_EQ(byteSpan, spanBytes / 8);
+    EXPECT_EQ(wordSpan, spanBytes / 64);
+}
+
+TEST(AddressSpace, DifferentRegionsNeverCollide)
+{
+    // The folded region number keeps tag spaces of all 8 regions
+    // disjoint (the point of the figure-4 construction).
+    for (Granularity g : {Granularity::Byte, Granularity::Word}) {
+        uint64_t offset = 0x123456;
+        uint64_t prevTag = 0;
+        for (unsigned region = 0; region < 8; ++region) {
+            uint64_t tag = tagByteAddr(regionBase(region) + offset, g);
+            if (region > 0) {
+                EXPECT_GT(tag, prevTag);
+            }
+            prevTag = tag;
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Cache model.
+// ---------------------------------------------------------------------
+
+TEST(Cache, HitAfterMiss)
+{
+    Cache cache;
+    EXPECT_FALSE(cache.access(0x1000));
+    EXPECT_TRUE(cache.access(0x1000));
+    EXPECT_TRUE(cache.access(0x1030)); // same 64-byte line
+    EXPECT_FALSE(cache.access(0x1040)); // next line
+    EXPECT_EQ(cache.hits(), 2u);
+    EXPECT_EQ(cache.misses(), 2u);
+}
+
+TEST(Cache, LruEviction)
+{
+    Cache::Params params;
+    params.sizeBytes = 4 * 64; // 4 lines
+    params.assoc = 4;          // fully associative, one set
+    params.lineBytes = 64;
+    Cache cache(params);
+    for (uint64_t i = 0; i < 4; ++i)
+        cache.access(i * 64);
+    EXPECT_TRUE(cache.access(0));      // refresh line 0
+    EXPECT_FALSE(cache.access(4 * 64)); // evicts LRU = line 1
+    EXPECT_TRUE(cache.access(0));       // line 0 survived
+    EXPECT_FALSE(cache.access(1 * 64)); // line 1 was evicted
+}
+
+TEST(Cache, ResetClearsEverything)
+{
+    Cache cache;
+    cache.access(0x40);
+    cache.reset();
+    EXPECT_EQ(cache.hits(), 0u);
+    EXPECT_EQ(cache.misses(), 0u);
+    EXPECT_FALSE(cache.access(0x40));
+}
+
+TEST(Cache, WorkingSetLargerThanCacheThrashes)
+{
+    Cache cache; // 16 KiB
+    // Two passes over 64 KiB: everything misses both times.
+    for (int pass = 0; pass < 2; ++pass) {
+        for (uint64_t a = 0; a < 64 * 1024; a += 64)
+            cache.access(a);
+    }
+    EXPECT_EQ(cache.hits(), 0u);
+}
+
+} // namespace
+} // namespace shift

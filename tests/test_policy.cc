@@ -1,0 +1,230 @@
+/**
+ * @file
+ * Policy-engine tests: each table-1 rule in isolation, configuration
+ * parsing, and the NaT-fault-to-policy mapping.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/policy.hh"
+#include "support/logging.hh"
+
+namespace shift
+{
+namespace
+{
+
+PolicyConfig
+allOn()
+{
+    PolicyConfig policy;
+    policy.h1 = policy.h2 = policy.h3 = policy.h4 = policy.h5 = true;
+    return policy;
+}
+
+std::vector<bool>
+taintAll(const std::string &s)
+{
+    return std::vector<bool>(s.size(), true);
+}
+
+std::vector<bool>
+taintNone(const std::string &s)
+{
+    return std::vector<bool>(s.size(), false);
+}
+
+TEST(PolicyH1, TaintedAbsolutePath)
+{
+    PolicyEngine pe(allOn());
+    std::string path = "/etc/passwd";
+    auto alert = pe.checkFileOpen(path, taintAll(path));
+    ASSERT_TRUE(alert);
+    EXPECT_EQ(alert->policy, "H1");
+    // Clean absolute path: the server's own config files are fine.
+    EXPECT_FALSE(pe.checkFileOpen(path, taintNone(path)));
+    // Tainted relative path: H1 does not care.
+    std::string rel = "docs/readme";
+    EXPECT_FALSE(pe.checkFileOpen(rel, taintAll(rel)));
+}
+
+TEST(PolicyH2, TaintedEscapeFromDocroot)
+{
+    PolicyConfig cfg = allOn();
+    cfg.h1 = false;
+    cfg.docRoot = "/www";
+    PolicyEngine pe(cfg);
+
+    std::string bad = "/www/pages/../../etc/passwd";
+    // Only the attacker-controlled suffix is tainted.
+    std::vector<bool> taint(bad.size(), false);
+    for (size_t i = 11; i < bad.size(); ++i)
+        taint[i] = true;
+    auto alert = pe.checkFileOpen(bad, taint);
+    ASSERT_TRUE(alert);
+    EXPECT_EQ(alert->policy, "H2");
+
+    // Descending then ascending within the root is legal.
+    std::string ok = "/www/a/b/../c.txt";
+    EXPECT_FALSE(pe.checkFileOpen(ok, taintAll(ok)));
+
+    // An escape the *server itself* wrote (clean) is not flagged.
+    EXPECT_FALSE(pe.checkFileOpen(bad, taintNone(bad)));
+}
+
+TEST(PolicyH3, TaintedSqlMetacharacters)
+{
+    PolicyEngine pe(allOn());
+    std::string q = "SELECT * FROM t WHERE id = '1' OR '1'='1'";
+    // Clean query (application-built constant): fine.
+    EXPECT_FALSE(pe.checkSql(q, taintNone(q)));
+    // Tainted quote: alert.
+    std::vector<bool> taint(q.size(), false);
+    taint[q.find('\'')] = true;
+    auto alert = pe.checkSql(q, taint);
+    ASSERT_TRUE(alert);
+    EXPECT_EQ(alert->policy, "H3");
+    // Tainted digits only: fine (a numeric id is legitimate).
+    std::string numeric = "SELECT * FROM t WHERE id = 42";
+    std::vector<bool> numTaint(numeric.size(), false);
+    numTaint[numeric.size() - 1] = true;
+    numTaint[numeric.size() - 2] = true;
+    EXPECT_FALSE(pe.checkSql(numeric, numTaint));
+    // Tainted comment marker.
+    std::string cmt = "SELECT 1 -- drop";
+    std::vector<bool> cmtTaint(cmt.size(), false);
+    cmtTaint[9] = true; // first '-'
+    ASSERT_TRUE(pe.checkSql(cmt, cmtTaint));
+}
+
+TEST(PolicyH4, TaintedShellMetacharacters)
+{
+    PolicyEngine pe(allOn());
+    std::string cmd = "convert img.png; rm -rf /";
+    std::vector<bool> taint(cmd.size(), false);
+    taint[cmd.find(';')] = true;
+    auto alert = pe.checkSystem(cmd, taint);
+    ASSERT_TRUE(alert);
+    EXPECT_EQ(alert->policy, "H4");
+    EXPECT_FALSE(pe.checkSystem(cmd, taintNone(cmd)));
+    std::string safe = "convert userpic.png";
+    EXPECT_FALSE(pe.checkSystem(safe, taintAll(safe)));
+}
+
+TEST(PolicyH5, TaintedScriptTag)
+{
+    PolicyEngine pe(allOn());
+    std::string html = "<html><ScRiPt>evil()</script></html>";
+    std::vector<bool> taint(html.size(), false);
+    for (size_t i = 6; i < 14; ++i)
+        taint[i] = true;
+    auto alert = pe.checkHtml(html, taint);
+    ASSERT_TRUE(alert);
+    EXPECT_EQ(alert->policy, "H5");
+    // The page's own script tag (clean) is fine.
+    EXPECT_FALSE(pe.checkHtml(html, taintNone(html)));
+    // Tainted text that isn't a script tag is fine.
+    std::string benign = "<html>user said hello</html>";
+    EXPECT_FALSE(pe.checkHtml(benign, taintAll(benign)));
+}
+
+TEST(PolicyLx, NatFaultMapping)
+{
+    PolicyEngine pe(allOn());
+    Fault fault;
+    fault.kind = FaultKind::NatConsumption;
+
+    fault.context = FaultContext::LoadAddress;
+    ASSERT_TRUE(pe.natFaultAlert(fault));
+    EXPECT_EQ(pe.natFaultAlert(fault)->policy, "L1");
+
+    fault.context = FaultContext::StoreAddress;
+    EXPECT_EQ(pe.natFaultAlert(fault)->policy, "L2");
+
+    for (FaultContext ctx : {FaultContext::ControlFlow,
+                             FaultContext::SyscallArg,
+                             FaultContext::AppRegister}) {
+        fault.context = ctx;
+        EXPECT_EQ(pe.natFaultAlert(fault)->policy, "L3");
+    }
+
+    fault.context = FaultContext::StoreValue;
+    EXPECT_FALSE(pe.natFaultAlert(fault)); // instrumentation bug, not
+                                           // a policy event
+}
+
+TEST(PolicyLx, DisabledPoliciesPassThrough)
+{
+    PolicyConfig cfg;
+    cfg.l1 = cfg.l2 = cfg.l3 = false;
+    PolicyEngine pe(cfg);
+    Fault fault;
+    fault.kind = FaultKind::NatConsumption;
+    for (FaultContext ctx : {FaultContext::LoadAddress,
+                             FaultContext::StoreAddress,
+                             FaultContext::ControlFlow}) {
+        fault.context = ctx;
+        EXPECT_FALSE(pe.natFaultAlert(fault));
+    }
+}
+
+TEST(PolicyConfigParse, FullFile)
+{
+    PolicyConfig cfg = PolicyConfig::fromText(
+        "[sources]\n"
+        "network = taint\n"
+        "file = clean\n"
+        "stdin = clean\n"
+        "[policies]\n"
+        "H1 = on\nH3 = on\nL1 = off\n"
+        "[tracking]\n"
+        "granularity = word\n"
+        "docroot = /srv/http\n"
+        "action = log\n");
+    EXPECT_TRUE(cfg.taintNetwork);
+    EXPECT_FALSE(cfg.taintFile);
+    EXPECT_FALSE(cfg.taintStdin);
+    EXPECT_TRUE(cfg.h1);
+    EXPECT_FALSE(cfg.h2);
+    EXPECT_TRUE(cfg.h3);
+    EXPECT_FALSE(cfg.l1);
+    EXPECT_TRUE(cfg.l2); // default on
+    EXPECT_EQ(cfg.granularity, Granularity::Word);
+    EXPECT_EQ(cfg.docRoot, "/srv/http");
+    EXPECT_FALSE(cfg.alertKills);
+}
+
+TEST(PolicyConfigParse, Defaults)
+{
+    PolicyConfig cfg = PolicyConfig::fromText("");
+    EXPECT_TRUE(cfg.taintNetwork);
+    EXPECT_TRUE(cfg.l1 && cfg.l2 && cfg.l3);
+    EXPECT_FALSE(cfg.h1 || cfg.h2 || cfg.h3 || cfg.h4 || cfg.h5);
+    EXPECT_EQ(cfg.granularity, Granularity::Byte);
+    EXPECT_TRUE(cfg.alertKills);
+}
+
+TEST(PolicyConfigParse, Errors)
+{
+    EXPECT_THROW(PolicyConfig::fromText("[sources]\nnetwork = maybe\n"),
+                 FatalError);
+    EXPECT_THROW(
+        PolicyConfig::fromText("[tracking]\ngranularity = nibble\n"),
+        FatalError);
+    EXPECT_THROW(PolicyConfig::fromText("[tracking]\naction = explode\n"),
+                 FatalError);
+}
+
+TEST(PolicyChannels, SourceToggles)
+{
+    PolicyConfig cfg;
+    cfg.taintNetwork = true;
+    cfg.taintFile = false;
+    PolicyEngine pe(cfg);
+    EXPECT_TRUE(pe.taintChannel("network"));
+    EXPECT_FALSE(pe.taintChannel("file"));
+    EXPECT_FALSE(pe.taintChannel("unknown-channel"));
+}
+
+} // namespace
+} // namespace shift

@@ -1,0 +1,281 @@
+/**
+ * @file
+ * Property-based tests.
+ *
+ * 1. Compiler correctness: randomly generated straight-line MiniC
+ *    programs must compute exactly what a host-side oracle computes.
+ * 2. Transparency: the same random program, with its inputs tainted
+ *    through a simulated file, must produce identical results under
+ *    every tracking configuration (none / SHIFT byte / SHIFT word /
+ *    SHIFT enhanced / software baseline) — instrumentation must never
+ *    change program semantics, no matter what the program does with
+ *    tainted data.
+ */
+
+#include <gtest/gtest.h>
+
+#include <random>
+
+#include "runtime/session.hh"
+
+namespace shift
+{
+namespace
+{
+
+constexpr int kNumVars = 8;
+
+/** Generates a random expression string while computing its value. */
+class ExprGen
+{
+  public:
+    ExprGen(std::mt19937_64 &rng, const int64_t *vars)
+        : rng_(rng), vars_(vars)
+    {}
+
+    /** Returns {source text, host-evaluated value}. */
+    std::pair<std::string, int64_t>
+    gen(int depth)
+    {
+        switch (depth <= 0 ? rng_() % 2 : rng_() % 8) {
+          case 0: { // literal
+            int64_t v = int64_t(rng_() % 2000) - 1000;
+            return {std::to_string(v), v};
+          }
+          case 1: { // variable
+            int i = int(rng_() % kNumVars);
+            return {std::string(1, char('a' + i)), vars_[i]};
+          }
+          case 2: { // unary minus (space avoids '--' maximal munch)
+            auto [s, v] = gen(depth - 1);
+            return {"(- " + s + ")", -v};
+          }
+          case 3: { // comparison
+            auto [sa, va] = gen(depth - 1);
+            auto [sb, vb] = gen(depth - 1);
+            static const char *rel[] = {"<", "<=", ">", ">=", "==",
+                                        "!="};
+            int r = int(rng_() % 6);
+            bool result;
+            switch (r) {
+              case 0: result = va < vb; break;
+              case 1: result = va <= vb; break;
+              case 2: result = va > vb; break;
+              case 3: result = va >= vb; break;
+              case 4: result = va == vb; break;
+              default: result = va != vb; break;
+            }
+            return {"(" + sa + " " + rel[r] + " " + sb + ")",
+                    result ? 1 : 0};
+          }
+          case 4: { // ternary
+            auto [sc, vc] = gen(depth - 1);
+            auto [sa, va] = gen(depth - 1);
+            auto [sb, vb] = gen(depth - 1);
+            return {"(" + sc + " ? " + sa + " : " + sb + ")",
+                    vc ? va : vb};
+          }
+          case 5: { // division/modulo with a safe divisor
+            auto [sa, va] = gen(depth - 1);
+            auto [sb, vb] = gen(depth - 1);
+            int64_t divisor = (vb & 15) + 1;
+            std::string sdiv = "((" + sb + " & 15) + 1)";
+            if (rng_() & 1)
+                return {"(" + sa + " / " + sdiv + ")", va / divisor};
+            return {"(" + sa + " % " + sdiv + ")", va % divisor};
+          }
+          default: { // binary arithmetic / bitwise / shifts
+            auto [sa, va] = gen(depth - 1);
+            auto [sb, vb] = gen(depth - 1);
+            switch (rng_() % 7) {
+              case 0:
+                return {"(" + sa + " + " + sb + ")",
+                        int64_t(uint64_t(va) + uint64_t(vb))};
+              case 1:
+                return {"(" + sa + " - " + sb + ")",
+                        int64_t(uint64_t(va) - uint64_t(vb))};
+              case 2:
+                return {"(" + sa + " * " + sb + ")",
+                        int64_t(uint64_t(va) * uint64_t(vb))};
+              case 3:
+                return {"(" + sa + " & " + sb + ")", va & vb};
+              case 4:
+                return {"(" + sa + " | " + sb + ")", va | vb};
+              case 5:
+                return {"(" + sa + " ^ " + sb + ")", va ^ vb};
+              default: {
+                int sh = int(rng_() % 8);
+                if (rng_() & 1) {
+                    return {"(" + sa + " << " + std::to_string(sh) +
+                                ")",
+                            int64_t(uint64_t(va) << sh)};
+                }
+                return {"(" + sa + " >> " + std::to_string(sh) + ")",
+                        va >> sh};
+              }
+            }
+          }
+        }
+    }
+
+  private:
+    std::mt19937_64 &rng_;
+    const int64_t *vars_;
+};
+
+/** A random program plus its oracle result. */
+struct RandomProgram
+{
+    std::string source;
+    int64_t expected; // exit code in [0, 128)
+};
+
+RandomProgram
+makeRandomProgram(uint64_t seed, bool taintedInputs)
+{
+    std::mt19937_64 rng(seed);
+    int64_t vars[kNumVars];
+    std::string body;
+
+    if (taintedInputs) {
+        body += "  char buf[16];\n"
+                "  int fd = open(\"input.dat\", 0);\n"
+                "  read(fd, buf, 8);\n"
+                "  close(fd);\n";
+        for (int i = 0; i < kNumVars; ++i) {
+            // Host oracle knows the file content: byte i is 10+i.
+            vars[i] = 10 + i;
+            body += std::string("  long ") + char('a' + i) + " = buf[" +
+                    std::to_string(i) + "];\n";
+        }
+    } else {
+        for (int i = 0; i < kNumVars; ++i) {
+            vars[i] = int64_t(rng() % 100);
+            body += std::string("  long ") + char('a' + i) + " = " +
+                    std::to_string(vars[i]) + ";\n";
+        }
+    }
+
+    int statements = 6 + int(rng() % 10);
+    for (int s = 0; s < statements; ++s) {
+        ExprGen gen(rng, vars);
+        auto [text, value] = gen.gen(3);
+        int dst = int(rng() % kNumVars);
+        body += std::string("  ") + char('a' + dst) + " = " + text +
+                ";\n";
+        vars[dst] = value;
+    }
+
+    int64_t check = 0;
+    std::string checkExpr = "0";
+    for (int i = 0; i < kNumVars; ++i) {
+        check ^= vars[i];
+        checkExpr += std::string(" ^ ") + char('a' + i);
+    }
+
+    RandomProgram out;
+    out.source = "int main() {\n" + body + "  return (" + checkExpr +
+                 ") & 127;\n}\n";
+    out.expected = check & 127;
+    return out;
+}
+
+class CompilerOracleTest : public ::testing::TestWithParam<uint64_t>
+{
+};
+
+INSTANTIATE_TEST_SUITE_P(Seeds, CompilerOracleTest,
+                         ::testing::Range<uint64_t>(1, 25));
+
+TEST_P(CompilerOracleTest, RandomProgramMatchesHostOracle)
+{
+    RandomProgram rp = makeRandomProgram(GetParam(), false);
+    SessionOptions options;
+    options.mode = TrackingMode::None;
+    Session session(rp.source, options);
+    RunResult r = session.run();
+    ASSERT_TRUE(r.exited)
+        << faultKindName(r.fault.kind) << "\n" << rp.source;
+    EXPECT_EQ(r.exitCode, rp.expected) << rp.source;
+}
+
+class TransparencyTest : public ::testing::TestWithParam<uint64_t>
+{
+};
+
+INSTANTIATE_TEST_SUITE_P(Seeds, TransparencyTest,
+                         ::testing::Range<uint64_t>(100, 116));
+
+TEST_P(TransparencyTest, AllTrackingModesComputeTheSameResult)
+{
+    RandomProgram rp = makeRandomProgram(GetParam(), true);
+
+    auto runMode = [&](TrackingMode mode, Granularity g,
+                       bool enhanced, bool cse = false) {
+        SessionOptions options;
+        options.mode = mode;
+        options.policy.granularity = g;
+        options.policy.taintFile = true;
+        options.instr.reuseTagAddr = cse;
+        if (enhanced) {
+            options.features.natSetClear = true;
+            options.features.natAwareCompare = true;
+        }
+        Session session(rp.source, options);
+        std::string input;
+        for (int i = 0; i < 8; ++i)
+            input.push_back(char(10 + i));
+        session.os().addFile("input.dat", input);
+        RunResult r = session.run();
+        EXPECT_TRUE(r.exited)
+            << faultKindName(r.fault.kind) << " (" << r.fault.detail
+            << ")\n" << rp.source;
+        EXPECT_TRUE(r.alerts.empty());
+        return r.exitCode;
+    };
+
+    int64_t expected = rp.expected;
+    EXPECT_EQ(runMode(TrackingMode::None, Granularity::Byte, false),
+              expected);
+    EXPECT_EQ(runMode(TrackingMode::Shift, Granularity::Byte, false),
+              expected);
+    EXPECT_EQ(runMode(TrackingMode::Shift, Granularity::Word, false),
+              expected);
+    EXPECT_EQ(runMode(TrackingMode::Shift, Granularity::Byte, true),
+              expected);
+    EXPECT_EQ(runMode(TrackingMode::Shift, Granularity::Byte, false,
+                      /*cse=*/true),
+              expected);
+    EXPECT_EQ(runMode(TrackingMode::SoftwareDift, Granularity::Byte,
+                      false),
+              expected);
+}
+
+TEST(TransparencyTest2, TaintSurvivesRegisterPressureSpills)
+{
+    // More live tainted values than the register pool: taint must ride
+    // spill/fill (the NaT sidecar) and come back intact.
+    std::string src =
+        "char buf[32];\n"
+        "int main() {\n"
+        "  int fd = open(\"input.dat\", 0);\n"
+        "  read(fd, buf, 20);\n";
+    for (int i = 0; i < 20; ++i)
+        src += "  long v" + std::to_string(i) + " = buf[" +
+               std::to_string(i) + "];\n";
+    src += "  long s = 0;\n";
+    for (int i = 0; i < 20; ++i)
+        src += "  s = s + v" + std::to_string(i) + ";\n";
+    src += "  return __arg_tainted(s);\n}\n";
+
+    SessionOptions options;
+    options.mode = TrackingMode::Shift;
+    Session session(src, options);
+    session.os().addFile("input.dat", std::string(20, 'x'));
+    RunResult r = session.run();
+    ASSERT_TRUE(r.exited) << faultKindName(r.fault.kind);
+    EXPECT_EQ(r.exitCode, 1);
+}
+
+} // namespace
+} // namespace shift

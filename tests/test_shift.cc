@@ -1,0 +1,431 @@
+/**
+ * @file
+ * End-to-end SHIFT tests: taint sources, hardware NaT propagation,
+ * bitmap coherence, compare relaxation, low-level policy enforcement,
+ * architectural enhancements and both tracking granularities.
+ */
+
+#include <functional>
+
+#include <gtest/gtest.h>
+
+#include "session_helpers.hh"
+
+namespace shift
+{
+namespace
+{
+
+using testutil::runShift;
+using testutil::shiftOptions;
+
+/** A program that reads tainted bytes from a simulated file. */
+RunResult
+runWithFile(const std::string &source, const std::string &fileText,
+            SessionOptions options)
+{
+    Session session(source, std::move(options));
+    session.os().addFile("input.txt", fileText);
+    return session.run();
+}
+
+class GranularityTest : public ::testing::TestWithParam<Granularity>
+{
+};
+
+INSTANTIATE_TEST_SUITE_P(ByteAndWord, GranularityTest,
+                         ::testing::Values(Granularity::Byte,
+                                           Granularity::Word),
+                         [](const auto &info) {
+                             return info.param == Granularity::Byte
+                                        ? "byte"
+                                        : "word";
+                         });
+
+TEST_P(GranularityTest, FileInputIsTainted)
+{
+    RunResult r = runWithFile(
+        "int main() {"
+        "  char buf[64];"
+        "  int fd = open(\"input.txt\", 0);"
+        "  int n = read(fd, buf, 64);"
+        "  return __mem_tainted(buf) + 2 * (n == 5);"
+        "}",
+        "hello", shiftOptions(GetParam()));
+    EXPECT_EXIT_CODE(r, 3);
+}
+
+TEST_P(GranularityTest, TaintFlowsThroughRegisters)
+{
+    // load tainted byte -> NaT set -> arithmetic keeps NaT ->
+    // __arg_tainted observes the register NaT bit.
+    RunResult r = runWithFile(
+        "int main() {"
+        "  char buf[8];"
+        "  int fd = open(\"input.txt\", 0);"
+        "  read(fd, buf, 8);"
+        "  int x = buf[0] + 1;"
+        "  int y = x * 3;"
+        "  return __arg_tainted(y);"
+        "}",
+        "A", shiftOptions(GetParam()));
+    EXPECT_EXIT_CODE(r, 1);
+}
+
+TEST_P(GranularityTest, TaintFlowsBackToMemory)
+{
+    RunResult r = runWithFile(
+        "char out[8];"
+        "int main() {"
+        "  char buf[8];"
+        "  int fd = open(\"input.txt\", 0);"
+        "  read(fd, buf, 8);"
+        "  out[1] = 'x';"
+        "  out[0] = buf[0];"
+        "  return __mem_tainted(&out[0]) * 10 + __mem_tainted(&out[1]);"
+        "}",
+        "A", shiftOptions(GetParam()));
+    // out[0] tainted; out[1] clean at byte level, but at word level the
+    // whole word shares one tag bit (the last store to the word wins,
+    // which is why out[1] is written first here).
+    if (GetParam() == Granularity::Byte)
+        EXPECT_EXIT_CODE(r, 10);
+    else
+        EXPECT_EXIT_CODE(r, 11);
+}
+
+TEST_P(GranularityTest, StrcpyPropagatesTaint)
+{
+    // The MiniC libc is instrumented like the application: taint flows
+    // through strcpy with no wrap function. The input is longer than a
+    // word so the NUL terminator store (clean) lands in a different
+    // tracking unit than the probed bytes at word granularity.
+    RunResult r = runWithFile(
+        "char dst[32];"
+        "int main() {"
+        "  char buf[32];"
+        "  int fd = open(\"input.txt\", 0);"
+        "  int n = read(fd, buf, 31);"
+        "  buf[n] = 0;"
+        "  strcpy(dst, buf);"
+        "  return __mem_tainted(&dst[0]) + __mem_tainted(&dst[4]);"
+        "}",
+        "helloworld!!", shiftOptions(GetParam()));
+    EXPECT_EXIT_CODE(r, 2);
+}
+
+TEST_P(GranularityTest, CleanDataStaysClean)
+{
+    RunResult r = runShift(
+        "char dst[16];"
+        "int main() {"
+        "  char src[16];"
+        "  strcpy(src, \"clean\");"
+        "  strcpy(dst, src);"
+        "  int x = dst[0] + dst[1];"
+        "  return __mem_tainted(dst) + __arg_tainted(x);"
+        "}",
+        GetParam());
+    EXPECT_EXIT_CODE(r, 0);
+}
+
+TEST_P(GranularityTest, OverwritingPurifies)
+{
+    // Storing clean data over tainted data clears the tag.
+    RunResult r = runWithFile(
+        "int main() {"
+        "  char buf[8];"
+        "  int fd = open(\"input.txt\", 0);"
+        "  read(fd, buf, 8);"
+        "  int t1 = __mem_tainted(buf);"
+        "  buf[0] = 'c'; buf[1] = 'c'; buf[2] = 'c'; buf[3] = 'c';"
+        "  buf[4] = 'c'; buf[5] = 'c'; buf[6] = 'c'; buf[7] = 'c';"
+        "  return t1 * 10 + __mem_tainted(buf);"
+        "}",
+        "secret!", shiftOptions(GetParam()));
+    EXPECT_EXIT_CODE(r, 10);
+}
+
+TEST_P(GranularityTest, ComparesOnTaintedDataStillWork)
+{
+    // Without relaxation, an Itanium compare with a NaT operand clears
+    // both predicates and the branch misbehaves. The relax code must
+    // keep program semantics intact AND keep the operand tainted.
+    RunResult r = runWithFile(
+        "int main() {"
+        "  char buf[16];"
+        "  int fd = open(\"input.txt\", 0);"
+        "  read(fd, buf, 15);"
+        "  int result = 0;"
+        "  if (buf[0] == 'h') result = 5;"
+        "  if (buf[1] != 'x') result += 2;"
+        "  if (buf[0] < buf[1]) result += 1;"
+        "  return result * 10 + __arg_tainted(buf[0]);"
+        "}",
+        "he", shiftOptions(GetParam()));
+    // 'h'=='h' (5) + 'e'!='x' (2) + 'h'<'e' false (0) = 7; still tainted.
+    EXPECT_EXIT_CODE(r, 71);
+}
+
+TEST_P(GranularityTest, StrcmpOnTaintedData)
+{
+    RunResult r = runWithFile(
+        "int main() {"
+        "  char buf[16];"
+        "  int fd = open(\"input.txt\", 0);"
+        "  int n = read(fd, buf, 15);"
+        "  buf[n] = 0;"
+        "  if (strcmp(buf, \"magic\") == 0) return 42;"
+        "  return 1;"
+        "}",
+        "magic", shiftOptions(GetParam()));
+    EXPECT_EXIT_CODE(r, 42);
+}
+
+TEST_P(GranularityTest, PolicyL1TaintedLoadAddress)
+{
+    RunResult r = runWithFile(
+        "int table[64];"
+        "int main() {"
+        "  char buf[8];"
+        "  int fd = open(\"input.txt\", 0);"
+        "  read(fd, buf, 8);"
+        "  int idx = buf[0];"        // tainted index
+        "  return table[idx];"       // tainted address -> L1
+        "}",
+        "\x05", shiftOptions(GetParam()));
+    EXPECT_POLICY_KILL(r, "L1");
+}
+
+TEST_P(GranularityTest, PolicyL2TaintedStoreAddress)
+{
+    RunResult r = runWithFile(
+        "int table[64];"
+        "int main() {"
+        "  char buf[8];"
+        "  int fd = open(\"input.txt\", 0);"
+        "  read(fd, buf, 8);"
+        "  int idx = buf[0];"
+        "  table[idx] = 1;"          // tainted address -> L2
+        "  return 0;"
+        "}",
+        "\x07", shiftOptions(GetParam()));
+    EXPECT_POLICY_KILL(r, "L2");
+}
+
+TEST_P(GranularityTest, PolicyL3TaintedFunctionPointer)
+{
+    RunResult r = runWithFile(
+        "int good() { return 1; }"
+        "int main() {"
+        "  char buf[16];"
+        "  int fd = open(\"input.txt\", 0);"
+        "  read(fd, buf, 8);"
+        "  long fp = &good;"
+        "  fp = fp + buf[0] - buf[0];" // fp now tainted, same value
+        "  return fp();"              // tainted branch target -> L3
+        "}",
+        "A", shiftOptions(GetParam()));
+    EXPECT_POLICY_KILL(r, "L3");
+}
+
+TEST_P(GranularityTest, SafeSourcesProduceNoTaint)
+{
+    // Same program, [sources] file = clean: no taint, no alert.
+    SessionOptions options = shiftOptions(GetParam());
+    options.policy.taintFile = false;
+    RunResult r = runWithFile(
+        "int table[64];"
+        "int main() {"
+        "  char buf[8];"
+        "  int fd = open(\"input.txt\", 0);"
+        "  read(fd, buf, 8);"
+        "  int idx = buf[0] & 63;"
+        "  table[idx] = 9;"
+        "  return table[idx] + __mem_tainted(buf);"
+        "}",
+        "\x05", options);
+    EXPECT_EXIT_CODE(r, 9);
+}
+
+TEST_P(GranularityTest, SprintfWrapPropagatesTaint)
+{
+    RunResult r = runWithFile(
+        "char out[64];"
+        "int main() {"
+        "  char name[16];"
+        "  int fd = open(\"input.txt\", 0);"
+        "  int n = read(fd, name, 15);"
+        "  name[n] = 0;"  // NUL lands past the first word on purpose
+        "  sprintf(out, \"user=%s id=%d\", name, 7);"
+        "  return __mem_tainted(&out[5]) * 10 + __mem_tainted(&out[0]);"
+        "}",
+        "evelynsmith!", shiftOptions(GetParam()));
+    if (GetParam() == Granularity::Byte)
+        EXPECT_EXIT_CODE(r, 10); // "user=" clean, "eve" tainted
+    else
+        EXPECT_EXIT_CODE(r, 11); // word granularity over-approximates
+}
+
+TEST(ShiftEnhancements, SetClearNatBehavesIdentically)
+{
+    SessionOptions options = shiftOptions(Granularity::Byte);
+    options.features.natSetClear = true;
+    RunResult r = runWithFile(
+        "char dst[32];"
+        "int main() {"
+        "  char buf[32];"
+        "  int fd = open(\"input.txt\", 0);"
+        "  int n = read(fd, buf, 31);"
+        "  buf[n] = 0;"
+        "  strcpy(dst, buf);"
+        "  if (strcmp(dst, \"abc\") == 0) return 30 + __mem_tainted(dst);"
+        "  return 1;"
+        "}",
+        "abc", options);
+    EXPECT_EXIT_CODE(r, 31);
+}
+
+TEST(ShiftEnhancements, NatAwareCompareBehavesIdentically)
+{
+    SessionOptions options = shiftOptions(Granularity::Byte);
+    options.features.natSetClear = true;
+    options.features.natAwareCompare = true;
+    RunResult r = runWithFile(
+        "int main() {"
+        "  char buf[32];"
+        "  int fd = open(\"input.txt\", 0);"
+        "  int n = read(fd, buf, 31);"
+        "  buf[n] = 0;"
+        "  if (strcmp(buf, \"abc\") == 0) return 30 + __arg_tainted(buf[0]);"
+        "  return 1;"
+        "}",
+        "abc", options);
+    EXPECT_EXIT_CODE(r, 31);
+}
+
+TEST(ShiftEnhancements, EnhancementsReduceInstrumentedSize)
+{
+    const char *src =
+        "int main() {"
+        "  char buf[32];"
+        "  int s = 0;"
+        "  for (int i = 0; i < 32; i++) buf[i] = (char)i;"
+        "  for (int i = 0; i < 32; i++) if (buf[i] > 3) s += buf[i];"
+        "  return s & 127;"
+        "}";
+
+    auto sizeWith = [&](bool setClear, bool natCmp) {
+        SessionOptions options = shiftOptions(Granularity::Byte);
+        options.features.natSetClear = setClear;
+        options.features.natAwareCompare = natCmp;
+        Session session(src, options);
+        return session.instrStats().newSize;
+    };
+    uint64_t base = sizeWith(false, false);
+    uint64_t setClr = sizeWith(true, false);
+    uint64_t both = sizeWith(true, true);
+    EXPECT_LT(setClr, base);
+    EXPECT_LT(both, setClr);
+}
+
+TEST(ShiftInstrumentation, UninstrumentedRunsHaveNoTaint)
+{
+    SessionOptions options;
+    options.mode = TrackingMode::None;
+    RunResult r = runWithFile(
+        "int table[64];"
+        "int main() {"
+        "  char buf[8];"
+        "  int fd = open(\"input.txt\", 0);"
+        "  read(fd, buf, 8);"
+        "  int idx = buf[0] & 63;"
+        "  table[idx] = 3;"
+        "  return table[idx];"
+        "}",
+        "\x09", options);
+    EXPECT_EXIT_CODE(r, 3);
+}
+
+TEST(ShiftInstrumentation, CodeSizeByteExceedsWord)
+{
+    const char *src =
+        "int main() {"
+        "  int a[32]; int s = 0;"
+        "  for (int i = 0; i < 32; i++) a[i] = i;"
+        "  for (int i = 0; i < 32; i++) s += a[i];"
+        "  return s & 255;"
+        "}";
+    Session byteSession(src, shiftOptions(Granularity::Byte));
+    Session wordSession(src, shiftOptions(Granularity::Word));
+    EXPECT_GT(byteSession.instrStats().newSize,
+              byteSession.instrStats().originalSize);
+    EXPECT_GE(byteSession.instrStats().newSize,
+              wordSession.instrStats().newSize);
+}
+
+TEST(SoftwareDift, BaselinePropagatesAndDetects)
+{
+    SessionOptions options;
+    options.mode = TrackingMode::SoftwareDift;
+    options.policy = testutil::defaultPolicy();
+    options.baseline.checkLoads = true;
+    options.baseline.checkStores = true;
+    RunResult r = runWithFile(
+        "int table[64];"
+        "int main() {"
+        "  char buf[8];"
+        "  int fd = open(\"input.txt\", 0);"
+        "  read(fd, buf, 8);"
+        "  int idx = buf[0];"
+        "  return table[idx];"
+        "}",
+        "\x05", options);
+    EXPECT_POLICY_KILL(r, "L1");
+}
+
+TEST(SoftwareDift, BaselineCleanRunWorks)
+{
+    SessionOptions options;
+    options.mode = TrackingMode::SoftwareDift;
+    options.policy = testutil::defaultPolicy();
+    RunResult r = runWithFile(
+        "int main() {"
+        "  char buf[16];"
+        "  int fd = open(\"input.txt\", 0);"
+        "  int n = read(fd, buf, 15);"
+        "  buf[n] = 0;"
+        "  if (strcmp(buf, \"ok\") == 0) return 20 + __arg_tainted(buf[0]);"
+        "  return 1;"
+        "}",
+        "ok", options);
+    EXPECT_EXIT_CODE(r, 21);
+}
+
+TEST(SoftwareDift, BaselineCostExceedsShift)
+{
+    const char *src =
+        "int main() {"
+        "  int s = 0;"
+        "  for (int i = 0; i < 1000; i++) s += i * 3 - (i >> 1);"
+        "  return s & 255;"
+        "}";
+    SessionOptions shiftOpts = shiftOptions(Granularity::Word);
+    Session shiftSession(src, shiftOpts);
+    RunResult shiftRun = shiftSession.run();
+
+    SessionOptions baseOpts;
+    baseOpts.mode = TrackingMode::SoftwareDift;
+    baseOpts.policy = testutil::defaultPolicy(Granularity::Word);
+    Session baseSession(src, baseOpts);
+    RunResult baseRun = baseSession.run();
+
+    EXPECT_TRUE(shiftRun.exited);
+    EXPECT_TRUE(baseRun.exited);
+    EXPECT_EQ(shiftRun.exitCode, baseRun.exitCode);
+    // Software DIFT pays for every ALU op; SHIFT rides the hardware.
+    EXPECT_GT(baseRun.cycles, shiftRun.cycles);
+}
+
+} // namespace
+} // namespace shift

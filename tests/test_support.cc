@@ -1,0 +1,159 @@
+/**
+ * @file
+ * Support-library tests: config parsing, bit utilities, statistics.
+ */
+
+#include <gtest/gtest.h>
+
+#include "support/bitops.hh"
+#include "support/config.hh"
+#include "support/logging.hh"
+#include "support/stats.hh"
+
+namespace shift
+{
+namespace
+{
+
+TEST(Config, SectionsAndKeys)
+{
+    Config cfg = Config::parse(
+        "# policy file\n"
+        "[sources]\n"
+        "network = taint\n"
+        "file=clean   ; inline comment\n"
+        "\n"
+        "[policies]\n"
+        "H1 = on\n");
+    EXPECT_EQ(cfg.get("sources", "network"), "taint");
+    EXPECT_EQ(cfg.get("sources", "file"), "clean");
+    EXPECT_TRUE(cfg.getBool("policies", "H1"));
+    EXPECT_FALSE(cfg.has("policies", "H2"));
+    EXPECT_EQ(cfg.get("missing", "key", "dflt"), "dflt");
+    EXPECT_EQ(cfg.sections().size(), 2u);
+    EXPECT_EQ(cfg.keys("sources").size(), 2u);
+}
+
+TEST(Config, CaseInsensitiveLookup)
+{
+    Config cfg = Config::parse("[Tracking]\nGranularity = Byte\n");
+    EXPECT_EQ(cfg.get("tracking", "granularity"), "Byte");
+}
+
+TEST(Config, Booleans)
+{
+    Config cfg = Config::parse(
+        "[b]\na=on\nb=off\nc=true\nd=no\ne=1\nf=0\nbad=maybe\n");
+    EXPECT_TRUE(cfg.getBool("b", "a"));
+    EXPECT_FALSE(cfg.getBool("b", "b"));
+    EXPECT_TRUE(cfg.getBool("b", "c"));
+    EXPECT_FALSE(cfg.getBool("b", "d"));
+    EXPECT_TRUE(cfg.getBool("b", "e"));
+    EXPECT_FALSE(cfg.getBool("b", "f"));
+    EXPECT_THROW(cfg.getBool("b", "bad"), FatalError);
+    EXPECT_TRUE(cfg.getBool("b", "missing", true));
+}
+
+TEST(Config, Integers)
+{
+    Config cfg = Config::parse("[n]\ndec = 42\nhex = 0x20\nbad = 1x\n");
+    EXPECT_EQ(cfg.getInt("n", "dec"), 42);
+    EXPECT_EQ(cfg.getInt("n", "hex"), 32);
+    EXPECT_EQ(cfg.getInt("n", "missing", -7), -7);
+    EXPECT_THROW(cfg.getInt("n", "bad"), FatalError);
+}
+
+TEST(Config, SyntaxErrors)
+{
+    EXPECT_THROW(Config::parse("[unterminated\n"), FatalError);
+    EXPECT_THROW(Config::parse("[]\n"), FatalError);
+    EXPECT_THROW(Config::parse("keywithoutvalue\n"), FatalError);
+    EXPECT_THROW(Config::parse("= value\n"), FatalError);
+}
+
+TEST(Config, SetOverwrites)
+{
+    Config cfg;
+    cfg.set("a", "k", "1");
+    cfg.set("a", "k", "2");
+    EXPECT_EQ(cfg.get("a", "k"), "2");
+    EXPECT_EQ(cfg.keys("a").size(), 1u);
+}
+
+TEST(StringHelpers, TrimSplitIequals)
+{
+    EXPECT_EQ(trim("  x y  "), "x y");
+    EXPECT_EQ(trim(""), "");
+    EXPECT_TRUE(iequals("AbC", "abc"));
+    EXPECT_FALSE(iequals("ab", "abc"));
+    auto parts = splitTrim(" a, b ,c ", ',');
+    ASSERT_EQ(parts.size(), 3u);
+    EXPECT_EQ(parts[0], "a");
+    EXPECT_EQ(parts[1], "b");
+    EXPECT_EQ(parts[2], "c");
+}
+
+TEST(Bitops, BitsAndBit)
+{
+    EXPECT_EQ(bits(0xF0F0, 7, 4), 0xFu);
+    EXPECT_EQ(bits(~0ULL, 63, 0), ~0ULL);
+    EXPECT_TRUE(bit(0b100, 2));
+    EXPECT_FALSE(bit(0b100, 1));
+}
+
+TEST(Bitops, InsertBit)
+{
+    EXPECT_EQ(insertBit(0, 5, true), 32u);
+    EXPECT_EQ(insertBit(0xFF, 0, false), 0xFEu);
+}
+
+TEST(Bitops, SignExtend)
+{
+    EXPECT_EQ(signExtend(0xFF, 8), -1);
+    EXPECT_EQ(signExtend(0x7F, 8), 127);
+    EXPECT_EQ(signExtend(0xFFFFFFFF, 32), -1);
+    EXPECT_EQ(signExtend(5, 64), 5);
+}
+
+TEST(Bitops, Rounding)
+{
+    EXPECT_EQ(roundUp(0, 16), 0u);
+    EXPECT_EQ(roundUp(1, 16), 16u);
+    EXPECT_EQ(roundUp(16, 16), 16u);
+    EXPECT_TRUE(isPowerOf2(64));
+    EXPECT_FALSE(isPowerOf2(0));
+    EXPECT_FALSE(isPowerOf2(48));
+}
+
+TEST(Stats, Counters)
+{
+    StatSet stats;
+    stats.add("a");
+    stats.add("a", 4);
+    stats.add("b", 2);
+    EXPECT_EQ(stats.get("a"), 5u);
+    EXPECT_EQ(stats.get("missing"), 0u);
+    StatSet other;
+    other.add("a", 10);
+    other.add("c", 1);
+    stats.merge(other);
+    EXPECT_EQ(stats.get("a"), 15u);
+    EXPECT_EQ(stats.get("c"), 1u);
+    EXPECT_EQ(stats.names().size(), 3u);
+    stats.clear();
+    EXPECT_EQ(stats.get("a"), 0u);
+}
+
+TEST(Logging, FatalThrows)
+{
+    EXPECT_THROW(SHIFT_FATAL("boom %d", 3), FatalError);
+    try {
+        SHIFT_FATAL("code %d", 42);
+    } catch (const FatalError &e) {
+        EXPECT_NE(std::string(e.what()).find("code 42"),
+                  std::string::npos);
+    }
+}
+
+} // namespace
+} // namespace shift
