@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/smtpd_overflow.dir/smtpd_overflow.cpp.o"
+  "CMakeFiles/smtpd_overflow.dir/smtpd_overflow.cpp.o.d"
+  "smtpd_overflow"
+  "smtpd_overflow.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/smtpd_overflow.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

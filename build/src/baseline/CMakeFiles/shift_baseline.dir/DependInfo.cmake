@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/baseline/software_dift.cc" "src/baseline/CMakeFiles/shift_baseline.dir/software_dift.cc.o" "gcc" "src/baseline/CMakeFiles/shift_baseline.dir/software_dift.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/shift_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/isa/CMakeFiles/shift_isa.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/shift_support.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/shift_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/mem/CMakeFiles/shift_mem.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

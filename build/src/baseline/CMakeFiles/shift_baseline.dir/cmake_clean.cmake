@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/shift_baseline.dir/software_dift.cc.o"
+  "CMakeFiles/shift_baseline.dir/software_dift.cc.o.d"
+  "libshift_baseline.a"
+  "libshift_baseline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/shift_baseline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

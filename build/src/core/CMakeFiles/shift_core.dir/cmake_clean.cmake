@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/shift_core.dir/instrument.cc.o"
+  "CMakeFiles/shift_core.dir/instrument.cc.o.d"
+  "CMakeFiles/shift_core.dir/policy.cc.o"
+  "CMakeFiles/shift_core.dir/policy.cc.o.d"
+  "CMakeFiles/shift_core.dir/taint_map.cc.o"
+  "CMakeFiles/shift_core.dir/taint_map.cc.o.d"
+  "libshift_core.a"
+  "libshift_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/shift_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

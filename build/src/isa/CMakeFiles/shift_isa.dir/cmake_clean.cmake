@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/shift_isa.dir/assembler.cc.o"
+  "CMakeFiles/shift_isa.dir/assembler.cc.o.d"
+  "CMakeFiles/shift_isa.dir/instruction.cc.o"
+  "CMakeFiles/shift_isa.dir/instruction.cc.o.d"
+  "CMakeFiles/shift_isa.dir/program.cc.o"
+  "CMakeFiles/shift_isa.dir/program.cc.o.d"
+  "libshift_isa.a"
+  "libshift_isa.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/shift_isa.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

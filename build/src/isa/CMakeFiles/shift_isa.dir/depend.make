@@ -1,0 +1,2 @@
+# Empty dependencies file for shift_isa.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/lang/codegen.cc" "src/lang/CMakeFiles/shift_lang.dir/codegen.cc.o" "gcc" "src/lang/CMakeFiles/shift_lang.dir/codegen.cc.o.d"
+  "/root/repo/src/lang/compiler.cc" "src/lang/CMakeFiles/shift_lang.dir/compiler.cc.o" "gcc" "src/lang/CMakeFiles/shift_lang.dir/compiler.cc.o.d"
+  "/root/repo/src/lang/lexer.cc" "src/lang/CMakeFiles/shift_lang.dir/lexer.cc.o" "gcc" "src/lang/CMakeFiles/shift_lang.dir/lexer.cc.o.d"
+  "/root/repo/src/lang/liveness.cc" "src/lang/CMakeFiles/shift_lang.dir/liveness.cc.o" "gcc" "src/lang/CMakeFiles/shift_lang.dir/liveness.cc.o.d"
+  "/root/repo/src/lang/parser.cc" "src/lang/CMakeFiles/shift_lang.dir/parser.cc.o" "gcc" "src/lang/CMakeFiles/shift_lang.dir/parser.cc.o.d"
+  "/root/repo/src/lang/regalloc.cc" "src/lang/CMakeFiles/shift_lang.dir/regalloc.cc.o" "gcc" "src/lang/CMakeFiles/shift_lang.dir/regalloc.cc.o.d"
+  "/root/repo/src/lang/speculate.cc" "src/lang/CMakeFiles/shift_lang.dir/speculate.cc.o" "gcc" "src/lang/CMakeFiles/shift_lang.dir/speculate.cc.o.d"
+  "/root/repo/src/lang/type.cc" "src/lang/CMakeFiles/shift_lang.dir/type.cc.o" "gcc" "src/lang/CMakeFiles/shift_lang.dir/type.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/isa/CMakeFiles/shift_isa.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/shift_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/shift_lang.dir/codegen.cc.o"
+  "CMakeFiles/shift_lang.dir/codegen.cc.o.d"
+  "CMakeFiles/shift_lang.dir/compiler.cc.o"
+  "CMakeFiles/shift_lang.dir/compiler.cc.o.d"
+  "CMakeFiles/shift_lang.dir/lexer.cc.o"
+  "CMakeFiles/shift_lang.dir/lexer.cc.o.d"
+  "CMakeFiles/shift_lang.dir/liveness.cc.o"
+  "CMakeFiles/shift_lang.dir/liveness.cc.o.d"
+  "CMakeFiles/shift_lang.dir/parser.cc.o"
+  "CMakeFiles/shift_lang.dir/parser.cc.o.d"
+  "CMakeFiles/shift_lang.dir/regalloc.cc.o"
+  "CMakeFiles/shift_lang.dir/regalloc.cc.o.d"
+  "CMakeFiles/shift_lang.dir/speculate.cc.o"
+  "CMakeFiles/shift_lang.dir/speculate.cc.o.d"
+  "CMakeFiles/shift_lang.dir/type.cc.o"
+  "CMakeFiles/shift_lang.dir/type.cc.o.d"
+  "libshift_lang.a"
+  "libshift_lang.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/shift_lang.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/shift_mem.dir/cache.cc.o"
+  "CMakeFiles/shift_mem.dir/cache.cc.o.d"
+  "CMakeFiles/shift_mem.dir/memory.cc.o"
+  "CMakeFiles/shift_mem.dir/memory.cc.o.d"
+  "libshift_mem.a"
+  "libshift_mem.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/shift_mem.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

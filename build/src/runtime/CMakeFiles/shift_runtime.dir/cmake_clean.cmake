@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/shift_runtime.dir/builtins.cc.o"
+  "CMakeFiles/shift_runtime.dir/builtins.cc.o.d"
+  "CMakeFiles/shift_runtime.dir/minic_stdlib.cc.o"
+  "CMakeFiles/shift_runtime.dir/minic_stdlib.cc.o.d"
+  "CMakeFiles/shift_runtime.dir/session.cc.o"
+  "CMakeFiles/shift_runtime.dir/session.cc.o.d"
+  "libshift_runtime.a"
+  "libshift_runtime.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/shift_runtime.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+src/runtime/CMakeFiles/shift_runtime.dir/minic_stdlib.cc.o: \
+ /root/repo/src/runtime/minic_stdlib.cc /usr/include/stdc-predef.h \
+ /root/repo/src/runtime/minic_stdlib.hh

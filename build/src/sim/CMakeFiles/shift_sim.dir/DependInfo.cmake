@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sim/faults.cc" "src/sim/CMakeFiles/shift_sim.dir/faults.cc.o" "gcc" "src/sim/CMakeFiles/shift_sim.dir/faults.cc.o.d"
+  "/root/repo/src/sim/machine.cc" "src/sim/CMakeFiles/shift_sim.dir/machine.cc.o" "gcc" "src/sim/CMakeFiles/shift_sim.dir/machine.cc.o.d"
+  "/root/repo/src/sim/os.cc" "src/sim/CMakeFiles/shift_sim.dir/os.cc.o" "gcc" "src/sim/CMakeFiles/shift_sim.dir/os.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/isa/CMakeFiles/shift_isa.dir/DependInfo.cmake"
+  "/root/repo/build/src/mem/CMakeFiles/shift_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/shift_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

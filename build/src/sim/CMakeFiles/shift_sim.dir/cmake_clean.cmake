@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/shift_sim.dir/faults.cc.o"
+  "CMakeFiles/shift_sim.dir/faults.cc.o.d"
+  "CMakeFiles/shift_sim.dir/machine.cc.o"
+  "CMakeFiles/shift_sim.dir/machine.cc.o.d"
+  "CMakeFiles/shift_sim.dir/os.cc.o"
+  "CMakeFiles/shift_sim.dir/os.cc.o.d"
+  "libshift_sim.a"
+  "libshift_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/shift_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

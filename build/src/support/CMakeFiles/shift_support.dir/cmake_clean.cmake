@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/shift_support.dir/config.cc.o"
+  "CMakeFiles/shift_support.dir/config.cc.o.d"
+  "CMakeFiles/shift_support.dir/logging.cc.o"
+  "CMakeFiles/shift_support.dir/logging.cc.o.d"
+  "CMakeFiles/shift_support.dir/stats.cc.o"
+  "CMakeFiles/shift_support.dir/stats.cc.o.d"
+  "libshift_support.a"
+  "libshift_support.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/shift_support.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

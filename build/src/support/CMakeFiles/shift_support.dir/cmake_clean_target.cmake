@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libshift_support.a"
+)

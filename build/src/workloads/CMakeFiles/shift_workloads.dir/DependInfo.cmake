@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/workloads/attacks.cc" "src/workloads/CMakeFiles/shift_workloads.dir/attacks.cc.o" "gcc" "src/workloads/CMakeFiles/shift_workloads.dir/attacks.cc.o.d"
+  "/root/repo/src/workloads/httpd.cc" "src/workloads/CMakeFiles/shift_workloads.dir/httpd.cc.o" "gcc" "src/workloads/CMakeFiles/shift_workloads.dir/httpd.cc.o.d"
+  "/root/repo/src/workloads/spec.cc" "src/workloads/CMakeFiles/shift_workloads.dir/spec.cc.o" "gcc" "src/workloads/CMakeFiles/shift_workloads.dir/spec.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/runtime/CMakeFiles/shift_runtime.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/shift_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/shift_support.dir/DependInfo.cmake"
+  "/root/repo/build/src/baseline/CMakeFiles/shift_baseline.dir/DependInfo.cmake"
+  "/root/repo/build/src/lang/CMakeFiles/shift_lang.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/shift_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/isa/CMakeFiles/shift_isa.dir/DependInfo.cmake"
+  "/root/repo/build/src/mem/CMakeFiles/shift_mem.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

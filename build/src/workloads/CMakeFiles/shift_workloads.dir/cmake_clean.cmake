@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/shift_workloads.dir/attacks.cc.o"
+  "CMakeFiles/shift_workloads.dir/attacks.cc.o.d"
+  "CMakeFiles/shift_workloads.dir/httpd.cc.o"
+  "CMakeFiles/shift_workloads.dir/httpd.cc.o.d"
+  "CMakeFiles/shift_workloads.dir/spec.cc.o"
+  "CMakeFiles/shift_workloads.dir/spec.cc.o.d"
+  "libshift_workloads.a"
+  "libshift_workloads.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/shift_workloads.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

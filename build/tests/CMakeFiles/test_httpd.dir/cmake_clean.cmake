@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_httpd.dir/test_httpd.cc.o"
+  "CMakeFiles/test_httpd.dir/test_httpd.cc.o.d"
+  "test_httpd"
+  "test_httpd.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_httpd.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

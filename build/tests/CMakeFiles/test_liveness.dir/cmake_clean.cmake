@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_liveness.dir/test_liveness.cc.o"
+  "CMakeFiles/test_liveness.dir/test_liveness.cc.o.d"
+  "test_liveness"
+  "test_liveness.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_liveness.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_speculate.dir/test_speculate.cc.o"
+  "CMakeFiles/test_speculate.dir/test_speculate.cc.o.d"
+  "test_speculate"
+  "test_speculate.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_speculate.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

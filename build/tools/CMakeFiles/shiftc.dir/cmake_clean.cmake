@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/shiftc.dir/shiftc.cc.o"
+  "CMakeFiles/shiftc.dir/shiftc.cc.o.d"
+  "shiftc"
+  "shiftc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/shiftc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
