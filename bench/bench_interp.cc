@@ -1,0 +1,258 @@
+/**
+ * @file
+ * Host-side interpreter throughput (MIPS) on the SPEC and httpd
+ * workloads — the trajectory metric for interpreter perf work.
+ *
+ * Unlike the figure benches, which report simulated-cycle ratios, this
+ * harness measures how fast the host executes the simulation: dynamic
+ * (simulated) instructions divided by host wall-clock seconds, for the
+ * legacy reference stepper and the predecoded engine side by side. It
+ * verifies on every row that the two engines agree bit-for-bit on
+ * simulated cycles, instruction counts and alerts (a wrong fast
+ * interpreter is worthless), prints the table, registers the metrics
+ * as google-benchmark counters, and writes BENCH_interp.json so future
+ * PRs can chart the trajectory.
+ *
+ * `--smoke` runs a minimal subset once (two SPEC kernels + a small
+ * httpd run) and exits non-zero when the predecoded engine fails to
+ * clear 1.2x the legacy throughput — a cheap CI tripwire for >20%
+ * regressions of the predecode advantage (see the perf-smoke target).
+ */
+
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "bench_util.hh"
+#include "workloads/httpd.hh"
+#include "workloads/spec.hh"
+
+namespace
+{
+
+using namespace shift;
+using namespace shift::workloads;
+using benchutil::geomean;
+using benchutil::registerMetricRow;
+
+struct Measurement
+{
+    uint64_t instructions = 0;
+    uint64_t cycles = 0;
+    size_t alerts = 0;
+    double seconds = 0;
+
+    double mips() const
+    {
+        return seconds > 0 ? double(instructions) / seconds / 1e6 : 0;
+    }
+};
+
+struct Row
+{
+    std::string name;
+    Measurement legacy;
+    Measurement pre;
+
+    double speedup() const
+    {
+        return legacy.mips() > 0 ? pre.mips() / legacy.mips() : 0;
+    }
+};
+
+/**
+ * Repeats per engine per workload; the minimum host time wins. On a
+ * shared host a single run is hostage to whatever else is scheduled,
+ * and the minimum over a few runs converges on the undisturbed cost.
+ * `--smoke` drops to one repeat — the tripwire trades precision for
+ * cheapness.
+ */
+int repeats = 3;
+
+/**
+ * `fn` runs one workload and returns a SpecRun/HttpdRun: a RunResult
+ * in .result plus .runSeconds, the host time spent inside
+ * Machine::run() alone. Using that (rather than timing the whole
+ * call) excludes the compile/instrument/setup pipeline, which is
+ * identical for both engines and would otherwise dilute the
+ * interpreter ratio on short workloads.
+ */
+template <typename Fn>
+Measurement
+timeRun(Fn &&fn)
+{
+    Measurement m;
+    for (int rep = 0; rep < repeats; ++rep) {
+        auto run = fn();
+        const RunResult &result = run.result;
+        if (!result.ok()) {
+            std::fprintf(stderr, "bench_interp: run failed (%s: %s)\n",
+                         faultKindName(result.fault.kind),
+                         result.fault.detail.c_str());
+            std::exit(1);
+        }
+        if (rep == 0) {
+            m.instructions = result.instructions;
+            m.cycles = result.cycles;
+            m.alerts = result.alerts.size();
+            m.seconds = run.runSeconds;
+            continue;
+        }
+        // The simulation is deterministic; a repeat that disagrees
+        // with itself is a bug, not noise.
+        if (result.instructions != m.instructions ||
+            result.cycles != m.cycles ||
+            result.alerts.size() != m.alerts) {
+            std::fprintf(stderr, "bench_interp: NON-DETERMINISTIC "
+                                 "repeat\n");
+            std::exit(1);
+        }
+        if (run.runSeconds < m.seconds)
+            m.seconds = run.runSeconds;
+    }
+    return m;
+}
+
+/** Abort loudly when the engines disagree — speed without fidelity. */
+void
+checkEquivalent(const Row &row)
+{
+    if (row.legacy.cycles != row.pre.cycles ||
+        row.legacy.instructions != row.pre.instructions ||
+        row.legacy.alerts != row.pre.alerts) {
+        std::fprintf(stderr,
+                     "bench_interp: ENGINE MISMATCH on %s: legacy "
+                     "{cycles=%llu instrs=%llu alerts=%zu} vs "
+                     "predecoded {cycles=%llu instrs=%llu alerts=%zu}\n",
+                     row.name.c_str(),
+                     (unsigned long long)row.legacy.cycles,
+                     (unsigned long long)row.legacy.instructions,
+                     row.legacy.alerts,
+                     (unsigned long long)row.pre.cycles,
+                     (unsigned long long)row.pre.instructions,
+                     row.pre.alerts);
+        std::exit(1);
+    }
+}
+
+Row
+measureSpec(const SpecKernel &kernel)
+{
+    Row row;
+    row.name = "spec/" + kernel.shortName;
+    SpecRunConfig config;
+    config.mode = TrackingMode::Shift;
+    config.granularity = Granularity::Byte;
+    config.taintInput = true;
+
+    config.engine = ExecEngine::Legacy;
+    row.legacy = timeRun([&] { return runSpecKernel(kernel, config); });
+    config.engine = ExecEngine::Predecoded;
+    row.pre = timeRun([&] { return runSpecKernel(kernel, config); });
+    checkEquivalent(row);
+    return row;
+}
+
+Row
+measureHttpd(int requests)
+{
+    Row row;
+    row.name = "httpd";
+    HttpdConfig config;
+    config.mode = TrackingMode::Shift;
+    config.requests = requests;
+
+    config.engine = ExecEngine::Legacy;
+    row.legacy = timeRun([&] { return runHttpd(config); });
+    config.engine = ExecEngine::Predecoded;
+    row.pre = timeRun([&] { return runHttpd(config); });
+    checkEquivalent(row);
+    return row;
+}
+
+void
+writeJson(const std::vector<Row> &rows, double geomeanSpeedup)
+{
+    FILE *f = std::fopen("BENCH_interp.json", "w");
+    if (!f) {
+        std::fprintf(stderr, "bench_interp: cannot write "
+                             "BENCH_interp.json\n");
+        return;
+    }
+    std::fprintf(f, "{\n  \"workloads\": [\n");
+    for (size_t i = 0; i < rows.size(); ++i) {
+        const Row &r = rows[i];
+        std::fprintf(
+            f,
+            "    {\"name\": \"%s\", \"instructions\": %llu, "
+            "\"mips_legacy\": %.2f, \"mips_predecoded\": %.2f, "
+            "\"speedup\": %.3f}%s\n",
+            r.name.c_str(), (unsigned long long)r.pre.instructions,
+            r.legacy.mips(), r.pre.mips(), r.speedup(),
+            i + 1 < rows.size() ? "," : "");
+    }
+    std::fprintf(f, "  ],\n  \"geomean_speedup\": %.3f\n}\n",
+                 geomeanSpeedup);
+    std::fclose(f);
+    std::printf("wrote BENCH_interp.json\n");
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    bool smoke = false;
+    for (int i = 1; i < argc; ++i) {
+        if (std::strcmp(argv[i], "--smoke") == 0)
+            smoke = true;
+    }
+    if (smoke)
+        repeats = 1;
+
+    std::printf("\n=== Interpreter throughput: host MIPS, legacy vs "
+                "predecoded engine ===\n");
+    std::printf("%-14s %10s %12s %14s %9s\n", "workload", "Minstrs",
+                "MIPS legacy", "MIPS predecode", "speedup");
+    benchutil::rule(64);
+
+    std::vector<Row> rows;
+    size_t specCount = smoke ? 2 : specKernels().size();
+    for (size_t i = 0; i < specCount; ++i)
+        rows.push_back(measureSpec(specKernels()[i]));
+    rows.push_back(measureHttpd(smoke ? 5 : 50));
+
+    std::vector<double> speedups;
+    for (const Row &r : rows) {
+        std::printf("%-14s %10.1f %12.1f %14.1f %8.2fx\n",
+                    r.name.c_str(), double(r.pre.instructions) / 1e6,
+                    r.legacy.mips(), r.pre.mips(), r.speedup());
+        speedups.push_back(r.speedup());
+        registerMetricRow("interp/" + r.name,
+                          {{"mips_legacy", r.legacy.mips()},
+                           {"mips_predecoded", r.pre.mips()},
+                           {"speedup_X", r.speedup()}});
+    }
+    benchutil::rule(64);
+    double gm = geomean(speedups);
+    std::printf("%-14s %37s %8.2fx\n", "geo.mean", "", gm);
+    std::printf("(engines verified cycle- and alert-identical on every "
+                "row)\n\n");
+
+    registerMetricRow("interp/geomean", {{"speedup_X", gm}});
+    writeJson(rows, gm);
+
+    if (smoke && gm < 1.2) {
+        std::fprintf(stderr,
+                     "perf-smoke FAIL: predecoded engine only %.2fx "
+                     "legacy throughput (floor 1.2x)\n",
+                     gm);
+        return 1;
+    }
+
+    benchmark::Initialize(&argc, argv);
+    benchmark::RunSpecifiedBenchmarks();
+    return 0;
+}

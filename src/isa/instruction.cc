@@ -325,6 +325,17 @@ usesReg(const Instr &instr, int r)
     return used;
 }
 
+uint64_t
+regUseMask(const Instr &instr)
+{
+    uint64_t mask = 0;
+    forEachUse(instr, [&](uint16_t reg) {
+        if (reg < kNumGpr)
+            mask |= 1ULL << reg;
+    });
+    return mask;
+}
+
 Instr
 makeAlu(Opcode op, int dst, int src1, int src2)
 {

@@ -112,6 +112,9 @@ enum class Opcode : uint8_t
     Halt,    ///< stop the machine (normal termination path for _start)
 };
 
+/** One past the last opcode, for dispatch tables indexed by Opcode. */
+constexpr size_t kNumOpcodes = static_cast<size_t>(Opcode::Halt) + 1;
+
 /** Comparison relations for Cmp/CmpNat. */
 enum class CmpRel : uint8_t
 {
@@ -141,6 +144,22 @@ enum class OrigClass : uint8_t
 {
     None, ForLoad, ForStore, ForCompare,
 };
+
+/** Enumerator counts, for accounting tables indexed by the above. */
+constexpr int kNumProvenance = 8;
+constexpr int kNumOrigClass = 4;
+
+/**
+ * Flat index into a [kNumProvenance][kNumOrigClass] accounting table.
+ * Precomputed per instruction by the predecoder so the interpreter's
+ * per-instruction cycle attribution is one indexed add.
+ */
+constexpr unsigned
+statIndex(Provenance prov, OrigClass cls)
+{
+    return static_cast<unsigned>(prov) * kNumOrigClass +
+           static_cast<unsigned>(cls);
+}
 
 /**
  * One decoded instruction. A plain aggregate: passes build and rewrite
@@ -265,6 +284,15 @@ forEachUse(const Instr &instr, F fn)
 
 /** True when the instruction reads register r. */
 bool usesReg(const Instr &instr, int r);
+
+/**
+ * Bitmask of the physical GRs the instruction reads (bit r set when
+ * usesReg(instr, r) for r < kNumGpr). Virtual registers (>= kNumGpr)
+ * are not representable and must be allocated away first; the
+ * predecoder precomputes this so the interpreter's load-use stall
+ * check is a single bit test.
+ */
+uint64_t regUseMask(const Instr &instr);
 
 // ---------------------------------------------------------------------
 // Construction helpers. Instrumentation passes and the code generator

@@ -20,24 +20,9 @@ Cache::Cache(const Params &params) : params_(params)
     lines_.resize(numLines);
 }
 
-bool
-Cache::access(uint64_t addr)
+void
+Cache::fill(Line *ways, uint64_t tag)
 {
-    uint64_t lineAddr = addr >> lineShift_;
-    unsigned set = static_cast<unsigned>(lineAddr & (numSets_ - 1));
-    uint64_t tag = lineAddr; // full line address as tag: exact
-    Line *ways = &lines_[static_cast<size_t>(set) * params_.assoc];
-    ++tick_;
-
-    for (unsigned w = 0; w < params_.assoc; ++w) {
-        Line &line = ways[w];
-        if (line.valid && line.tag == tag) {
-            line.lru = tick_;
-            ++hits_;
-            return true;
-        }
-    }
-    // Miss: fill an invalid way if one exists, else evict the LRU way.
     Line *victim = &ways[0];
     for (unsigned w = 0; w < params_.assoc; ++w) {
         Line &line = ways[w];
@@ -52,7 +37,6 @@ Cache::access(uint64_t addr)
     victim->tag = tag;
     victim->lru = tick_;
     ++misses_;
-    return false;
 }
 
 void

@@ -10,6 +10,7 @@
 #ifndef SHIFT_MEM_CACHE_HH
 #define SHIFT_MEM_CACHE_HH
 
+#include <cstddef>
 #include <cstdint>
 #include <vector>
 
@@ -30,8 +31,32 @@ class Cache
     Cache() : Cache(Params{}) {}
     explicit Cache(const Params &params);
 
-    /** Access a line: returns true on hit; allocates on miss. */
-    bool access(uint64_t addr);
+    /**
+     * Access a line: returns true on hit; allocates on miss. Inline:
+     * the interpreter consults the model on every simulated load and
+     * store, and the hit path is a short tag scan over one set.
+     */
+    bool
+    access(uint64_t addr)
+    {
+        uint64_t lineAddr = addr >> lineShift_;
+        unsigned set = static_cast<unsigned>(lineAddr & (numSets_ - 1));
+        uint64_t tag = lineAddr; // full line address as tag: exact
+        Line *ways = &lines_[static_cast<size_t>(set) * params_.assoc];
+        unsigned assoc = params_.assoc;
+        ++tick_;
+
+        for (unsigned w = 0; w < assoc; ++w) {
+            Line &line = ways[w];
+            if (line.valid && line.tag == tag) {
+                line.lru = tick_;
+                ++hits_;
+                return true;
+            }
+        }
+        fill(ways, tag);
+        return false;
+    }
 
     /** Drop all lines. */
     void reset();
@@ -46,6 +71,9 @@ class Cache
         uint64_t lru = 0;
         bool valid = false;
     };
+
+    /** Miss path: fill an invalid way or evict the LRU way. */
+    void fill(Line *ways, uint64_t tag);
 
     Params params_;
     unsigned numSets_;

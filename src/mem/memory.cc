@@ -19,6 +19,14 @@ Memory::map(uint64_t base, uint64_t len)
         if (!slot)
             slot = std::make_unique<Page>();
     }
+    tlbFlush();
+}
+
+void
+Memory::tlbFlush()
+{
+    tlb_.fill(TlbEntry{});
+    tagTlb_ = TlbEntry{};
 }
 
 bool
@@ -31,13 +39,18 @@ Memory::Page *
 Memory::pageFor(uint64_t addr, bool allocate)
 {
     uint64_t key = addr >> kPageShift;
+    if (Page *cached = tlbLookup(key))
+        return cached;
     auto it = pages_.find(key);
-    if (it != pages_.end())
+    if (it != pages_.end()) {
+        tlbInsert(key, it->second.get());
         return it->second.get();
+    }
     if (allocate || demandMapped(addr)) {
         auto page = std::make_unique<Page>();
         Page *raw = page.get();
         pages_[key] = std::move(page);
+        tlbInsert(key, raw);
         return raw;
     }
     return nullptr;
@@ -46,8 +59,14 @@ Memory::pageFor(uint64_t addr, bool allocate)
 const Memory::Page *
 Memory::pageForConst(uint64_t addr) const
 {
-    auto it = pages_.find(addr >> kPageShift);
-    return it == pages_.end() ? nullptr : it->second.get();
+    uint64_t key = addr >> kPageShift;
+    if (Page *cached = tlbLookup(key))
+        return cached;
+    auto it = pages_.find(key);
+    if (it == pages_.end())
+        return nullptr;
+    tlbInsert(key, it->second.get());
+    return it->second.get();
 }
 
 MemFault
@@ -64,9 +83,28 @@ Memory::probe(uint64_t addr, unsigned size) const
 }
 
 MemFault
-Memory::read(uint64_t addr, unsigned size, uint64_t &value)
+Memory::readSlow(uint64_t addr, unsigned size, uint64_t &value)
 {
     SHIFT_ASSERT(size == 1 || size == 2 || size == 4 || size == 8);
+    uint64_t off = addr & (kPageSize - 1);
+    if (off + size <= kPageSize) {
+        // Single-page access that missed the translation cache: one
+        // map lookup (which refills the cache) covers all bytes.
+        if (!isImplemented(addr) || !isImplemented(addr + size - 1))
+            return MemFault::Unimplemented;
+        Page *page = pageFor(addr, false);
+        if (!page)
+            return MemFault::Unmapped;
+        const uint8_t *bytes = page->data.data() + off;
+        uint64_t v = 0;
+        for (unsigned i = 0; i < size; ++i)
+            v |= static_cast<uint64_t>(bytes[i]) << (8 * i);
+        value = v;
+        return MemFault::None;
+    }
+
+    // Page-crossing: probe everything first so a partial fault has no
+    // side effects, then assemble byte by byte.
     MemFault fault = probe(addr, size);
     if (fault != MemFault::None)
         return fault;
@@ -74,37 +112,48 @@ Memory::read(uint64_t addr, unsigned size, uint64_t &value)
     for (unsigned i = 0; i < size; ++i) {
         Page *page = pageFor(addr + i, false);
         SHIFT_ASSERT(page);
-        uint64_t off = (addr + i) & (kPageSize - 1);
-        v |= static_cast<uint64_t>(page->data[off]) << (8 * i);
+        uint64_t byteOff = (addr + i) & (kPageSize - 1);
+        v |= static_cast<uint64_t>(page->data[byteOff]) << (8 * i);
     }
     value = v;
     return MemFault::None;
 }
 
 MemFault
-Memory::write(uint64_t addr, unsigned size, uint64_t value)
+Memory::writeSlow(uint64_t addr, unsigned size, uint64_t value)
 {
     SHIFT_ASSERT(size == 1 || size == 2 || size == 4 || size == 8);
+    uint64_t off = addr & (kPageSize - 1);
+    if (off + size <= kPageSize) {
+        if (!isImplemented(addr) || !isImplemented(addr + size - 1))
+            return MemFault::Unimplemented;
+        Page *page = pageFor(addr, false);
+        if (!page)
+            return MemFault::Unmapped;
+        uint8_t *bytes = page->data.data() + off;
+        for (unsigned i = 0; i < size; ++i)
+            bytes[i] = static_cast<uint8_t>(value >> (8 * i));
+        return MemFault::None;
+    }
+
     MemFault fault = probe(addr, size);
     if (fault != MemFault::None)
         return fault;
     for (unsigned i = 0; i < size; ++i) {
         Page *page = pageFor(addr + i, false);
         SHIFT_ASSERT(page);
-        uint64_t off = (addr + i) & (kPageSize - 1);
-        page->data[off] = static_cast<uint8_t>(value >> (8 * i));
+        uint64_t byteOff = (addr + i) & (kPageSize - 1);
+        page->data[byteOff] = static_cast<uint8_t>(value >> (8 * i));
     }
     return MemFault::None;
 }
 
 MemFault
-Memory::writeSpill(uint64_t addr, uint64_t value, bool nat)
+Memory::writeSpillSlow(uint64_t addr, uint64_t value, bool nat)
 {
     MemFault fault = write(addr, 8, value);
     if (fault != MemFault::None)
         return fault;
-    // The sidecar tracks whole words; unaligned spills are not
-    // generated by any of our passes but would round down here.
     Page *page = pageFor(addr, false);
     uint64_t word = (addr & (kPageSize - 1)) >> 3;
     uint64_t &bits = page->nat[word >> 6];
@@ -114,7 +163,7 @@ Memory::writeSpill(uint64_t addr, uint64_t value, bool nat)
 }
 
 MemFault
-Memory::readFill(uint64_t addr, uint64_t &value, bool &nat)
+Memory::readFillSlow(uint64_t addr, uint64_t &value, bool &nat)
 {
     MemFault fault = read(addr, 8, value);
     if (fault != MemFault::None)

@@ -20,6 +20,7 @@
 
 #include <array>
 #include <cstdint>
+#include <cstring>
 #include <memory>
 #include <string>
 #include <unordered_map>
@@ -47,7 +48,10 @@ class Memory
 
     Memory() = default;
 
-    /** Map [base, base+len): allocates zeroed pages. */
+    /**
+     * Map [base, base+len): allocates zeroed pages. Invalidates the
+     * page-translation cache.
+     */
     void map(uint64_t base, uint64_t len);
 
     /** True when the byte at addr is backed by a page. */
@@ -59,17 +63,78 @@ class Memory
      */
     MemFault probe(uint64_t addr, unsigned size) const;
 
-    /** Read `size` bytes (1/2/4/8), little-endian, zero-extended. */
-    MemFault read(uint64_t addr, unsigned size, uint64_t &value);
+    /**
+     * Read `size` bytes (1/2/4/8), little-endian, zero-extended.
+     *
+     * The body is inline so the interpreter's load path pays only a
+     * translation-cache probe and one fixed-size access when the page
+     * is cached; everything else (first touch, page-crossing access,
+     * unimplemented bits, faults) drops to the out-of-line slow path.
+     * A cache hit needs no isImplemented() check: only implemented
+     * page keys are ever inserted (see tlbInsert).
+     */
+    MemFault
+    read(uint64_t addr, unsigned size, uint64_t &value)
+    {
+        uint64_t off = addr & (kPageSize - 1);
+        Page *page = tlbLookup(addr >> kPageShift);
+        if (page && off + size <= kPageSize) {
+            value = loadLe(page->data.data() + off, size);
+            return MemFault::None;
+        }
+        return readSlow(addr, size, value);
+    }
 
-    /** Write the low `size` bytes of value. */
-    MemFault write(uint64_t addr, unsigned size, uint64_t value);
+    /** Write the low `size` bytes of value. Inline twin of read(). */
+    MemFault
+    write(uint64_t addr, unsigned size, uint64_t value)
+    {
+        uint64_t off = addr & (kPageSize - 1);
+        Page *page = tlbLookup(addr >> kPageShift);
+        if (page && off + size <= kPageSize) {
+            storeLe(page->data.data() + off, size, value);
+            return MemFault::None;
+        }
+        return writeSlow(addr, size, value);
+    }
 
-    /** st8.spill: write a word plus its NaT bit to the sidecar. */
-    MemFault writeSpill(uint64_t addr, uint64_t value, bool nat);
+    /**
+     * st8.spill: write a word plus its NaT bit to the sidecar. Inline
+     * twin of write(): a translation-cache hit covers both the data
+     * and the per-page NaT sidecar, so spills pay no page lookup. The
+     * sidecar tracks whole words; unaligned spills are not generated
+     * by any of our passes but would round down here.
+     */
+    MemFault
+    writeSpill(uint64_t addr, uint64_t value, bool nat)
+    {
+        uint64_t off = addr & (kPageSize - 1);
+        Page *page = tlbLookup(addr >> kPageShift);
+        if (page && off + 8 <= kPageSize) {
+            storeLe(page->data.data() + off, 8, value);
+            uint64_t word = off >> 3;
+            uint64_t &bits = page->nat[word >> 6];
+            uint64_t mask = 1ULL << (word & 63);
+            bits = nat ? (bits | mask) : (bits & ~mask);
+            return MemFault::None;
+        }
+        return writeSpillSlow(addr, value, nat);
+    }
 
     /** ld8.fill: read a word plus its sidecar NaT bit. */
-    MemFault readFill(uint64_t addr, uint64_t &value, bool &nat);
+    MemFault
+    readFill(uint64_t addr, uint64_t &value, bool &nat)
+    {
+        uint64_t off = addr & (kPageSize - 1);
+        const Page *page = tlbLookup(addr >> kPageShift);
+        if (page && off + 8 <= kPageSize) {
+            value = loadLe(page->data.data() + off, 8);
+            uint64_t word = off >> 3;
+            nat = (page->nat[word >> 6] >> (word & 63)) & 1;
+            return MemFault::None;
+        }
+        return readFillSlow(addr, value, nat);
+    }
 
     /** Bulk host-side copy out of simulated memory. */
     MemFault readBytes(uint64_t addr, void *out, uint64_t len);
@@ -84,6 +149,20 @@ class Memory
     /** Number of pages currently allocated. */
     size_t pageCount() const { return pages_.size(); }
 
+    /**
+     * Enable or disable the page-translation cache (enabled by
+     * default). The legacy execution engine disables it so it stays a
+     * faithful pre-change baseline — every access pays the hash-map
+     * translation, as the original stepper did — which also lets the
+     * engine-equivalence tests prove the cache is semantics-preserving.
+     */
+    void
+    setTranslationCacheEnabled(bool enabled)
+    {
+        tlbEnabled_ = enabled;
+        tlbFlush();
+    }
+
   private:
     struct Page
     {
@@ -96,6 +175,63 @@ class Memory
     Page *pageFor(uint64_t addr, bool allocate);
     const Page *pageForConst(uint64_t addr) const;
 
+    /** Out-of-line general read/write paths behind the inline pair. */
+    MemFault readSlow(uint64_t addr, unsigned size, uint64_t &value);
+    MemFault writeSlow(uint64_t addr, unsigned size, uint64_t value);
+    MemFault writeSpillSlow(uint64_t addr, uint64_t value, bool nat);
+    MemFault readFillSlow(uint64_t addr, uint64_t &value, bool &nat);
+
+    // Fixed-size little-endian accessors: memcpy compiles to one host
+    // load/store per size (the simulated ISA is little-endian and so
+    // are the supported hosts; the slow path's byte loops stay the
+    // reference definition).
+    static uint64_t
+    loadLe(const uint8_t *p, unsigned size)
+    {
+        switch (size) {
+          case 1:
+            return *p;
+          case 2: {
+            uint16_t v;
+            std::memcpy(&v, p, 2);
+            return v;
+          }
+          case 4: {
+            uint32_t v;
+            std::memcpy(&v, p, 4);
+            return v;
+          }
+          default: {
+            uint64_t v;
+            std::memcpy(&v, p, 8);
+            return v;
+          }
+        }
+    }
+
+    static void
+    storeLe(uint8_t *p, unsigned size, uint64_t value)
+    {
+        switch (size) {
+          case 1:
+            *p = static_cast<uint8_t>(value);
+            break;
+          case 2: {
+            uint16_t v = static_cast<uint16_t>(value);
+            std::memcpy(p, &v, 2);
+            break;
+          }
+          case 4: {
+            uint32_t v = static_cast<uint32_t>(value);
+            std::memcpy(p, &v, 4);
+            break;
+          }
+          default:
+            std::memcpy(p, &value, 8);
+            break;
+        }
+    }
+
     static bool
     demandMapped(uint64_t addr)
     {
@@ -103,7 +239,67 @@ class Memory
         return region == kTagRegion || region == kOsRegion;
     }
 
+    // ----- page-translation cache ---------------------------------------
+    //
+    // A small direct-mapped (pageKey -> Page*) cache consulted before
+    // the unordered_map, so the hot interpreter paths (every load,
+    // store and taint-bitmap probe) skip the hash lookup. The tag
+    // space (region 0) gets a dedicated entry: SHIFT-instrumented code
+    // interleaves one bitmap access with nearly every data access, and
+    // sharing the indexed entries would make them thrash. Pages are
+    // never freed, so cached pointers cannot dangle; the cache is
+    // nevertheless flushed on map() so no entry outlives an explicit
+    // address-space change. Negative results are never cached (a miss
+    // may be a demand-map allocation the next access performs).
+
+    struct TlbEntry
+    {
+        uint64_t key = kNoPageKey;
+        Page *page = nullptr;
+    };
+
+    /** No valid page key has all bits set (keys are va >> 12). */
+    static constexpr uint64_t kNoPageKey = ~0ULL;
+    static constexpr size_t kTlbEntries = 16; ///< power of two
+
+    Page *
+    tlbLookup(uint64_t key) const
+    {
+        const TlbEntry &e = tlbSlot(key);
+        return e.key == key ? e.page : nullptr;
+    }
+
+    void
+    tlbInsert(uint64_t key, Page *page) const
+    {
+        if (!tlbEnabled_)
+            return;
+        // Only implemented addresses may enter the cache: a hit must
+        // prove the fast paths need no unimplemented-bits check, and
+        // isImplemented() depends only on bits the page key contains.
+        if (!isImplemented(key << kPageShift))
+            return;
+        TlbEntry &e = tlbSlot(key);
+        e.key = key;
+        e.page = page;
+    }
+
+    TlbEntry &
+    tlbSlot(uint64_t key) const
+    {
+        if ((key >> (kRegionShift - kPageShift)) == kTagRegion)
+            return tagTlb_;
+        return tlb_[key & (kTlbEntries - 1)];
+    }
+
+    void tlbFlush();
+
     std::unordered_map<uint64_t, std::unique_ptr<Page>> pages_;
+    // Mutable: a translation cache is transparent state, filled on the
+    // const read paths too.
+    mutable std::array<TlbEntry, kTlbEntries> tlb_{};
+    mutable TlbEntry tagTlb_{};
+    bool tlbEnabled_ = true;
 };
 
 } // namespace shift

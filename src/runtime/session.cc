@@ -59,7 +59,8 @@ Session::build(const std::vector<std::string> &sources)
     }
 
     // 3. Machine + runtime wiring.
-    machine_ = std::make_unique<Machine>(program_, options_.features);
+    machine_ = std::make_unique<Machine>(program_, options_.features,
+                                         options_.engine);
     policy_ = std::make_unique<PolicyEngine>(options_.policy);
     bool tracking = options_.mode != TrackingMode::None;
     if (tracking) {

@@ -51,6 +51,7 @@ struct SessionOptions
     TrackingMode mode = TrackingMode::Shift;
     PolicyConfig policy;
     CpuFeatures features;            ///< architectural enhancements
+    ExecEngine engine = ExecEngine::Predecoded; ///< interpreter engine
     InstrumentOptions instr;         ///< granularity is taken from policy
     BaselineOptions baseline;        ///< for SoftwareDift mode
     bool includeStdlib = true;

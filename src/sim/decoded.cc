@@ -1,0 +1,156 @@
+#include "sim/decoded.hh"
+
+#include <unordered_map>
+
+namespace shift
+{
+
+namespace
+{
+
+/**
+ * Precomputed operand set for the load-use stall check. chk.s only
+ * inspects the NaT bit, which is available early, so it never stalls
+ * (mask 0 folds the legacy stepper's opcode test into the mask).
+ */
+uint64_t
+stallUseMask(const Instr &instr)
+{
+    if (instr.op == Opcode::Chk)
+        return 0;
+    return regUseMask(instr);
+}
+
+Fault
+badProgram(const Function &fn, int funcIndex, size_t origIndex,
+           int64_t label)
+{
+    Fault fault;
+    fault.kind = FaultKind::BadProgram;
+    fault.context = FaultContext::ControlFlow;
+    fault.function = funcIndex;
+    fault.pc = origIndex;
+    fault.detail = "branch to unresolved label L" + std::to_string(label) +
+                   " in function '" + fn.name + "'";
+    return fault;
+}
+
+} // namespace
+
+bool
+decodeProgram(const Program &program, DecodedProgram &out, Fault &error)
+{
+    out.functions.clear();
+    out.functions.resize(program.functions.size());
+    out.builtinNames.clear();
+
+    // Name tables built once; emplace keeps the first definition, the
+    // same one Program::findFunction's linear scan returns.
+    std::unordered_map<std::string, int32_t> funcOf;
+    for (size_t f = 0; f < program.functions.size(); ++f)
+        funcOf.emplace(program.functions[f].name,
+                       static_cast<int32_t>(f));
+    std::unordered_map<std::string, int32_t> slotOf;
+
+    for (size_t f = 0; f < program.functions.size(); ++f) {
+        const Function &fn = program.functions[f];
+        DecodedFunction &df = out.functions[f];
+        df.src = &fn;
+        df.origCount = static_cast<uint32_t>(fn.code.size());
+
+        // Pass 1: label positions, and for every original index the
+        // dense index of the first non-label instruction at/after it
+        // (so a branch to a label lands where the legacy stepper does
+        // after walking the zero-cost markers).
+        std::vector<int32_t> labelPos(
+            fn.nextLabel > 0 ? static_cast<size_t>(fn.nextLabel) : 0, -1);
+        std::vector<int32_t> denseAt(fn.code.size() + 1, 0);
+        int32_t dense = 0;
+        for (size_t i = 0; i < fn.code.size(); ++i) {
+            denseAt[i] = dense;
+            const Instr &instr = fn.code[i];
+            if (instr.op == Opcode::Label) {
+                if (instr.imm >= 0) {
+                    if (static_cast<size_t>(instr.imm) >= labelPos.size())
+                        labelPos.resize(
+                            static_cast<size_t>(instr.imm) + 1, -1);
+                    labelPos[static_cast<size_t>(instr.imm)] =
+                        static_cast<int32_t>(i);
+                }
+            } else {
+                ++dense;
+            }
+        }
+        denseAt[fn.code.size()] = dense;
+
+        // Pass 2: copy, strip labels, link targets and callees.
+        df.code.reserve(static_cast<size_t>(dense) + 1);
+        for (size_t i = 0; i < fn.code.size(); ++i) {
+            const Instr &instr = fn.code[i];
+            if (instr.op == Opcode::Label)
+                continue;
+            DecodedInstr d;
+            d.useMask = stallUseMask(instr);
+            d.imm = instr.imm;
+            d.origIndex = static_cast<int32_t>(i);
+            d.r1 = instr.r1;
+            d.r2 = instr.r2;
+            d.r3 = instr.r3;
+            d.op = instr.op;
+            d.qp = instr.qp;
+            d.p1 = instr.p1;
+            d.p2 = instr.p2;
+            d.br = instr.br;
+            d.rel = instr.rel;
+            d.size = instr.size;
+            d.pos = instr.pos;
+            d.len = instr.len;
+            d.statIdx = static_cast<uint8_t>(
+                statIndex(instr.prov, instr.origClass));
+            d.useImm = instr.useImm;
+            d.spec = instr.spec;
+            d.fill = instr.fill;
+            d.spill = instr.spill;
+
+            if (instr.op == Opcode::Br || instr.op == Opcode::Chk) {
+                int32_t pos = -1;
+                if (instr.imm >= 0 &&
+                    static_cast<size_t>(instr.imm) < labelPos.size())
+                    pos = labelPos[static_cast<size_t>(instr.imm)];
+                if (pos < 0) {
+                    error = badProgram(fn, static_cast<int>(f), i,
+                                       instr.imm);
+                    return false;
+                }
+                d.target = denseAt[pos];
+            } else if (instr.op == Opcode::BrCall) {
+                auto fit = funcOf.find(instr.callee);
+                if (fit != funcOf.end()) {
+                    d.callee = fit->second;
+                } else {
+                    auto [sit, inserted] = slotOf.emplace(
+                        instr.callee,
+                        static_cast<int32_t>(out.builtinNames.size()));
+                    if (inserted)
+                        out.builtinNames.push_back(instr.callee);
+                    d.callee = -1 - sit->second;
+                }
+            }
+            df.code.push_back(d);
+        }
+
+        // End-of-function sentinel: falling (or branching) past the
+        // last instruction lands here instead of needing a bounds
+        // check on every fetch. Label never survives decode, so the
+        // interpreter reuses its dispatch slot as the fell-off-the-end
+        // handler. The sentinel never nullifies (qp 0), never stalls
+        // (empty use mask) and reports the architectural end pc.
+        DecodedInstr sentinel;
+        sentinel.op = Opcode::Label;
+        sentinel.origIndex = static_cast<int32_t>(fn.code.size());
+        df.code.push_back(sentinel);
+    }
+    return true;
+}
+
+} // namespace shift

@@ -14,6 +14,7 @@ faultKindName(FaultKind kind)
       case FaultKind::BadIndirect: return "bad-indirect-branch";
       case FaultKind::UnknownFunction: return "unknown-function";
       case FaultKind::StepLimit: return "step-limit";
+      case FaultKind::BadProgram: return "bad-program";
     }
     return "???";
 }

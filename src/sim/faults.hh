@@ -29,6 +29,9 @@ enum class FaultKind : uint8_t
     BadIndirect,    ///< indirect branch to a non-function address
     UnknownFunction,///< call target neither user code nor a built-in
     StepLimit,      ///< execution exceeded the configured step budget
+    BadProgram,     ///< malformed code (e.g. a branch to an unresolved
+                    ///< label); the predecoder rejects this at
+                    ///< Machine-construction time
 };
 
 /** What the faulting instruction was doing with the NaT value. */

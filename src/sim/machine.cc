@@ -1,7 +1,19 @@
 #include "machine.hh"
 
+#include <bit>
+
 #include "support/bitops.hh"
 #include "support/logging.hh"
+
+// Direct-threaded dispatch (computed goto) for the predecoded engine
+// where the compiler supports it; define SHIFT_PORTABLE_DISPATCH to
+// force the portable switch loop (both modes share one copy of the
+// handler bodies — see runDecoded).
+#if defined(__GNUC__) && !defined(SHIFT_PORTABLE_DISPATCH)
+#define SHIFT_THREADED_DISPATCH 1
+#else
+#define SHIFT_THREADED_DISPATCH 0
+#endif
 
 namespace shift
 {
@@ -18,11 +30,28 @@ constexpr size_t kMaxCallDepth = 1 << 16;
 
 } // namespace
 
-Machine::Machine(const Program &program, CpuFeatures features)
-    : program_(&program), features_(features)
+Machine::Machine(const Program &program, CpuFeatures features,
+                 ExecEngine engine)
+    : program_(&program), features_(features), engine_(engine)
 {
     layout();
-    resolveLabels();
+    if (engine_ == ExecEngine::Predecoded) {
+        Fault decodeError;
+        if (!decodeProgram(*program_, decoded_, decodeError)) {
+            // Malformed code is a construction-time diagnostic: the
+            // machine starts stopped and run() reports the fault.
+            fault_ = decodeError;
+            stopped_ = true;
+        }
+        builtinSlotFns_.assign(decoded_.builtinNames.size(), nullptr);
+    } else {
+        resolveLabels();
+        // The legacy stepper is the pre-change reference: it keeps
+        // paying the hash-map page translation on every access, so
+        // bench_interp's baseline stays honest and the equivalence
+        // suite exercises both translation paths.
+        mem_.setTranslationCacheEnabled(false);
+    }
     reset();
 }
 
@@ -131,17 +160,39 @@ Machine::sbrk(uint64_t bytes)
     return old;
 }
 
+uint64_t
+Machine::archPc() const
+{
+    if (engine_ == ExecEngine::Legacy)
+        return pc_;
+    if (curFunc_ < 0 ||
+        static_cast<size_t>(curFunc_) >= decoded_.functions.size())
+        return pc_;
+    const DecodedFunction &df = decoded_.functions[curFunc_];
+    if (pc_ < df.code.size())
+        return static_cast<uint64_t>(df.code[pc_].origIndex);
+    return df.origCount; // fell off the end
+}
+
 void
 Machine::registerBuiltin(const std::string &name, BuiltinFn fn)
 {
-    builtins_[name] = std::move(fn);
+    BuiltinFn &stored = builtins_[name];
+    stored = std::move(fn);
+    // Bind any predecoded call site referencing this name. Map nodes
+    // are address-stable, so the slot pointer survives rehashes and
+    // re-registration.
+    for (size_t i = 0; i < decoded_.builtinNames.size(); ++i) {
+        if (decoded_.builtinNames[i] == name)
+            builtinSlotFns_[i] = &stored;
+    }
 }
 
 void
 Machine::raiseAlert(SecurityAlert alert, bool kill)
 {
     alert.function = curFunc_;
-    alert.pc = pc_;
+    alert.pc = archPc();
     alerts_.push_back(std::move(alert));
     if (kill) {
         killedByPolicy_ = true;
@@ -165,7 +216,7 @@ Machine::setFault(FaultKind kind, FaultContext ctx, uint64_t addr,
     fault.kind = kind;
     fault.context = ctx;
     fault.function = curFunc_;
-    fault.pc = pc_;
+    fault.pc = archPc();
     fault.addr = addr;
     fault.detail = detail;
 
@@ -173,7 +224,7 @@ Machine::setFault(FaultKind kind, FaultContext ctx, uint64_t addr,
         std::optional<SecurityAlert> alert = natFault_(*this, fault);
         if (alert) {
             alert->function = curFunc_;
-            alert->pc = pc_;
+            alert->pc = fault.pc;
             alerts_.push_back(std::move(*alert));
             killedByPolicy_ = true;
             stopped_ = true;
@@ -467,6 +518,16 @@ Machine::doCall(int funcIndex)
 }
 
 void
+Machine::callFunction(int funcIndex)
+{
+    SHIFT_ASSERT(funcIndex >= 0 &&
+                 static_cast<size_t>(funcIndex) <
+                     program_->functions.size(),
+                 "callFunction: bad function index");
+    doCall(funcIndex);
+}
+
+void
 Machine::doBuiltinOrFault(const Instr &instr)
 {
     auto it = builtins_.find(instr.callee);
@@ -475,16 +536,29 @@ Machine::doBuiltinOrFault(const Instr &instr)
                  "no function or built-in named '" + instr.callee + "'");
         return;
     }
+    runBuiltin(instr, it->second);
+}
+
+void
+Machine::runBuiltin(const Instr &instr, const BuiltinFn &fn)
+{
     chargeCycles(instr, cycleModel_.call);
     uint64_t pcBefore = pc_;
-    it->second(*this);
-    // A built-in may stop the machine (alert / fault / exit).
-    if (!stopped_ && pc_ == pcBefore)
+    int funcBefore = curFunc_;
+    size_t depthBefore = callStack_.size();
+    fn(*this);
+    // A built-in may stop the machine (alert / fault / exit) or
+    // transfer control (callFunction); advance past the call site only
+    // when it did neither. Comparing pc alone is not enough: a frame
+    // pushed into a callee whose entry pc equals the call-site pc would
+    // be double-advanced, skipping the callee's first instruction.
+    if (!stopped_ && pc_ == pcBefore && curFunc_ == funcBefore &&
+        callStack_.size() == depthBefore)
         ++pc_;
 }
 
 void
-Machine::step()
+Machine::stepLegacy()
 {
     const Function &fn = program_->functions[curFunc_];
     if (pc_ >= fn.code.size()) {
@@ -586,9 +660,20 @@ Machine::step()
 
       case Opcode::Chk:
         if (gpr_[instr.r2].nat) {
-            int32_t target = labelPos_[curFunc_]
-                [static_cast<size_t>(instr.imm)];
-            SHIFT_ASSERT(target >= 0, "unresolved label");
+            const std::vector<int32_t> &pos = labelPos_[curFunc_];
+            int32_t target =
+                instr.imm >= 0 &&
+                        static_cast<size_t>(instr.imm) < pos.size()
+                    ? pos[static_cast<size_t>(instr.imm)]
+                    : -1;
+            if (target < 0) {
+                setFault(FaultKind::BadProgram,
+                         FaultContext::ControlFlow, 0,
+                         "branch to unresolved label L" +
+                             std::to_string(instr.imm) +
+                             " in function '" + fn.name + "'");
+                return;
+            }
             chargeCycles(instr, cycleModel_.branchTaken);
             pc_ = static_cast<uint64_t>(target);
         } else {
@@ -598,9 +683,20 @@ Machine::step()
         break;
 
       case Opcode::Br: {
+        const std::vector<int32_t> &pos = labelPos_[curFunc_];
         int32_t target =
-            labelPos_[curFunc_][static_cast<size_t>(instr.imm)];
-        SHIFT_ASSERT(target >= 0, "unresolved label");
+            instr.imm >= 0 &&
+                    static_cast<size_t>(instr.imm) < pos.size()
+                ? pos[static_cast<size_t>(instr.imm)]
+                : -1;
+        if (target < 0) {
+            setFault(FaultKind::BadProgram, FaultContext::ControlFlow,
+                     0,
+                     "branch to unresolved label L" +
+                         std::to_string(instr.imm) + " in function '" +
+                         fn.name + "'");
+            return;
+        }
         chargeCycles(instr, cycleModel_.branchTaken);
         pc_ = static_cast<uint64_t>(target);
         break;
@@ -726,19 +822,725 @@ Machine::step()
     }
 }
 
+void
+Machine::runDecoded(uint64_t maxSteps)
+{
+    // The fused interpreter loop. Everything per-instruction lives in
+    // locals the compiler can keep in registers: the dense pc, the
+    // cycle/instruction deltas, the last load destination and the
+    // current function's code pointer. The architectural members are
+    // the source of truth only at observation points — sync() writes
+    // the locals back before anything that can observe machine state
+    // (faults, alerts, built-ins, system calls, trace hooks), and
+    // resync() re-reads control state after a callback that may have
+    // moved it. The legacy engine's per-opcode helpers (execAlu and
+    // friends) remain the reference semantics and every handler below
+    // must match them bit for bit — the test_engine equivalence suite
+    // enforces this.
+    //
+    // Dispatch is direct-threaded where the compiler supports computed
+    // goto: SHIFT_NEXT() stamps the fetch/trace/predicate/stall front
+    // end plus its own indirect jump at the end of every handler, so
+    // the host branch predictor can learn per-opcode successor
+    // patterns instead of sharing one switch branch. Elsewhere the
+    // same handler bodies compile into a switch inside a loop. There
+    // is no per-fetch bounds check in either mode: every function's
+    // stream ends in a sentinel micro-op (see decodeProgram) whose
+    // handler raises the fell-off-the-end fault.
+    if (stopped_)
+        return; // construction-time decode failure: nothing to run
+    const DecodedFunction *df = &decoded_.functions[curFunc_];
+    const DecodedInstr *code = df->code.data();
+    const DecodedInstr *dp = code;
+    uint64_t pc = pc_;
+    uint64_t cycles = 0; // delta not yet in cycles_
+    uint64_t instrs = 0; // delta not yet in instrs_
+    // Load-use tracking as a single mask: bit r is set when the
+    // previous instruction loaded register r, so the stall check is
+    // one AND against the micro-op's precomputed use mask.
+    uint64_t loadMask =
+        lastLoadDst_ >= 0 ? 1ULL << (lastLoadDst_ & 63) : 0;
+    uint64_t steps = 0;
+    // Accounting matrices viewed flat; each instruction carries its
+    // precomputed (provenance, class) index, so attribution is one
+    // indexed add instead of two enum-to-int conversions per event.
+    uint64_t *const cyFlat = &cyclesBy_[0][0];
+    uint64_t *const inFlat = &instrsBy_[0][0];
+    unsigned statIdx = 0; // of the instruction currently executing
+
+    auto sync = [&] {
+        pc_ = pc;
+        cycles_ += cycles;
+        cycles = 0;
+        instrs_ += instrs;
+        instrs = 0;
+        lastLoadDst_ = loadMask ? std::countr_zero(loadMask) : -1;
+    };
+    auto resync = [&] {
+        pc = pc_;
+        df = &decoded_.functions[curFunc_];
+        code = df->code.data();
+    };
+    auto charge = [&](uint64_t cost) {
+        cycles += cost;
+        ++instrs;
+        cyFlat[statIdx] += cost;
+        inFlat[statIdx] += 1;
+    };
+    auto src2v = [&] {
+        return dp->useImm ? static_cast<uint64_t>(dp->imm)
+                          : gpr_[dp->r3].val;
+    };
+    auto src2n = [&] { return dp->useImm ? false : gpr_[dp->r3].nat; };
+    // Common ALU tail: write the destination, charge, advance.
+    auto aluDone = [&](uint64_t result, bool nat, uint64_t cost) {
+        setGpr(dp->r1, result, nat);
+        charge(cost);
+        ++pc;
+    };
+    auto shiftAmount = [](uint64_t v) {
+        return v > 63 ? 64U : static_cast<unsigned>(v);
+    };
+    auto enterFunction = [&](int funcIndex) {
+        charge(cycleModel_.call);
+        if (callStack_.size() >= kMaxCallDepth) {
+            sync();
+            setFault(FaultKind::IllegalAddress, FaultContext::None, 0,
+                     "call stack overflow");
+            return;
+        }
+        callStack_.push_back(Frame{curFunc_, pc + 1});
+        curFunc_ = funcIndex;
+        pc = 0;
+        df = &decoded_.functions[curFunc_];
+        code = df->code.data();
+    };
+
+#if SHIFT_THREADED_DISPATCH
+    // One entry per Opcode, in declaration order.
+    static const void *const kJump[] = {
+        &&L_Label, &&L_Nop,
+        &&L_Add, &&L_Sub, &&L_Mul, &&L_Div, &&L_Mod, &&L_DivU, &&L_ModU,
+        &&L_And, &&L_Andcm, &&L_Or, &&L_Xor,
+        &&L_Shl, &&L_Shr, &&L_Sar,
+        &&L_Sxt, &&L_Zxt, &&L_Extr, &&L_Shladd, &&L_Mov, &&L_Movi,
+        &&L_Cmp, &&L_CmpNat, &&L_Tnat, &&L_Tbit,
+        &&L_Ld, &&L_St,
+        &&L_Chk,
+        &&L_Br, &&L_BrCall, &&L_BrRet, &&L_BrCalli,
+        &&L_MovToBr, &&L_MovFromBr, &&L_MovToUnat, &&L_MovFromUnat,
+        &&L_Setnat, &&L_Clrnat,
+        &&L_Syscall, &&L_Halt,
+    };
+    static_assert(sizeof(kJump) / sizeof(kJump[0]) == kNumOpcodes,
+                  "dispatch table must cover every opcode");
+
+#define SHIFT_OP(name) L_##name:
+
+// The front end stamped at the end of every handler: count the step,
+// fetch, divert to the trace/nullify tails, charge a load-use stall,
+// and jump through the opcode table. SHIFT_NEXT() checks stopped_
+// first; handler exits that cannot have stopped the machine (no fault,
+// no callback) use SHIFT_NEXT_FAST() and skip that load+branch, and
+// exits that definitely stopped it (setFault / halt) take
+// SHIFT_STOPPED() straight to the sync-and-return tail.
+#define SHIFT_NEXT_FAST()                                               \
+    do {                                                                \
+        if (++steps > maxSteps)                                         \
+            goto stepLimitHit;                                          \
+        dp = &code[pc];                                                 \
+        statIdx = dp->statIdx;                                          \
+        if (trace_)                                                     \
+            goto traced;                                                \
+        if (dp->qp != 0 && !pred_[dp->qp])                              \
+            goto nullified;                                             \
+        if (dp->useMask & loadMask) {                                   \
+            cycles += cycleModel_.loadUseStall;                         \
+            stallCycles_ += cycleModel_.loadUseStall;                   \
+            cyFlat[statIdx] += cycleModel_.loadUseStall;                \
+        }                                                               \
+        loadMask = dp->op == Opcode::Ld ? 1ULL << (dp->r1 & 63) : 0;    \
+        goto *kJump[static_cast<size_t>(dp->op)];                       \
+    } while (0)
+#define SHIFT_NEXT()                                                    \
+    do {                                                                \
+        if (stopped_)                                                   \
+            goto doneRun;                                               \
+        SHIFT_NEXT_FAST();                                              \
+    } while (0)
+#define SHIFT_STOPPED() goto doneRun
+
+    SHIFT_NEXT();
+
+    // Out-of-line front-end tails, shared by every SHIFT_NEXT() copy.
+traced:
+    // Trace hooks get the architectural instruction; the micro-op's
+    // origIndex recovers it from the source stream. The end-of-
+    // function sentinel is never traced (the legacy stepper faults
+    // before its trace point in that state). With tracing enabled
+    // every dispatch passes through here, so this stopped_ check is
+    // what catches a hook that stops the machine — matching legacy,
+    // which finishes the hooked instruction and then exits its run
+    // loop before the next trace point.
+    if (stopped_)
+        goto doneRun;
+    if (dp->op != Opcode::Label) {
+        sync();
+        trace_(*this, df->src->code[dp->origIndex]);
+        pc = pc_;
+        dp = &code[pc];
+        statIdx = dp->statIdx;
+    }
+    if (dp->qp != 0 && !pred_[dp->qp])
+        goto nullified;
+    if (dp->useMask & loadMask) {
+        cycles += cycleModel_.loadUseStall;
+        stallCycles_ += cycleModel_.loadUseStall;
+        cyFlat[statIdx] += cycleModel_.loadUseStall;
+    }
+    loadMask = dp->op == Opcode::Ld ? 1ULL << (dp->r1 & 63) : 0;
+    goto *kJump[static_cast<size_t>(dp->op)];
+
+nullified:
+    // Qualifying predicate: a false predicate nullifies the
+    // instruction, but it still occupies an issue slot. Checked
+    // dispatch: the traced tail funnels through here and a trace hook
+    // may have stopped the machine.
+    charge(cycleModel_.nullified);
+    loadMask = 0;
+    ++pc;
+    SHIFT_NEXT();
+
+#else // !SHIFT_THREADED_DISPATCH: portable switch dispatch
+
+#define SHIFT_OP(name) case Opcode::name:
+#define SHIFT_NEXT() break
+// The while (!stopped_) loop re-checks on every iteration, so the
+// fast/stopped exits collapse to the same break.
+#define SHIFT_NEXT_FAST() break
+#define SHIFT_STOPPED() break
+
+    while (!stopped_) {
+        if (++steps > maxSteps) {
+            sync();
+            setFault(FaultKind::StepLimit, FaultContext::None, 0,
+                     "step limit exceeded");
+            return;
+        }
+        dp = &code[pc];
+        statIdx = dp->statIdx;
+
+        if (trace_ && dp->op != Opcode::Label) {
+            sync();
+            trace_(*this, df->src->code[dp->origIndex]);
+            pc = pc_;
+            dp = &code[pc];
+            statIdx = dp->statIdx;
+        }
+
+        // Qualifying predicate: a false predicate nullifies the
+        // instruction, but it still occupies an issue slot.
+        if (dp->qp != 0 && !pred_[dp->qp]) {
+            charge(cycleModel_.nullified);
+            loadMask = 0;
+            ++pc;
+            continue;
+        }
+
+        // Load-use stall (see stepLegacy): the operand walk is
+        // precomputed into a use mask, so the check is one AND.
+        if (dp->useMask & loadMask) {
+            cycles += cycleModel_.loadUseStall;
+            stallCycles_ += cycleModel_.loadUseStall;
+            cyFlat[statIdx] += cycleModel_.loadUseStall;
+        }
+        loadMask = dp->op == Opcode::Ld ? 1ULL << (dp->r1 & 63) : 0;
+
+        switch (dp->op) {
+#endif
+
+    SHIFT_OP(Nop)
+        charge(cycleModel_.alu);
+        ++pc;
+        SHIFT_NEXT_FAST();
+
+    SHIFT_OP(Add)
+        aluDone(gpr_[dp->r2].val + src2v(),
+                gpr_[dp->r2].nat || src2n(), cycleModel_.alu);
+        SHIFT_NEXT_FAST();
+    SHIFT_OP(Sub)
+        aluDone(gpr_[dp->r2].val - src2v(),
+                gpr_[dp->r2].nat || src2n(), cycleModel_.alu);
+        SHIFT_NEXT_FAST();
+    SHIFT_OP(And)
+        aluDone(gpr_[dp->r2].val & src2v(),
+                gpr_[dp->r2].nat || src2n(), cycleModel_.alu);
+        SHIFT_NEXT_FAST();
+    SHIFT_OP(Andcm)
+        aluDone(gpr_[dp->r2].val & ~src2v(),
+                gpr_[dp->r2].nat || src2n(), cycleModel_.alu);
+        SHIFT_NEXT_FAST();
+    SHIFT_OP(Or)
+        aluDone(gpr_[dp->r2].val | src2v(),
+                gpr_[dp->r2].nat || src2n(), cycleModel_.alu);
+        SHIFT_NEXT_FAST();
+    SHIFT_OP(Xor)
+        aluDone(gpr_[dp->r2].val ^ src2v(),
+                gpr_[dp->r2].nat || src2n(), cycleModel_.alu);
+        SHIFT_NEXT_FAST();
+    SHIFT_OP(Mul)
+        aluDone(gpr_[dp->r2].val * src2v(),
+                gpr_[dp->r2].nat || src2n(), cycleModel_.mul);
+        SHIFT_NEXT_FAST();
+
+    SHIFT_OP(Div)
+    SHIFT_OP(Mod)
+    SHIFT_OP(DivU)
+    SHIFT_OP(ModU) {
+        uint64_t a = gpr_[dp->r2].val;
+        uint64_t b = src2v();
+        bool nat = gpr_[dp->r2].nat || src2n();
+        uint64_t result = 0;
+        if (b == 0) {
+            if (!nat) {
+                sync();
+                setFault(FaultKind::DivByZero, FaultContext::None, 0,
+                         "division by zero");
+                SHIFT_STOPPED();
+            }
+            result = 0;
+        } else if (dp->op == Opcode::DivU) {
+            result = a / b;
+        } else if (dp->op == Opcode::ModU) {
+            result = a % b;
+        } else {
+            int64_t sa = static_cast<int64_t>(a);
+            int64_t sb = static_cast<int64_t>(b);
+            if (sa == INT64_MIN && sb == -1) {
+                result = dp->op == Opcode::Div
+                             ? static_cast<uint64_t>(INT64_MIN)
+                             : 0;
+            } else if (dp->op == Opcode::Div) {
+                result = static_cast<uint64_t>(sa / sb);
+            } else {
+                result = static_cast<uint64_t>(sa % sb);
+            }
+        }
+        aluDone(result, nat, cycleModel_.div);
+        SHIFT_NEXT_FAST();
+    }
+
+    SHIFT_OP(Shl) {
+        unsigned sh = shiftAmount(src2v());
+        uint64_t a = gpr_[dp->r2].val;
+        aluDone(sh >= 64 ? 0 : (a << sh),
+                gpr_[dp->r2].nat || src2n(), cycleModel_.alu);
+        SHIFT_NEXT_FAST();
+    }
+    SHIFT_OP(Shr) {
+        unsigned sh = shiftAmount(src2v());
+        uint64_t a = gpr_[dp->r2].val;
+        aluDone(sh >= 64 ? 0 : (a >> sh),
+                gpr_[dp->r2].nat || src2n(), cycleModel_.alu);
+        SHIFT_NEXT_FAST();
+    }
+    SHIFT_OP(Sar) {
+        unsigned sh = shiftAmount(src2v());
+        int64_t sa = static_cast<int64_t>(gpr_[dp->r2].val);
+        uint64_t result = static_cast<uint64_t>(
+            sh >= 64 ? (sa < 0 ? -1 : 0) : (sa >> sh));
+        aluDone(result, gpr_[dp->r2].nat || src2n(), cycleModel_.alu);
+        SHIFT_NEXT_FAST();
+    }
+    SHIFT_OP(Sxt)
+        aluDone(static_cast<uint64_t>(
+                    signExtend(gpr_[dp->r2].val, dp->size * 8)),
+                gpr_[dp->r2].nat || src2n(), cycleModel_.alu);
+        SHIFT_NEXT_FAST();
+    SHIFT_OP(Zxt)
+        aluDone(gpr_[dp->r2].val & lowMask(dp->size * 8),
+                gpr_[dp->r2].nat || src2n(), cycleModel_.alu);
+        SHIFT_NEXT_FAST();
+    SHIFT_OP(Extr)
+        aluDone((gpr_[dp->r2].val >> dp->pos) &
+                    lowMask(dp->len ? dp->len : 64),
+                gpr_[dp->r2].nat || src2n(), cycleModel_.alu);
+        SHIFT_NEXT_FAST();
+    SHIFT_OP(Shladd)
+        aluDone((gpr_[dp->r2].val << dp->pos) + src2v(),
+                gpr_[dp->r2].nat || src2n(), cycleModel_.alu);
+        SHIFT_NEXT_FAST();
+    SHIFT_OP(Mov)
+        aluDone(gpr_[dp->r2].val, gpr_[dp->r2].nat || src2n(),
+                cycleModel_.alu);
+        SHIFT_NEXT();
+    SHIFT_OP(Movi)
+        aluDone(src2v(), false, cycleModel_.alu);
+        SHIFT_NEXT_FAST();
+
+    SHIFT_OP(CmpNat)
+        if (!features_.natAwareCompare) {
+            sync();
+            setFault(FaultKind::UnknownFunction, FaultContext::None, 0,
+                     "cmp.nat requires the natAwareCompare feature");
+            SHIFT_STOPPED();
+        }
+        // falls through to Cmp
+    SHIFT_OP(Cmp) {
+        uint64_t a = gpr_[dp->r2].val;
+        uint64_t b = src2v();
+        bool nat = gpr_[dp->r2].nat || src2n();
+        bool taken = false;
+        int64_t sa = static_cast<int64_t>(a);
+        int64_t sb = static_cast<int64_t>(b);
+        switch (dp->rel) {
+          case CmpRel::Eq: taken = a == b; break;
+          case CmpRel::Ne: taken = a != b; break;
+          case CmpRel::Lt: taken = sa < sb; break;
+          case CmpRel::Le: taken = sa <= sb; break;
+          case CmpRel::Gt: taken = sa > sb; break;
+          case CmpRel::Ge: taken = sa >= sb; break;
+          case CmpRel::LtU: taken = a < b; break;
+          case CmpRel::LeU: taken = a <= b; break;
+          case CmpRel::GtU: taken = a > b; break;
+          case CmpRel::GeU: taken = a >= b; break;
+        }
+        if (dp->op == Opcode::Cmp && nat) {
+            // NaT operand clears both predicates (see execCmp).
+            setPred(dp->p1, false);
+            setPred(dp->p2, false);
+        } else {
+            setPred(dp->p1, taken);
+            setPred(dp->p2, !taken);
+        }
+        charge(cycleModel_.alu);
+        ++pc;
+        SHIFT_NEXT_FAST();
+    }
+
+    SHIFT_OP(Tnat)
+        setPred(dp->p1, gpr_[dp->r2].nat);
+        setPred(dp->p2, !gpr_[dp->r2].nat);
+        charge(cycleModel_.alu);
+        ++pc;
+        SHIFT_NEXT_FAST();
+
+    SHIFT_OP(Tbit) {
+        if (gpr_[dp->r2].nat) {
+            setPred(dp->p1, false);
+            setPred(dp->p2, false);
+        } else {
+            bool b = bit(gpr_[dp->r2].val,
+                         static_cast<unsigned>(dp->imm));
+            setPred(dp->p1, b);
+            setPred(dp->p2, !b);
+        }
+        charge(cycleModel_.alu);
+        ++pc;
+        SHIFT_NEXT_FAST();
+    }
+
+    SHIFT_OP(Ld) {
+        const Gpr &addrReg = gpr_[dp->r2];
+        uint64_t addr = addrReg.val;
+        if (dp->spec) {
+            // Speculative load: failures defer into the NaT bit.
+            if (addrReg.nat ||
+                mem_.probe(addr, dp->size) != MemFault::None) {
+                setGpr(dp->r1, 0, true);
+                charge(cycleModel_.loadBase);
+                ++pc;
+                SHIFT_NEXT_FAST();
+            }
+        } else if (addrReg.nat) {
+            sync();
+            // statIdx % kNumOrigClass is the OrigClass (the flat
+            // index is prov * kNumOrigClass + cls).
+            FaultContext ctx =
+                dp->statIdx % kNumOrigClass ==
+                        static_cast<int>(OrigClass::ForStore)
+                    ? FaultContext::StoreAddress
+                    : FaultContext::LoadAddress;
+            setFault(FaultKind::NatConsumption, ctx, addr,
+                     "load through a NaT (tainted) address");
+            SHIFT_STOPPED();
+        }
+        uint64_t value = 0;
+        bool nat = false;
+        MemFault mf = dp->fill ? mem_.readFill(addr, value, nat)
+                               : mem_.read(addr, dp->size, value);
+        if (mf != MemFault::None) {
+            sync();
+            setFault(FaultKind::IllegalAddress,
+                     FaultContext::LoadAddress, addr,
+                     "load from illegal address");
+            SHIFT_STOPPED();
+        }
+        setGpr(dp->r1, value, nat);
+        ++loadCount_;
+        charge(cycleModel_.loadBase);
+        uint64_t extra = dcache_.access(addr) ? cycleModel_.loadHit
+                                              : cycleModel_.loadMiss;
+        cycles += extra;
+        cyFlat[statIdx] += extra;
+        ++pc;
+        SHIFT_NEXT_FAST();
+    }
+
+    SHIFT_OP(St) {
+        const Gpr &addrReg = gpr_[dp->r1];
+        const Gpr &srcReg = gpr_[dp->r2];
+        uint64_t addr = addrReg.val;
+        if (addrReg.nat) {
+            sync();
+            setFault(FaultKind::NatConsumption,
+                     FaultContext::StoreAddress, addr,
+                     "store through a NaT (tainted) address");
+            SHIFT_STOPPED();
+        }
+        if (srcReg.nat && !dp->spill) {
+            sync();
+            setFault(FaultKind::NatConsumption,
+                     FaultContext::StoreValue, addr,
+                     "plain store of a NaT source register");
+            SHIFT_STOPPED();
+        }
+        MemFault mf;
+        if (dp->spill) {
+            mf = mem_.writeSpill(addr, srcReg.val, srcReg.nat);
+            if (mf == MemFault::None) {
+                unsigned bitIdx =
+                    static_cast<unsigned>((addr >> 3) & 63);
+                unat_ = insertBit(unat_, bitIdx, srcReg.nat);
+            }
+        } else {
+            mf = mem_.write(addr, dp->size, srcReg.val);
+        }
+        if (mf != MemFault::None) {
+            sync();
+            setFault(FaultKind::IllegalAddress,
+                     FaultContext::StoreAddress, addr,
+                     "store to illegal address");
+            SHIFT_STOPPED();
+        }
+        ++storeCount_;
+        charge(cycleModel_.storeBase);
+        uint64_t extra = dcache_.access(addr) ? 0 : cycleModel_.storeMiss;
+        cycles += extra;
+        cyFlat[statIdx] += extra;
+        ++pc;
+        SHIFT_NEXT_FAST();
+    }
+
+    SHIFT_OP(Chk)
+        // Target linked at decode time; unresolved labels were
+        // rejected in the constructor.
+        if (gpr_[dp->r2].nat) {
+            charge(cycleModel_.branchTaken);
+            pc = static_cast<uint64_t>(dp->target);
+        } else {
+            charge(cycleModel_.branch);
+            ++pc;
+        }
+        SHIFT_NEXT_FAST();
+
+    SHIFT_OP(Br)
+        charge(cycleModel_.branchTaken);
+        pc = static_cast<uint64_t>(dp->target);
+        SHIFT_NEXT_FAST();
+
+    SHIFT_OP(BrCall)
+        if (dp->callee >= 0) {
+            enterFunction(dp->callee);
+        } else {
+            int slot = -1 - dp->callee;
+            const BuiltinFn *fn = builtinSlotFns_[slot];
+            if (!fn) {
+                sync();
+                setFault(FaultKind::UnknownFunction, FaultContext::None,
+                         0,
+                         "no function or built-in named '" +
+                             decoded_.builtinNames[slot] + "'");
+                SHIFT_STOPPED();
+            }
+            charge(cycleModel_.call);
+            sync();
+            // See runBuiltin: advance past the call site only when the
+            // built-in neither stopped the machine nor moved control
+            // (pc, function and stack depth all unchanged).
+            uint64_t pcBefore = pc_;
+            int funcBefore = curFunc_;
+            size_t depthBefore = callStack_.size();
+            (*fn)(*this);
+            if (!stopped_ && pc_ == pcBefore && curFunc_ == funcBefore &&
+                callStack_.size() == depthBefore)
+                ++pc_;
+            resync();
+        }
+        SHIFT_NEXT();
+
+    SHIFT_OP(BrCalli) {
+        uint64_t target = br_[dp->br];
+        auto callee = funcIndexForDesc(target, program_->functions.size());
+        if (!callee) {
+            sync();
+            setFault(FaultKind::BadIndirect, FaultContext::ControlFlow,
+                     target, "indirect call to a non-function address");
+            SHIFT_STOPPED();
+        }
+        enterFunction(*callee);
+        SHIFT_NEXT();
+    }
+
+    SHIFT_OP(BrRet)
+        charge(cycleModel_.call);
+        if (callStack_.empty()) {
+            exited_ = true;
+            exitCode_ = static_cast<int64_t>(gpr_[reg::rv].val);
+            stopped_ = true;
+        } else {
+            Frame frame = callStack_.back();
+            callStack_.pop_back();
+            curFunc_ = frame.function;
+            pc = frame.returnPc;
+            df = &decoded_.functions[curFunc_];
+            code = df->code.data();
+        }
+        SHIFT_NEXT();
+
+    SHIFT_OP(MovToBr)
+        if (gpr_[dp->r2].nat) {
+            sync();
+            setFault(FaultKind::NatConsumption, FaultContext::ControlFlow,
+                     gpr_[dp->r2].val,
+                     "NaT (tainted) value moved into a branch register");
+            SHIFT_STOPPED();
+        }
+        br_[dp->br] = gpr_[dp->r2].val;
+        charge(cycleModel_.alu);
+        ++pc;
+        SHIFT_NEXT_FAST();
+
+    SHIFT_OP(MovFromBr)
+        setGpr(dp->r1, br_[dp->br], false);
+        charge(cycleModel_.alu);
+        ++pc;
+        SHIFT_NEXT_FAST();
+
+    SHIFT_OP(MovToUnat)
+        if (gpr_[dp->r2].nat) {
+            sync();
+            setFault(FaultKind::NatConsumption, FaultContext::AppRegister,
+                     0, "NaT value moved into ar.unat");
+            SHIFT_STOPPED();
+        }
+        unat_ = gpr_[dp->r2].val;
+        charge(cycleModel_.alu);
+        ++pc;
+        SHIFT_NEXT_FAST();
+
+    SHIFT_OP(MovFromUnat)
+        setGpr(dp->r1, unat_, false);
+        charge(cycleModel_.alu);
+        ++pc;
+        SHIFT_NEXT_FAST();
+
+    SHIFT_OP(Setnat)
+        if (!features_.natSetClear) {
+            sync();
+            setFault(FaultKind::UnknownFunction, FaultContext::None, 0,
+                     "setnat requires the natSetClear feature");
+            SHIFT_STOPPED();
+        }
+        gpr_[dp->r1].nat = dp->r1 != reg::zero;
+        charge(cycleModel_.alu);
+        ++pc;
+        SHIFT_NEXT_FAST();
+
+    SHIFT_OP(Clrnat)
+        if (!features_.natSetClear) {
+            sync();
+            setFault(FaultKind::UnknownFunction, FaultContext::None, 0,
+                     "clrnat requires the natSetClear feature");
+            SHIFT_STOPPED();
+        }
+        gpr_[dp->r1].nat = false;
+        charge(cycleModel_.alu);
+        ++pc;
+        SHIFT_NEXT_FAST();
+
+    SHIFT_OP(Syscall)
+        charge(cycleModel_.syscallBase);
+        sync();
+        if (!syscall_) {
+            setFault(FaultKind::UnknownFunction, FaultContext::None, 0,
+                     "no system-call handler installed");
+            SHIFT_STOPPED();
+        }
+        syscall_(*this, dp->imm);
+        if (!stopped_) {
+            resync();
+            ++pc;
+        }
+        SHIFT_NEXT();
+
+    SHIFT_OP(Halt)
+        exited_ = true;
+        exitCode_ = static_cast<int64_t>(gpr_[reg::rv].val);
+        stopped_ = true;
+        SHIFT_STOPPED();
+
+    SHIFT_OP(Label)
+        // End-of-function sentinel (see decodeProgram): executing it
+        // means control fell or branched past the last instruction.
+        sync();
+        setFault(FaultKind::IllegalAddress, FaultContext::None,
+                 df->origCount,
+                 "fell off the end of function '" + df->src->name + "'");
+        SHIFT_STOPPED();
+
+#if SHIFT_THREADED_DISPATCH
+stepLimitHit:
+    sync();
+    setFault(FaultKind::StepLimit, FaultContext::None, 0,
+             "step limit exceeded");
+    return;
+
+doneRun:
+    sync();
+#else
+        }
+    }
+    sync();
+#endif
+#undef SHIFT_OP
+#undef SHIFT_NEXT
+#undef SHIFT_NEXT_FAST
+#undef SHIFT_STOPPED
+}
+
 RunResult
 Machine::run(uint64_t maxSteps)
 {
-    SHIFT_ASSERT(!stopped_, "Machine::run() may only be called once");
+    SHIFT_ASSERT(!ran_, "Machine::run() may only be called once");
+    ran_ = true;
 
-    uint64_t steps = 0;
-    while (!stopped_) {
-        if (++steps > maxSteps) {
-            setFault(FaultKind::StepLimit, FaultContext::None, 0,
-                     "step limit exceeded");
-            break;
+    // Note: a step is one stepper iteration. The legacy engine spends a
+    // step on every Label pseudo-op while the predecoded engine has
+    // none, so step counts (but nothing else) differ between engines;
+    // only runs that exhaust maxSteps can observe this.
+    if (engine_ == ExecEngine::Predecoded) {
+        runDecoded(maxSteps);
+    } else {
+        uint64_t steps = 0;
+        while (!stopped_) {
+            if (++steps > maxSteps) {
+                setFault(FaultKind::StepLimit, FaultContext::None, 0,
+                         "step limit exceeded");
+                break;
+            }
+            stepLegacy();
         }
-        step();
     }
 
     RunResult result;

@@ -36,6 +36,7 @@
 #include "mem/cache.hh"
 #include "mem/memory.hh"
 #include "sim/cycle_model.hh"
+#include "sim/decoded.hh"
 #include "sim/faults.hh"
 #include "support/stats.hh"
 
@@ -92,10 +93,19 @@ class Machine
   public:
     /**
      * Build a machine around a program: lays out globals in the data
-     * region, maps the stack, resolves label positions. The program
-     * must outlive the machine.
+     * region, maps the stack, and (for the default predecoded engine)
+     * runs the decode/link pass that strips labels, resolves branch
+     * targets and call destinations, and precomputes per-instruction
+     * metadata. A malformed program (branch to an unresolved label) is
+     * rejected here: run() returns a BadProgram fault immediately. The
+     * program must outlive the machine.
+     *
+     * ExecEngine::Legacy forces the original per-step resolution path;
+     * it exists as the reference implementation for equivalence tests
+     * and A/B throughput measurement (bench_interp).
      */
-    explicit Machine(const Program &program, CpuFeatures features = {});
+    explicit Machine(const Program &program, CpuFeatures features = {},
+                     ExecEngine engine = ExecEngine::Predecoded);
 
     // ----- execution ---------------------------------------------------
 
@@ -121,6 +131,14 @@ class Machine
 
     /** Request normal termination with an exit code (exit syscall). */
     void requestExit(int64_t code);
+
+    /**
+     * Push a call frame and enter a user function (for built-ins that
+     * invoke simulated code, e.g. callbacks). Execution continues in
+     * the callee when the built-in returns; the frame's return pc is
+     * the instruction after the built-in's call site.
+     */
+    void callFunction(int funcIndex);
 
     /** Charge extra cycles (used by the OS I/O cost model). */
     void addOsCycles(uint64_t cycles) { osCycles_ += cycles; }
@@ -154,6 +172,7 @@ class Machine
 
     const Program &program() const { return *program_; }
     const CpuFeatures &features() const { return features_; }
+    ExecEngine engine() const { return engine_; }
     CycleModel &cycleModel() { return cycleModel_; }
 
     /**
@@ -164,7 +183,7 @@ class Machine
 
     /** Current function index / pc (for alert records and tests). */
     int currentFunction() const { return curFunc_; }
-    uint64_t currentPc() const { return pc_; }
+    uint64_t currentPc() const { return archPc(); }
 
   private:
     struct Gpr
@@ -184,7 +203,25 @@ class Machine
     void reset();
 
     /** Execute one instruction; updates pc/cycles; may set stop state. */
-    void step();
+    void stepLegacy();
+
+    /**
+     * The predecoded engine's fused interpreter loop: runs until the
+     * machine stops or maxSteps iterations elapse. One switch executes
+     * each operation directly (no per-opcode helper dispatch), with the
+     * pc and the hot counters held in locals that are written back to
+     * the architectural members around every observation point (trace
+     * hooks, built-ins, system calls, faults, alerts).
+     */
+    void runDecoded(uint64_t maxSteps);
+
+    /**
+     * The architectural (original-program) pc: the legacy engine runs
+     * on original indices directly; the predecoded engine translates
+     * its dense pc back through the per-instruction origIndex so
+     * faults, alerts and currentPc() are engine-independent.
+     */
+    uint64_t archPc() const;
 
     void execAlu(const Instr &instr);
     void execCmp(const Instr &instr);
@@ -192,6 +229,7 @@ class Machine
     void execSt(const Instr &instr);
     void doCall(int funcIndex);
     void doBuiltinOrFault(const Instr &instr);
+    void runBuiltin(const Instr &instr, const BuiltinFn &fn);
 
     /** Source-2 value for reg-or-imm operands. */
     uint64_t src2Val(const Instr &instr) const;
@@ -204,7 +242,13 @@ class Machine
 
     const Program *program_;
     CpuFeatures features_;
+    ExecEngine engine_;
     CycleModel cycleModel_;
+
+    // Predecoded engine state (empty under ExecEngine::Legacy).
+    DecodedProgram decoded_;
+    /** Slot id -> registered builtin (bound by registerBuiltin). */
+    std::vector<const BuiltinFn *> builtinSlotFns_;
 
     Memory mem_;
     Cache dcache_;
@@ -231,6 +275,7 @@ class Machine
     TraceFn trace_;
 
     // Run state.
+    bool ran_ = false;
     bool stopped_ = false;
     bool exited_ = false;
     int64_t exitCode_ = 0;
@@ -239,8 +284,8 @@ class Machine
     bool killedByPolicy_ = false;
 
     // Accounting.
-    static constexpr int kNumProv = 8;
-    static constexpr int kNumClass = 4;
+    static constexpr int kNumProv = kNumProvenance;
+    static constexpr int kNumClass = kNumOrigClass;
     uint64_t cycles_ = 0;
     uint64_t osCycles_ = 0;
     uint64_t instrs_ = 0;

@@ -560,12 +560,13 @@ attackScenarios()
 
 AttackRun
 runAttackScenario(const AttackScenario &scenario, bool exploit,
-                  Granularity granularity)
+                  Granularity granularity, ExecEngine engine)
 {
     SessionOptions options;
     options.mode = TrackingMode::Shift;
     options.policy = scenario.policy;
     options.policy.granularity = granularity;
+    options.engine = engine;
     options.instr.relaxLoadFunctions = scenario.relaxLoadFunctions;
 
     Session session(scenario.source, options);

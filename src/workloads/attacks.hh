@@ -56,7 +56,8 @@ struct AttackRun
  * `exploit` false this is the false-positive check.
  */
 AttackRun runAttackScenario(const AttackScenario &scenario, bool exploit,
-                            Granularity granularity);
+                            Granularity granularity,
+                            ExecEngine engine = ExecEngine::Predecoded);
 
 /** All eight scenarios, in the paper's table order. */
 const std::vector<AttackScenario> &attackScenarios();

@@ -1,5 +1,7 @@
 #include "httpd.hh"
 
+#include <chrono>
+
 #include "support/logging.hh"
 
 namespace shift::workloads
@@ -121,6 +123,7 @@ runHttpd(const HttpdConfig &config)
     SessionOptions options;
     options.mode = config.mode;
     options.features = config.features;
+    options.engine = config.engine;
     options.policy.granularity = config.granularity;
     options.policy.taintNetwork = true;
     options.policy.taintFile = false; // served content is trusted
@@ -154,7 +157,11 @@ runHttpd(const HttpdConfig &config)
     }
 
     HttpdRun run;
+    auto start = std::chrono::steady_clock::now();
     run.result = session.run();
+    run.runSeconds = std::chrono::duration<double>(
+                         std::chrono::steady_clock::now() - start)
+                         .count();
     run.requestsServed = session.os().responses().size();
     run.totalCycles = run.result.cycles;
     run.latencyCycles = static_cast<double>(run.totalCycles) /

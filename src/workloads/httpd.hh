@@ -28,6 +28,7 @@ struct HttpdConfig
     TrackingMode mode = TrackingMode::None;
     Granularity granularity = Granularity::Byte;
     CpuFeatures features;
+    ExecEngine engine = ExecEngine::Predecoded;
     uint64_t fileSize = 4 * 1024;  ///< served file size in bytes
     int requests = 50;             ///< number of requests to serve
 };
@@ -41,6 +42,8 @@ struct HttpdRun
     double latencyCycles = 0;      ///< cycles per request
     double throughput = 0;         ///< requests per giga-cycle
     bool responsesOk = false;      ///< every response carried the file
+    /** Host seconds inside Machine::run() alone (see SpecRun). */
+    double runSeconds = 0;
 };
 
 /** The MiniC source of the server (exposed for tests/examples). */

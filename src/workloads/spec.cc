@@ -1,5 +1,7 @@
 #include "spec.hh"
 
+#include <chrono>
+
 #include "support/logging.hh"
 
 namespace shift::workloads
@@ -979,6 +981,7 @@ runSpecKernel(const SpecKernel &kernel, const SpecRunConfig &config)
     options.policy.granularity = config.granularity;
     options.policy.taintFile = config.taintInput;
     options.features = config.features;
+    options.engine = config.engine;
     options.instr.relaxLoadFunctions = kernel.relaxLoadFunctions;
     options.instr.relaxStoreFunctions = kernel.relaxStoreFunctions;
 
@@ -989,7 +992,11 @@ runSpecKernel(const SpecKernel &kernel, const SpecRunConfig &config)
     SpecRun run;
     run.instrStats = session.instrStats();
     run.staticSize = session.program().staticInstrCount();
+    auto start = std::chrono::steady_clock::now();
     run.result = session.run();
+    run.runSeconds = std::chrono::duration<double>(
+                         std::chrono::steady_clock::now() - start)
+                         .count();
     return run;
 }
 

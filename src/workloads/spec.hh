@@ -55,6 +55,7 @@ struct SpecRunConfig
     Granularity granularity = Granularity::Byte;
     bool taintInput = true;   ///< unsafe (tainted) vs safe input
     CpuFeatures features;     ///< architectural enhancements
+    ExecEngine engine = ExecEngine::Predecoded;
     int scale = 0;            ///< 0 = kernel default
 };
 
@@ -64,6 +65,12 @@ struct SpecRun
     RunResult result;
     InstrumentStats instrStats;
     uint64_t staticSize = 0;  ///< static instructions after passes
+    /**
+     * Host wall-clock seconds spent inside Machine::run() alone —
+     * the interpreter-throughput denominator (compilation,
+     * instrumentation and machine setup excluded).
+     */
+    double runSeconds = 0;
 };
 
 /** Compile, (maybe) instrument, run one kernel. */

@@ -125,6 +125,73 @@ TEST(Memory, ReadCString)
 }
 
 // ---------------------------------------------------------------------
+// Page-translation cache. The cache is architecturally invisible;
+// these tests hammer the patterns that would expose a stale or
+// misindexed entry: interleaved tag/data traffic, conflict-heavy
+// working sets larger than the cache, and map() growth between
+// accesses.
+// ---------------------------------------------------------------------
+
+TEST(Memory, TranslationCacheSurvivesConflictEviction)
+{
+    Memory mem;
+    // 64 pages map onto a 16-entry direct-mapped cache: every access
+    // below evicts another page's entry. Values must still round-trip.
+    mem.map(kBase, 64 * Memory::kPageSize);
+    for (int pass = 0; pass < 2; ++pass) {
+        for (uint64_t p = 0; p < 64; ++p) {
+            uint64_t addr = kBase + p * Memory::kPageSize + 8 * pass;
+            ASSERT_EQ(mem.write(addr, 8, p ^ (0xabcdULL << pass)),
+                      MemFault::None);
+        }
+        for (uint64_t p = 0; p < 64; ++p) {
+            uint64_t addr = kBase + p * Memory::kPageSize + 8 * pass;
+            uint64_t out = 0;
+            ASSERT_EQ(mem.read(addr, 8, out), MemFault::None);
+            EXPECT_EQ(out, p ^ (0xabcdULL << pass));
+        }
+    }
+}
+
+TEST(Memory, TranslationCacheTagEntryInterleavesWithData)
+{
+    Memory mem;
+    mem.map(kBase, Memory::kPageSize);
+    uint64_t tagAddr = regionBase(kTagRegion) + 0x100; // demand-mapped
+    // Alternate data/tag accesses, the SHIFT-instrumented pattern.
+    for (int i = 0; i < 100; ++i) {
+        ASSERT_EQ(mem.write(kBase + 8 * (i % 16), 8, uint64_t(i)),
+                  MemFault::None);
+        ASSERT_EQ(mem.write(tagAddr + (i % 16), 1, uint64_t(i & 0xff)),
+                  MemFault::None);
+    }
+    uint64_t data = 0, tag = 0;
+    ASSERT_EQ(mem.read(kBase + 8 * 3, 8, data), MemFault::None);
+    ASSERT_EQ(mem.read(tagAddr + 3, 1, tag), MemFault::None);
+    // Last write to slot 3 was i = 99 (99 % 16 == 3).
+    EXPECT_EQ(data, 99u);
+    EXPECT_EQ(tag, 99u);
+}
+
+TEST(Memory, TranslationCacheInvalidatedByMap)
+{
+    Memory mem;
+    mem.map(kBase, Memory::kPageSize);
+    ASSERT_EQ(mem.write(kBase, 8, 0x1111), MemFault::None); // cache fill
+    // Growing the address space must not disturb cached translations'
+    // correctness, before or after the new mapping.
+    mem.map(kBase + 8 * Memory::kPageSize, Memory::kPageSize);
+    uint64_t out = 0;
+    ASSERT_EQ(mem.read(kBase, 8, out), MemFault::None);
+    EXPECT_EQ(out, 0x1111u);
+    ASSERT_EQ(mem.write(kBase + 8 * Memory::kPageSize, 8, 0x2222),
+              MemFault::None);
+    ASSERT_EQ(mem.read(kBase + 8 * Memory::kPageSize, 8, out),
+              MemFault::None);
+    EXPECT_EQ(out, 0x2222u);
+}
+
+// ---------------------------------------------------------------------
 // Address space / figure 4.
 // ---------------------------------------------------------------------
 
