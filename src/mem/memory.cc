@@ -17,16 +17,34 @@ Memory::map(uint64_t base, uint64_t len)
     for (uint64_t p = first; p <= last; ++p) {
         auto &slot = pages_[p];
         if (!slot)
-            slot = std::make_unique<Page>();
+            slot = std::make_shared<Page>();
     }
     tlbFlush();
 }
 
 void
-Memory::tlbFlush()
+Memory::tlbFlush() const
 {
     tlb_.fill(TlbEntry{});
     tagTlb_ = TlbEntry{};
+}
+
+Memory::Snapshot
+Memory::snapshot() const
+{
+    // Sharing makes previously-exclusive pages shared, so any cached
+    // writable=true entry would go stale-permissive: flush.
+    tlbFlush();
+    Snapshot snap;
+    snap.pages_ = pages_;
+    return snap;
+}
+
+void
+Memory::restore(const Snapshot &snap)
+{
+    pages_ = snap.pages_;
+    tlbFlush();
 }
 
 bool
@@ -36,21 +54,30 @@ Memory::isMapped(uint64_t addr) const
 }
 
 Memory::Page *
-Memory::pageFor(uint64_t addr, bool allocate)
+Memory::pageFor(uint64_t addr, bool allocate, bool forWrite)
 {
     uint64_t key = addr >> kPageShift;
-    if (Page *cached = tlbLookup(key))
+    if (Page *cached = forWrite ? tlbLookupWritable(key) : tlbLookup(key))
         return cached;
     auto it = pages_.find(key);
     if (it != pages_.end()) {
-        tlbInsert(key, it->second.get());
-        return it->second.get();
+        std::shared_ptr<Page> &slot = it->second;
+        if (forWrite && slot.use_count() > 1) {
+            // Write fault on a snapshot-shared page: replace it with a
+            // private copy. The snapshot keeps the original alive, so
+            // sibling clones (and cached read-only pointers) are
+            // untouched.
+            slot = std::make_shared<Page>(*slot);
+            ++cowCopies_;
+        }
+        tlbInsert(key, slot.get(), slot.use_count() == 1);
+        return slot.get();
     }
     if (allocate || demandMapped(addr)) {
-        auto page = std::make_unique<Page>();
+        auto page = std::make_shared<Page>();
         Page *raw = page.get();
         pages_[key] = std::move(page);
-        tlbInsert(key, raw);
+        tlbInsert(key, raw, true);
         return raw;
     }
     return nullptr;
@@ -65,7 +92,7 @@ Memory::pageForConst(uint64_t addr) const
     auto it = pages_.find(key);
     if (it == pages_.end())
         return nullptr;
-    tlbInsert(key, it->second.get());
+    tlbInsert(key, it->second.get(), it->second.use_count() == 1);
     return it->second.get();
 }
 
@@ -127,7 +154,7 @@ Memory::writeSlow(uint64_t addr, unsigned size, uint64_t value)
     if (off + size <= kPageSize) {
         if (!isImplemented(addr) || !isImplemented(addr + size - 1))
             return MemFault::Unimplemented;
-        Page *page = pageFor(addr, false);
+        Page *page = pageFor(addr, false, true);
         if (!page)
             return MemFault::Unmapped;
         uint8_t *bytes = page->data.data() + off;
@@ -140,7 +167,7 @@ Memory::writeSlow(uint64_t addr, unsigned size, uint64_t value)
     if (fault != MemFault::None)
         return fault;
     for (unsigned i = 0; i < size; ++i) {
-        Page *page = pageFor(addr + i, false);
+        Page *page = pageFor(addr + i, false, true);
         SHIFT_ASSERT(page);
         uint64_t byteOff = (addr + i) & (kPageSize - 1);
         page->data[byteOff] = static_cast<uint8_t>(value >> (8 * i));
@@ -154,7 +181,7 @@ Memory::writeSpillSlow(uint64_t addr, uint64_t value, bool nat)
     MemFault fault = write(addr, 8, value);
     if (fault != MemFault::None)
         return fault;
-    Page *page = pageFor(addr, false);
+    Page *page = pageFor(addr, false, true);
     uint64_t word = (addr & (kPageSize - 1)) >> 3;
     uint64_t &bits = page->nat[word >> 6];
     uint64_t mask = 1ULL << (word & 63);

@@ -13,6 +13,16 @@
  * allocates a zero page. All other regions must be mapped explicitly
  * (by the loader / sbrk / stack setup); access to unmapped addresses
  * faults, which is what lets a speculative load manufacture a NaT.
+ *
+ * Pages are reference-counted and copy-on-write. snapshot() captures
+ * the current address space by sharing every page; restore() adopts a
+ * snapshot's pages wholesale. A write to a page that is shared with a
+ * snapshot (or with a sibling Memory restored from the same snapshot)
+ * copies that one page first, so forking a runnable clone from a
+ * post-load snapshot costs O(pages actually dirtied), not O(address
+ * space). Shared pages are only ever read concurrently; each clone
+ * dirties private copies, which is what makes fleets of machines
+ * forked from one snapshot safe to run on concurrent threads.
  */
 
 #ifndef SHIFT_MEM_MEMORY_HH
@@ -47,6 +57,13 @@ class Memory
     static constexpr uint64_t kPageSize = 1ULL << kPageShift;
 
     Memory() = default;
+
+    // Pages are shared with snapshots by design, but two Memory objects
+    // must never share pages through an accidental copy: aliasing would
+    // bypass the copy-on-write discipline. Clones are made via
+    // snapshot()/restore().
+    Memory(const Memory &) = delete;
+    Memory &operator=(const Memory &) = delete;
 
     /**
      * Map [base, base+len): allocates zeroed pages. Invalidates the
@@ -85,12 +102,17 @@ class Memory
         return readSlow(addr, size, value);
     }
 
-    /** Write the low `size` bytes of value. Inline twin of read(). */
+    /**
+     * Write the low `size` bytes of value. Inline twin of read(), but
+     * the fast path additionally requires the cached page to be
+     * exclusively owned: writes to snapshot-shared pages drop to the
+     * slow path, which performs the copy-on-write.
+     */
     MemFault
     write(uint64_t addr, unsigned size, uint64_t value)
     {
         uint64_t off = addr & (kPageSize - 1);
-        Page *page = tlbLookup(addr >> kPageShift);
+        Page *page = tlbLookupWritable(addr >> kPageShift);
         if (page && off + size <= kPageSize) {
             storeLe(page->data.data() + off, size, value);
             return MemFault::None;
@@ -109,7 +131,7 @@ class Memory
     writeSpill(uint64_t addr, uint64_t value, bool nat)
     {
         uint64_t off = addr & (kPageSize - 1);
-        Page *page = tlbLookup(addr >> kPageShift);
+        Page *page = tlbLookupWritable(addr >> kPageShift);
         if (page && off + 8 <= kPageSize) {
             storeLe(page->data.data() + off, 8, value);
             uint64_t word = off >> 3;
@@ -171,8 +193,45 @@ class Memory
         std::array<uint64_t, kPageSize / 8 / 64> nat{};
     };
 
-    /** Fetch the page backing addr, honouring demand-map regions. */
-    Page *pageFor(uint64_t addr, bool allocate);
+  public:
+    /**
+     * An immutable capture of the whole address space: every page
+     * shared by reference, data and NaT sidecar alike. Cheap to take
+     * (one map copy, no page copies) and to restore from; a snapshot
+     * keeps its pages alive and read-only-shared for as long as it
+     * exists.
+     */
+    class Snapshot
+    {
+      public:
+        /** Pages captured (also the O() cost of taking it: map only). */
+        size_t pageCount() const { return pages_.size(); }
+
+      private:
+        friend class Memory;
+        std::unordered_map<uint64_t, std::shared_ptr<Page>> pages_;
+    };
+
+    /** Capture the current address space by sharing every page. */
+    Snapshot snapshot() const;
+
+    /**
+     * Replace the address space with a snapshot's pages (shared; this
+     * Memory copies a page the first time it writes to it). Existing
+     * pages are dropped.
+     */
+    void restore(const Snapshot &snap);
+
+    /** Pages copied by write-fault-time COW since construction. */
+    uint64_t cowCopies() const { return cowCopies_; }
+
+  private:
+    /**
+     * Fetch the page backing addr, honouring demand-map regions. With
+     * `forWrite`, a page shared with a snapshot is first replaced by a
+     * private copy (the write-fault-time COW).
+     */
+    Page *pageFor(uint64_t addr, bool allocate, bool forWrite = false);
     const Page *pageForConst(uint64_t addr) const;
 
     /** Out-of-line general read/write paths behind the inline pair. */
@@ -246,16 +305,24 @@ class Memory
     // store and taint-bitmap probe) skip the hash lookup. The tag
     // space (region 0) gets a dedicated entry: SHIFT-instrumented code
     // interleaves one bitmap access with nearly every data access, and
-    // sharing the indexed entries would make them thrash. Pages are
-    // never freed, so cached pointers cannot dangle; the cache is
-    // nevertheless flushed on map() so no entry outlives an explicit
-    // address-space change. Negative results are never cached (a miss
-    // may be a demand-map allocation the next access performs).
+    // sharing the indexed entries would make them thrash. A page
+    // replaced by COW stays alive through the snapshot that shares it,
+    // so cached pointers cannot dangle; the cache is flushed on map(),
+    // snapshot() and restore() so no entry outlives an address-space
+    // or sharing change. Negative results are never cached (a miss may
+    // be a demand-map allocation the next access performs).
+    //
+    // Each entry carries a `writable` bit: the write fast paths honour
+    // it so a snapshot-shared page can be read through the cache but
+    // never written in place. The bit is the ownership state at insert
+    // time; a page can only *become* shared through snapshot(), which
+    // flushes, so a cached writable=true is never stale-permissive.
 
     struct TlbEntry
     {
         uint64_t key = kNoPageKey;
         Page *page = nullptr;
+        bool writable = false;
     };
 
     /** No valid page key has all bits set (keys are va >> 12). */
@@ -269,8 +336,16 @@ class Memory
         return e.key == key ? e.page : nullptr;
     }
 
+    /** Write-path twin of tlbLookup: only exclusively-owned pages. */
+    Page *
+    tlbLookupWritable(uint64_t key) const
+    {
+        const TlbEntry &e = tlbSlot(key);
+        return e.key == key && e.writable ? e.page : nullptr;
+    }
+
     void
-    tlbInsert(uint64_t key, Page *page) const
+    tlbInsert(uint64_t key, Page *page, bool writable) const
     {
         if (!tlbEnabled_)
             return;
@@ -282,6 +357,7 @@ class Memory
         TlbEntry &e = tlbSlot(key);
         e.key = key;
         e.page = page;
+        e.writable = writable;
     }
 
     TlbEntry &
@@ -292,9 +368,10 @@ class Memory
         return tlb_[key & (kTlbEntries - 1)];
     }
 
-    void tlbFlush();
+    void tlbFlush() const;
 
-    std::unordered_map<uint64_t, std::unique_ptr<Page>> pages_;
+    std::unordered_map<uint64_t, std::shared_ptr<Page>> pages_;
+    uint64_t cowCopies_ = 0;
     // Mutable: a translation cache is transparent state, filled on the
     // const read paths too.
     mutable std::array<TlbEntry, kTlbEntries> tlb_{};

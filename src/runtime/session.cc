@@ -7,6 +7,107 @@
 namespace shift
 {
 
+namespace detail
+{
+
+Program
+buildProgram(const std::vector<std::string> &sources,
+             SessionOptions &options, InstrumentStats &instrStats,
+             minic::SpeculateStats &speculateStats)
+{
+    // 1. Compile (application + MiniC libc in one link).
+    std::vector<std::string> modules;
+    if (options.includeStdlib)
+        modules.push_back(kMiniCStdlib);
+    modules.insert(modules.end(), sources.begin(), sources.end());
+    Program program = minic::compileProgram(modules);
+
+    // Optional compiler optimization: control speculation. Runs
+    // before instrumentation, exactly as a speculating compiler would
+    // emit ld.s/chk.s before SHIFT's GCC phase sees the code.
+    if (options.speculate)
+        speculateStats = minic::speculateLoads(program,
+                                               options.speculateOptions);
+
+    // 2. Instrument per tracking mode. Granularity follows the policy
+    // configuration so instrumented code and native taint summaries
+    // always agree on the bitmap layout.
+    switch (options.mode) {
+      case TrackingMode::None:
+        break;
+      case TrackingMode::Shift: {
+        options.instr.granularity = options.policy.granularity;
+        options.instr.natSetClear = options.features.natSetClear;
+        options.instr.natAwareCompare = options.features.natAwareCompare;
+        instrStats = instrumentProgram(program, options.instr);
+        break;
+      }
+      case TrackingMode::SoftwareDift: {
+        options.baseline.granularity = options.policy.granularity;
+        instrStats = instrumentSoftwareDift(program, options.baseline);
+        break;
+      }
+    }
+    return program;
+}
+
+void
+wireRuntime(Machine &machine, Os &os, TaintMap *taint,
+            PolicyEngine *policy, TrackingMode mode, RuntimeContext &ctx)
+{
+    bool tracking = taint != nullptr && policy != nullptr;
+
+    ctx.os = &os;
+    ctx.taint = taint;
+    ctx.policy = policy;
+    registerRuntimeBuiltins(machine, ctx);
+
+    // Taint sources: OS input lands tainted per [sources].
+    if (tracking) {
+        os.setInputHook([taint, policy](Machine &, uint64_t addr,
+                                        uint64_t len,
+                                        const std::string &channel) {
+            if (policy->taintChannel(channel))
+                taint->taint(addr, len);
+            else
+                taint->clear(addr, len);
+        });
+    }
+
+    // Security monitor: NaT-consumption faults become L1-L3 alerts
+    // (SHIFT mode; the software baseline traps through syscall 99).
+    if (mode == TrackingMode::Shift && policy) {
+        machine.setNatFaultHandler(
+            [policy](Machine &, const Fault &fault) {
+                return policy->natFaultAlert(fault);
+            });
+    }
+
+    machine.setSyscallHandler([policy](Machine &m, int64_t number) {
+        if (number == kDiftAlertSyscall) {
+            if (!policy)
+                return;
+            Fault fault;
+            fault.kind = FaultKind::NatConsumption;
+            int64_t reason = static_cast<int64_t>(
+                m.gprVal(kDiftAlertReasonReg));
+            fault.context = reason == kDiftAlertStore
+                                ? FaultContext::StoreAddress
+                                : FaultContext::LoadAddress;
+            fault.detail = "software DIFT address check";
+            auto alert = policy->natFaultAlert(fault);
+            if (alert)
+                m.raiseAlert(std::move(*alert),
+                             policy->config().alertKills);
+            return;
+        }
+        SHIFT_FATAL("unknown system call %lld",
+                    static_cast<long long>(number));
+    });
+}
+
+} // namespace detail
+
 Session::Session(const std::vector<std::string> &sources,
                  SessionOptions options)
     : options_(std::move(options))
@@ -23,42 +124,10 @@ Session::Session(const std::string &source, SessionOptions options)
 void
 Session::build(const std::vector<std::string> &sources)
 {
-    // 1. Compile (application + MiniC libc in one link).
-    std::vector<std::string> modules;
-    if (options_.includeStdlib)
-        modules.push_back(kMiniCStdlib);
-    modules.insert(modules.end(), sources.begin(), sources.end());
-    program_ = minic::compileProgram(modules);
+    program_ = detail::buildProgram(sources, options_, instrStats_,
+                                    speculateStats_);
 
-    // Optional compiler optimization: control speculation. Runs
-    // before instrumentation, exactly as a speculating compiler would
-    // emit ld.s/chk.s before SHIFT's GCC phase sees the code.
-    if (options_.speculate) {
-        speculateStats_ =
-            minic::speculateLoads(program_, options_.speculateOptions);
-    }
-
-    // 2. Instrument per tracking mode. Granularity follows the policy
-    // configuration so instrumented code and native taint summaries
-    // always agree on the bitmap layout.
-    switch (options_.mode) {
-      case TrackingMode::None:
-        break;
-      case TrackingMode::Shift: {
-        options_.instr.granularity = options_.policy.granularity;
-        options_.instr.natSetClear = options_.features.natSetClear;
-        options_.instr.natAwareCompare = options_.features.natAwareCompare;
-        instrStats_ = instrumentProgram(program_, options_.instr);
-        break;
-      }
-      case TrackingMode::SoftwareDift: {
-        options_.baseline.granularity = options_.policy.granularity;
-        instrStats_ = instrumentSoftwareDift(program_, options_.baseline);
-        break;
-      }
-    }
-
-    // 3. Machine + runtime wiring.
+    // Machine + runtime wiring.
     machine_ = std::make_unique<Machine>(program_, options_.features,
                                          options_.engine);
     policy_ = std::make_unique<PolicyEngine>(options_.policy);
@@ -67,59 +136,20 @@ Session::build(const std::vector<std::string> &sources)
         taint_ = std::make_unique<TaintMap>(machine_->memory(),
                                             options_.policy.granularity);
     }
-
-    runtimeCtx_.os = &os_;
-    runtimeCtx_.taint = tracking ? taint_.get() : nullptr;
-    runtimeCtx_.policy = tracking ? policy_.get() : nullptr;
-    registerRuntimeBuiltins(*machine_, runtimeCtx_);
-
-    // 4. Taint sources: OS input lands tainted per [sources].
-    if (tracking) {
-        TaintMap *tm = taint_.get();
-        PolicyEngine *pe = policy_.get();
-        os_.setInputHook([tm, pe](Machine &, uint64_t addr, uint64_t len,
-                                  const std::string &channel) {
-            if (pe->taintChannel(channel))
-                tm->taint(addr, len);
-            else
-                tm->clear(addr, len);
-        });
-    }
-
-    // 5. Security monitor: NaT-consumption faults become L1-L3 alerts
-    // (SHIFT mode; the software baseline traps through syscall 99).
-    if (options_.mode == TrackingMode::Shift) {
-        PolicyEngine *pe = policy_.get();
-        machine_->setNatFaultHandler(
-            [pe](Machine &, const Fault &fault) {
-                return pe->natFaultAlert(fault);
-            });
-    }
-
-    machine_->setSyscallHandler([this](Machine &m, int64_t number) {
-        if (number == kDiftAlertSyscall) {
-            Fault fault;
-            fault.kind = FaultKind::NatConsumption;
-            int64_t reason = static_cast<int64_t>(
-                m.gprVal(kDiftAlertReasonReg));
-            fault.context = reason == kDiftAlertStore
-                                ? FaultContext::StoreAddress
-                                : FaultContext::LoadAddress;
-            fault.detail = "software DIFT address check";
-            auto alert = policy_->natFaultAlert(fault);
-            if (alert)
-                m.raiseAlert(std::move(*alert),
-                             policy_->config().alertKills);
-            return;
-        }
-        SHIFT_FATAL("unknown system call %lld",
-                    static_cast<long long>(number));
-    });
+    detail::wireRuntime(*machine_, os_, tracking ? taint_.get() : nullptr,
+                        tracking ? policy_.get() : nullptr, options_.mode,
+                        runtimeCtx_);
 }
 
 RunResult
 Session::run()
 {
+    if (ran_) {
+        SHIFT_FATAL("Session::run() called twice: the machine has been "
+                    "consumed (use a SessionTemplate to run a program "
+                    "more than once)");
+    }
+    ran_ = true;
     return machine_->run(options_.maxSteps);
 }
 

@@ -62,6 +62,31 @@ struct SessionOptions
     minic::SpeculateOptions speculateOptions;
 };
 
+namespace detail
+{
+
+/**
+ * Compile + optional speculation + instrumentation: the build-front
+ * half of a Session, shared with SessionTemplate. Mutates `options`
+ * (granularity and feature switches propagate into the instrumenter
+ * options, exactly as Session::build always did).
+ */
+Program buildProgram(const std::vector<std::string> &sources,
+                     SessionOptions &options, InstrumentStats &instrStats,
+                     minic::SpeculateStats &speculateStats);
+
+/**
+ * Per-machine runtime wiring: built-ins, taint-source input hook,
+ * NaT-fault security monitor and syscall handler. `taint` and
+ * `policy` are null when tracking is off; all referenced objects must
+ * outlive the machine.
+ */
+void wireRuntime(Machine &machine, Os &os, TaintMap *taint,
+                 PolicyEngine *policy, TrackingMode mode,
+                 RuntimeContext &ctx);
+
+} // namespace detail
+
 /** One compile+instrument+run pipeline instance. */
 class Session
 {
@@ -77,7 +102,12 @@ class Session
     Session(const Session &) = delete;
     Session &operator=(const Session &) = delete;
 
-    /** Execute to completion; may only be called once. */
+    /**
+     * Execute to completion. May only be called once: a second call
+     * is a FatalError (the machine has been consumed). To run one
+     * program many times, build a SessionTemplate and instantiate a
+     * clone per run.
+     */
     RunResult run();
 
     Machine &machine() { return *machine_; }
@@ -104,6 +134,7 @@ class Session
     std::unique_ptr<TaintMap> taint_;
     std::unique_ptr<PolicyEngine> policy_;
     RuntimeContext runtimeCtx_;
+    bool ran_ = false;
 };
 
 } // namespace shift

@@ -1,0 +1,98 @@
+#include "session_template.hh"
+
+#include "support/logging.hh"
+
+namespace shift
+{
+
+SessionTemplate::SessionTemplate(const std::vector<std::string> &sources,
+                                 SessionOptions options)
+    : options_(std::move(options))
+{
+    program_ = detail::buildProgram(sources, options_, instrStats_,
+                                    speculateStats_);
+    proto_ = std::make_unique<Machine>(program_, options_.features,
+                                       options_.engine);
+}
+
+SessionTemplate::SessionTemplate(const std::string &source,
+                                 SessionOptions options)
+    : SessionTemplate(std::vector<std::string>{source}, std::move(options))
+{
+}
+
+Os &
+SessionTemplate::os()
+{
+    if (frozen()) {
+        SHIFT_FATAL("SessionTemplate is frozen: provisioning the "
+                    "prototype OS after the first instantiate() would "
+                    "make clones diverge");
+    }
+    return protoOs_;
+}
+
+void
+SessionTemplate::freeze()
+{
+    std::lock_guard<std::mutex> lock(freezeMutex_);
+    if (frozen_.load(std::memory_order_relaxed))
+        return;
+    snapshot_ = proto_->capture();
+    // The prototype machine exists only to be snapshotted; dropping it
+    // leaves the snapshot holding the only extra reference to every
+    // page, so a clone's first write to any page still COWs correctly.
+    proto_.reset();
+    frozen_.store(true, std::memory_order_release);
+}
+
+std::unique_ptr<SessionClone>
+SessionTemplate::instantiate()
+{
+    freeze();
+    int id = nextCloneId_.fetch_add(1, std::memory_order_relaxed);
+    // No make_unique: the constructor is private to enforce that only
+    // templates fork clones.
+    return std::unique_ptr<SessionClone>(new SessionClone(*this, id));
+}
+
+size_t
+SessionTemplate::snapshotPages() const
+{
+    return snapshot_ ? snapshot_->mem.pageCount() : 0;
+}
+
+SessionClone::SessionClone(const SessionTemplate &tmpl, int cloneId)
+    : tmpl_(&tmpl), cloneId_(cloneId), os_(tmpl.protoOs_)
+{
+    SHIFT_ASSERT(tmpl.snapshot_, "template not frozen");
+    machine_ = std::make_unique<Machine>(tmpl.program_, *tmpl.snapshot_,
+                                         tmpl.options_.features,
+                                         tmpl.options_.engine);
+    policy_ = std::make_unique<PolicyEngine>(tmpl.options_.policy);
+    bool tracking = tmpl.options_.mode != TrackingMode::None;
+    if (tracking) {
+        taint_ = std::make_unique<TaintMap>(
+            machine_->memory(), tmpl.options_.policy.granularity);
+    }
+    detail::wireRuntime(*machine_, os_, tracking ? taint_.get() : nullptr,
+                        tracking ? policy_.get() : nullptr,
+                        tmpl.options_.mode, runtimeCtx_);
+}
+
+RunResult
+SessionClone::run()
+{
+    if (ran_) {
+        SHIFT_FATAL("SessionClone::run() called twice: clone %d has been "
+                    "consumed (instantiate() a new one)",
+                    cloneId_);
+    }
+    ran_ = true;
+    setLogCloneTag(cloneId_);
+    RunResult result = machine_->run(tmpl_->options_.maxSteps);
+    setLogCloneTag(-1);
+    return result;
+}
+
+} // namespace shift

@@ -36,14 +36,16 @@ Machine::Machine(const Program &program, CpuFeatures features,
 {
     layout();
     if (engine_ == ExecEngine::Predecoded) {
+        auto decoded = std::make_shared<DecodedProgram>();
         Fault decodeError;
-        if (!decodeProgram(*program_, decoded_, decodeError)) {
+        if (!decodeProgram(*program_, *decoded, decodeError)) {
             // Malformed code is a construction-time diagnostic: the
             // machine starts stopped and run() reports the fault.
             fault_ = decodeError;
             stopped_ = true;
         }
-        builtinSlotFns_.assign(decoded_.builtinNames.size(), nullptr);
+        decoded_ = std::move(decoded);
+        builtinSlotFns_.assign(decoded_->builtinNames.size(), nullptr);
     } else {
         resolveLabels();
         // The legacy stepper is the pre-change reference: it keeps
@@ -53,6 +55,61 @@ Machine::Machine(const Program &program, CpuFeatures features,
         mem_.setTranslationCacheEnabled(false);
     }
     reset();
+}
+
+Machine::Machine(const Program &program, const MachineSnapshot &snap,
+                 CpuFeatures features, ExecEngine engine)
+    : program_(&program), features_(features), engine_(engine)
+{
+    mem_.restore(snap.mem);
+    for (int r = 0; r < kNumGpr; ++r)
+        gpr_[r] = Gpr{snap.gprVal[r], snap.gprNat[r]};
+    for (int p = 0; p < kNumPred; ++p)
+        pred_[p] = snap.pred[p];
+    for (int b = 0; b < kNumBr; ++b)
+        br_[b] = snap.br[b];
+    unat_ = snap.unat;
+    curFunc_ = snap.curFunc;
+    pc_ = snap.pc;
+    globalAddr_ = snap.globalAddr;
+    heapBreak_ = snap.heapBreak;
+    heapLimit_ = snap.heapLimit;
+
+    if (engine_ == ExecEngine::Predecoded) {
+        SHIFT_ASSERT(snap.decoded,
+                     "snapshot carries no decode result (taken from a "
+                     "legacy-engine machine?)");
+        decoded_ = snap.decoded;
+        builtinSlotFns_.assign(decoded_->builtinNames.size(), nullptr);
+    } else {
+        resolveLabels();
+        mem_.setTranslationCacheEnabled(false);
+    }
+}
+
+MachineSnapshot
+Machine::capture() const
+{
+    SHIFT_ASSERT(!ran_ && !stopped_ && callStack_.empty(),
+                 "Machine::capture() requires a built, not-yet-run machine");
+    MachineSnapshot snap;
+    snap.mem = mem_.snapshot();
+    for (int r = 0; r < kNumGpr; ++r) {
+        snap.gprVal[r] = gpr_[r].val;
+        snap.gprNat[r] = gpr_[r].nat;
+    }
+    for (int p = 0; p < kNumPred; ++p)
+        snap.pred[p] = pred_[p];
+    for (int b = 0; b < kNumBr; ++b)
+        snap.br[b] = br_[b];
+    snap.unat = unat_;
+    snap.curFunc = curFunc_;
+    snap.pc = pc_;
+    snap.globalAddr = globalAddr_;
+    snap.heapBreak = heapBreak_;
+    snap.heapLimit = heapLimit_;
+    snap.decoded = decoded_;
+    return snap;
 }
 
 void
@@ -165,10 +222,10 @@ Machine::archPc() const
 {
     if (engine_ == ExecEngine::Legacy)
         return pc_;
-    if (curFunc_ < 0 ||
-        static_cast<size_t>(curFunc_) >= decoded_.functions.size())
+    if (!decoded_ || curFunc_ < 0 ||
+        static_cast<size_t>(curFunc_) >= decoded_->functions.size())
         return pc_;
-    const DecodedFunction &df = decoded_.functions[curFunc_];
+    const DecodedFunction &df = decoded_->functions[curFunc_];
     if (pc_ < df.code.size())
         return static_cast<uint64_t>(df.code[pc_].origIndex);
     return df.origCount; // fell off the end
@@ -182,8 +239,10 @@ Machine::registerBuiltin(const std::string &name, BuiltinFn fn)
     // Bind any predecoded call site referencing this name. Map nodes
     // are address-stable, so the slot pointer survives rehashes and
     // re-registration.
-    for (size_t i = 0; i < decoded_.builtinNames.size(); ++i) {
-        if (decoded_.builtinNames[i] == name)
+    if (!decoded_)
+        return;
+    for (size_t i = 0; i < decoded_->builtinNames.size(); ++i) {
+        if (decoded_->builtinNames[i] == name)
             builtinSlotFns_[i] = &stored;
     }
 }
@@ -849,7 +908,7 @@ Machine::runDecoded(uint64_t maxSteps)
     // handler raises the fell-off-the-end fault.
     if (stopped_)
         return; // construction-time decode failure: nothing to run
-    const DecodedFunction *df = &decoded_.functions[curFunc_];
+    const DecodedFunction *df = &decoded_->functions[curFunc_];
     const DecodedInstr *code = df->code.data();
     const DecodedInstr *dp = code;
     uint64_t pc = pc_;
@@ -878,7 +937,7 @@ Machine::runDecoded(uint64_t maxSteps)
     };
     auto resync = [&] {
         pc = pc_;
-        df = &decoded_.functions[curFunc_];
+        df = &decoded_->functions[curFunc_];
         code = df->code.data();
     };
     auto charge = [&](uint64_t cost) {
@@ -912,7 +971,7 @@ Machine::runDecoded(uint64_t maxSteps)
         callStack_.push_back(Frame{curFunc_, pc + 1});
         curFunc_ = funcIndex;
         pc = 0;
-        df = &decoded_.functions[curFunc_];
+        df = &decoded_->functions[curFunc_];
         code = df->code.data();
     };
 
@@ -1360,7 +1419,7 @@ nullified:
                 setFault(FaultKind::UnknownFunction, FaultContext::None,
                          0,
                          "no function or built-in named '" +
-                             decoded_.builtinNames[slot] + "'");
+                             decoded_->builtinNames[slot] + "'");
                 SHIFT_STOPPED();
             }
             charge(cycleModel_.call);
@@ -1403,7 +1462,7 @@ nullified:
             callStack_.pop_back();
             curFunc_ = frame.function;
             pc = frame.returnPc;
-            df = &decoded_.functions[curFunc_];
+            df = &decoded_->functions[curFunc_];
             code = df->code.data();
         }
         SHIFT_NEXT();

@@ -27,6 +27,7 @@
 #include <cstdint>
 #include <functional>
 #include <map>
+#include <memory>
 #include <optional>
 #include <string>
 #include <vector>
@@ -87,6 +88,36 @@ struct RunResult
     bool ok() const { return exited && !fault && !killedByPolicy; }
 };
 
+/**
+ * A capture of a machine that has been built but not yet run: the
+ * whole address space (COW-shared pages, including the region-0 taint
+ * bitmap and NaT sidecars), every architectural register with its NaT
+ * bit, the layout tables, and a reference to the already-decoded
+ * program. Taking one is O(pages) map work; constructing a Machine
+ * from one skips layout and decode entirely, so a fleet can fork many
+ * runnable clones from a single compile. See docs/FLEET.md.
+ */
+struct MachineSnapshot
+{
+    Memory::Snapshot mem;
+
+    std::array<uint64_t, kNumGpr> gprVal{};
+    std::array<bool, kNumGpr> gprNat{};
+    std::array<bool, kNumPred> pred{};
+    std::array<uint64_t, kNumBr> br{};
+    uint64_t unat = 0;
+
+    int curFunc = -1;
+    uint64_t pc = 0;
+
+    std::map<std::string, uint64_t> globalAddr;
+    uint64_t heapBreak = 0;
+    uint64_t heapLimit = 0;
+
+    /** Shared immutable decode result (null under ExecEngine::Legacy). */
+    std::shared_ptr<const DecodedProgram> decoded;
+};
+
 /** The simulated machine. */
 class Machine
 {
@@ -106,6 +137,25 @@ class Machine
      */
     explicit Machine(const Program &program, CpuFeatures features = {},
                      ExecEngine engine = ExecEngine::Predecoded);
+
+    /**
+     * Fork a machine from a pre-run snapshot: adopts the snapshot's
+     * pages copy-on-write and its register file, and reuses the shared
+     * decode result instead of decoding again. The program (and the
+     * snapshot's pages, via shared_ptr) must outlive the machine.
+     * Environment wiring (builtins, handlers) is per-machine and
+     * starts empty.
+     */
+    Machine(const Program &program, const MachineSnapshot &snap,
+            CpuFeatures features = {},
+            ExecEngine engine = ExecEngine::Predecoded);
+
+    /**
+     * Capture the full pre-run state for cloning. Only legal before
+     * run(): a consumed machine's caches, stop flags and call stack
+     * are not part of the snapshot contract.
+     */
+    MachineSnapshot capture() const;
 
     // ----- execution ---------------------------------------------------
 
@@ -245,8 +295,10 @@ class Machine
     ExecEngine engine_;
     CycleModel cycleModel_;
 
-    // Predecoded engine state (empty under ExecEngine::Legacy).
-    DecodedProgram decoded_;
+    // Predecoded engine state (null under ExecEngine::Legacy). Shared
+    // and immutable after construction so snapshot clones reuse one
+    // decode result instead of re-decoding per clone.
+    std::shared_ptr<const DecodedProgram> decoded_;
     /** Slot id -> registered builtin (bound by registerBuiltin). */
     std::vector<const BuiltinFn *> builtinSlotFns_;
 

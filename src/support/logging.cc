@@ -1,6 +1,8 @@
 #include "logging.hh"
 
+#include <atomic>
 #include <cstdarg>
+#include <mutex>
 #include <vector>
 
 namespace shift
@@ -8,7 +10,31 @@ namespace shift
 
 namespace
 {
-bool verboseOutput = true;
+
+std::atomic<bool> verboseOutput{true};
+
+/** One sink guard: fleet workers log concurrently. */
+std::mutex &
+sinkMutex()
+{
+    static std::mutex m;
+    return m;
+}
+
+/** Per-thread clone id (negative = untagged). */
+thread_local int logCloneId = -1;
+
+void
+emit(const char *prefix, const std::string &msg)
+{
+    std::lock_guard<std::mutex> lock(sinkMutex());
+    if (logCloneId >= 0)
+        std::fprintf(stderr, "%s[clone %d] %s\n", prefix, logCloneId,
+                     msg.c_str());
+    else
+        std::fprintf(stderr, "%s%s\n", prefix, msg.c_str());
+}
+
 } // namespace
 
 namespace detail
@@ -38,7 +64,8 @@ formatMessage(const char *fmt, ...)
 void
 panicImpl(const char *file, int line, const std::string &msg)
 {
-    std::fprintf(stderr, "panic: %s (%s:%d)\n", msg.c_str(), file, line);
+    emit("panic: ", detail::formatMessage("%s (%s:%d)", msg.c_str(),
+                                          file, line));
     std::abort();
 }
 
@@ -52,21 +79,27 @@ fatalImpl(const char *file, int line, const std::string &msg)
 void
 warnImpl(const std::string &msg)
 {
-    if (verboseOutput)
-        std::fprintf(stderr, "warn: %s\n", msg.c_str());
+    if (verboseOutput.load(std::memory_order_relaxed))
+        emit("warn: ", msg);
 }
 
 void
 informImpl(const std::string &msg)
 {
-    if (verboseOutput)
-        std::fprintf(stderr, "info: %s\n", msg.c_str());
+    if (verboseOutput.load(std::memory_order_relaxed))
+        emit("info: ", msg);
 }
 
 void
 setVerbose(bool verbose)
 {
-    verboseOutput = verbose;
+    verboseOutput.store(verbose, std::memory_order_relaxed);
+}
+
+void
+setLogCloneTag(int cloneId)
+{
+    logCloneId = cloneId;
 }
 
 } // namespace shift

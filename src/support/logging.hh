@@ -51,6 +51,14 @@ void informImpl(const std::string &msg);
 /** Toggle warn()/inform() output (tests silence it). */
 void setVerbose(bool verbose);
 
+/**
+ * Tag this thread's warn()/inform() output with a clone id, so
+ * interleaved fleet-worker output stays attributable ("[clone 3]
+ * ..."). Pass a negative id to clear the tag. The sink itself is
+ * mutex-guarded, so concurrent workers never interleave mid-line.
+ */
+void setLogCloneTag(int cloneId);
+
 #define SHIFT_PANIC(...) \
     ::shift::panicImpl(__FILE__, __LINE__, \
                        ::shift::detail::formatMessage(__VA_ARGS__))

@@ -12,6 +12,7 @@
 
 #include <cstdint>
 #include <map>
+#include <mutex>
 #include <string>
 #include <vector>
 
@@ -42,6 +43,42 @@ class StatSet
 
   private:
     std::map<std::string, uint64_t> counters_;
+};
+
+/**
+ * A mutex-guarded StatSet for aggregation across fleet workers: each
+ * clone accumulates into its own (single-threaded) StatSet while
+ * running, then folds it in here with one merge() per job.
+ */
+class ConcurrentStatSet
+{
+  public:
+    /** Counter-wise sum `other` into the aggregate. */
+    void
+    merge(const StatSet &other)
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        stats_.merge(other);
+    }
+
+    void
+    add(const std::string &name, uint64_t delta = 1)
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        stats_.add(name, delta);
+    }
+
+    /** Copy out the aggregate (a consistent point-in-time view). */
+    StatSet
+    snapshot() const
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        return stats_;
+    }
+
+  private:
+    mutable std::mutex mutex_;
+    StatSet stats_;
 };
 
 } // namespace shift

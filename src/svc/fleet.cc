@@ -1,0 +1,121 @@
+#include "fleet.hh"
+
+#include <algorithm>
+#include <chrono>
+#include <mutex>
+#include <thread>
+
+#include "svc/mpmc_queue.hh"
+
+namespace shift::svc
+{
+
+namespace
+{
+
+double
+secondsSince(std::chrono::steady_clock::time_point start)
+{
+    return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                         start)
+        .count();
+}
+
+} // namespace
+
+Fleet::Fleet(SessionTemplate &tmpl, FleetOptions options)
+    : tmpl_(&tmpl), options_(options)
+{
+    if (options_.workers == 0)
+        options_.workers = 1;
+    if (options_.queueCapacity == 0)
+        options_.queueCapacity = 2 * options_.workers;
+}
+
+FleetReport
+Fleet::serve(const std::vector<FleetJob> &jobs)
+{
+    tmpl_->freeze();
+
+    MpmcQueue<FleetJob> queue(options_.queueCapacity);
+    ConcurrentStatSet aggregate;
+    std::mutex resultsMutex;
+    std::vector<FleetJobResult> results;
+    results.reserve(jobs.size());
+
+    auto worker = [&] {
+        while (std::optional<FleetJob> job = queue.pop()) {
+            FleetJobResult jr;
+            jr.id = job->id;
+
+            auto forkStart = std::chrono::steady_clock::now();
+            std::unique_ptr<SessionClone> clone = tmpl_->instantiate();
+            jr.forkSeconds = secondsSince(forkStart);
+
+            for (const std::string &request : job->requests)
+                clone->os().queueConnection(request);
+
+            auto runStart = std::chrono::steady_clock::now();
+            jr.result = clone->run();
+            jr.runSeconds = secondsSince(runStart);
+
+            jr.responses = clone->os().responses();
+            jr.cowPages = clone->machine().memory().cowCopies();
+
+            aggregate.merge(jr.result.stats);
+            std::lock_guard<std::mutex> lock(resultsMutex);
+            results.push_back(std::move(jr));
+        }
+    };
+
+    auto serveStart = std::chrono::steady_clock::now();
+    std::vector<std::thread> threads;
+    threads.reserve(options_.workers);
+    for (unsigned i = 0; i < options_.workers; ++i)
+        threads.emplace_back(worker);
+
+    for (const FleetJob &job : jobs)
+        queue.push(job);
+    queue.close();
+    for (std::thread &t : threads)
+        t.join();
+
+    FleetReport report;
+    report.hostSeconds = secondsSince(serveStart);
+    report.stats = aggregate.snapshot();
+
+    std::sort(results.begin(), results.end(),
+              [](const FleetJobResult &a, const FleetJobResult &b) {
+                  return a.id < b.id;
+              });
+
+    // Per-request simulated latency: a job's cycle total spread over
+    // its requests (requests within one clone run are not separately
+    // timestamped by the machine).
+    std::vector<uint64_t> latencies;
+    for (const FleetJobResult &jr : results) {
+        report.requests += jr.responses.size();
+        report.detections += jr.result.alerts.size();
+        report.allOk = report.allOk && jr.result.ok();
+        report.totalSimCycles += jr.result.cycles;
+        size_t n = std::max<size_t>(jr.responses.size(), 1);
+        for (size_t i = 0; i < n; ++i)
+            latencies.push_back(jr.result.cycles / n);
+    }
+    report.jobs = results.size();
+    if (!latencies.empty()) {
+        std::sort(latencies.begin(), latencies.end());
+        report.p50LatencyCycles = latencies[latencies.size() / 2];
+        report.p99LatencyCycles =
+            latencies[std::min(latencies.size() - 1,
+                               latencies.size() * 99 / 100)];
+    }
+    if (report.hostSeconds > 0) {
+        report.requestsPerHostSecond =
+            static_cast<double>(report.requests) / report.hostSeconds;
+    }
+    report.jobResults = std::move(results);
+    return report;
+}
+
+} // namespace shift::svc

@@ -1,0 +1,103 @@
+/**
+ * @file
+ * A bounded multi-producer / multi-consumer job queue.
+ *
+ * Deliberately boring: one mutex, two condition variables, a deque,
+ * and a capacity bound so a fast producer cannot buffer an unbounded
+ * backlog ahead of slow workers. close() wakes everyone; producers
+ * then fail fast and consumers drain what remains before seeing
+ * end-of-stream. Throughput is not a concern — a fleet worker holds
+ * the lock for nanoseconds between simulated runs that take
+ * milliseconds.
+ */
+
+#ifndef SHIFT_SVC_MPMC_QUEUE_HH
+#define SHIFT_SVC_MPMC_QUEUE_HH
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <mutex>
+#include <optional>
+#include <utility>
+
+namespace shift::svc
+{
+
+template <typename T>
+class MpmcQueue
+{
+  public:
+    explicit MpmcQueue(size_t capacity) : capacity_(capacity ? capacity : 1)
+    {
+    }
+
+    /**
+     * Block until there is room, then enqueue. Returns false (item
+     * not enqueued) when the queue was closed.
+     */
+    bool
+    push(T item)
+    {
+        std::unique_lock<std::mutex> lock(mutex_);
+        notFull_.wait(lock, [this] {
+            return closed_ || items_.size() < capacity_;
+        });
+        if (closed_)
+            return false;
+        items_.push_back(std::move(item));
+        lock.unlock();
+        notEmpty_.notify_one();
+        return true;
+    }
+
+    /**
+     * Block until an item is available or the queue is closed AND
+     * drained; nullopt means end-of-stream.
+     */
+    std::optional<T>
+    pop()
+    {
+        std::unique_lock<std::mutex> lock(mutex_);
+        notEmpty_.wait(lock, [this] { return closed_ || !items_.empty(); });
+        if (items_.empty())
+            return std::nullopt;
+        T item = std::move(items_.front());
+        items_.pop_front();
+        lock.unlock();
+        notFull_.notify_one();
+        return item;
+    }
+
+    /** End-of-stream: unblocks every waiter. Already-queued items
+        remain poppable. */
+    void
+    close()
+    {
+        {
+            std::lock_guard<std::mutex> lock(mutex_);
+            closed_ = true;
+        }
+        notEmpty_.notify_all();
+        notFull_.notify_all();
+    }
+
+    size_t
+    size() const
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        return items_.size();
+    }
+
+  private:
+    const size_t capacity_;
+    mutable std::mutex mutex_;
+    std::condition_variable notEmpty_;
+    std::condition_variable notFull_;
+    std::deque<T> items_;
+    bool closed_ = false;
+};
+
+} // namespace shift::svc
+
+#endif // SHIFT_SVC_MPMC_QUEUE_HH

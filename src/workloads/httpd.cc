@@ -117,26 +117,46 @@ int main() {
 }
 )MC";
 
-HttpdRun
-runHttpd(const HttpdConfig &config)
+const char *const kHttpdRequest =
+    "GET /data.bin HTTP/1.0\r\nHost: bench.example\r\n"
+    "User-Agent: ab/2.3\r\nAccept: */*\r\n\r\n";
+
+const char *const kHttpdAttackRequest =
+    "GET /../../etc/shadow HTTP/1.0\r\n\r\n";
+
+SessionOptions
+httpdSessionOptions(TrackingMode mode, Granularity granularity,
+                    CpuFeatures features, ExecEngine engine)
 {
     SessionOptions options;
-    options.mode = config.mode;
-    options.features = config.features;
-    options.engine = config.engine;
-    options.policy.granularity = config.granularity;
+    options.mode = mode;
+    options.features = features;
+    options.engine = engine;
+    options.policy.granularity = granularity;
     options.policy.taintNetwork = true;
     options.policy.taintFile = false; // served content is trusted
     options.policy.h2 = true;         // typical server policy set
     options.policy.h5 = true;
     options.policy.docRoot = "/www";
     options.maxSteps = 20'000'000'000ULL;
+    return options;
+}
 
-    Session session(kHttpdSource, options);
+std::string
+httpdFileBody(uint64_t fileSize)
+{
+    std::string body(fileSize, '\0');
+    for (uint64_t i = 0; i < fileSize; ++i)
+        body[i] = static_cast<char>('A' + (i * 31 + i / 97) % 26);
+    return body;
+}
 
+void
+provisionHttpdOs(Os &os, uint64_t fileSize)
+{
     // Server-realistic I/O cost model: syscall-and-copy dominated
     // (real Apache request handling is mostly kernel time).
-    Os::Costs &costs = session.os().costs();
+    Os::Costs &costs = os.costs();
     costs.accept = 45000;
     costs.open = 40000;
     costs.close = 3000;
@@ -144,17 +164,24 @@ runHttpd(const HttpdConfig &config)
     costs.ioPerByteNum = 1;
     costs.ioPerByteDen = 2;
 
-    // The served file.
-    std::string body(config.fileSize, '\0');
-    for (uint64_t i = 0; i < config.fileSize; ++i)
-        body[i] = static_cast<char>('A' + (i * 31 + i / 97) % 26);
-    session.os().addFile("/www/data.bin", body);
+    os.addFile("/www/data.bin", httpdFileBody(fileSize));
+    // The traversal target, so attack requests exercise H2 (a tainted
+    // path escaping the doc root) rather than a plain 404.
+    os.addFile("/etc/shadow", "root:secret");
+}
 
-    for (int i = 0; i < config.requests; ++i) {
-        session.os().queueConnection(
-            "GET /data.bin HTTP/1.0\r\nHost: bench.example\r\n"
-            "User-Agent: ab/2.3\r\nAccept: */*\r\n\r\n");
-    }
+HttpdRun
+runHttpd(const HttpdConfig &config)
+{
+    SessionOptions options = httpdSessionOptions(
+        config.mode, config.granularity, config.features, config.engine);
+
+    Session session(kHttpdSource, options);
+    provisionHttpdOs(session.os(), config.fileSize);
+    std::string body = httpdFileBody(config.fileSize);
+
+    for (int i = 0; i < config.requests; ++i)
+        session.os().queueConnection(kHttpdRequest);
 
     HttpdRun run;
     auto start = std::chrono::steady_clock::now();
@@ -179,6 +206,88 @@ runHttpd(const HttpdConfig &config)
                           first.size() > body.size() &&
                           first.substr(first.size() - body.size()) ==
                               body;
+    }
+    return run;
+}
+
+std::unique_ptr<SessionTemplate>
+makeHttpdTemplate(const HttpdFleetConfig &config)
+{
+    SessionOptions options = httpdSessionOptions(
+        config.mode, config.granularity, config.features, config.engine);
+    auto tmpl = std::make_unique<SessionTemplate>(
+        std::string(kHttpdSource), std::move(options));
+    provisionHttpdOs(tmpl->os(), config.fileSize);
+    return tmpl;
+}
+
+std::vector<svc::FleetJob>
+httpdFleetJobs(const HttpdFleetConfig &config)
+{
+    std::vector<svc::FleetJob> jobs;
+    jobs.reserve(static_cast<size_t>(config.jobs));
+    for (int j = 0; j < config.jobs; ++j) {
+        svc::FleetJob job;
+        job.id = j;
+        for (int r = 0; r < config.requestsPerJob; ++r)
+            job.requests.push_back(kHttpdRequest);
+        // Attacks ride last so the clone serves its benign requests
+        // before the policy kill terminates it.
+        if (j >= config.jobs - config.attackJobs)
+            job.requests.push_back(kHttpdAttackRequest);
+        jobs.push_back(std::move(job));
+    }
+    return jobs;
+}
+
+HttpdFleetRun
+runHttpdFleet(const HttpdFleetConfig &config)
+{
+    HttpdFleetRun run;
+
+    auto buildStart = std::chrono::steady_clock::now();
+    std::unique_ptr<SessionTemplate> tmpl = makeHttpdTemplate(config);
+    tmpl->freeze();
+    run.buildSeconds = std::chrono::duration<double>(
+                           std::chrono::steady_clock::now() - buildStart)
+                           .count();
+
+    svc::FleetOptions fleetOptions;
+    fleetOptions.workers = config.workers;
+    fleetOptions.queueCapacity = config.queueCapacity;
+    svc::Fleet fleet(*tmpl, fleetOptions);
+
+    auto serveStart = std::chrono::steady_clock::now();
+    run.report = fleet.serve(httpdFleetJobs(config));
+    run.serveSeconds = std::chrono::duration<double>(
+                           std::chrono::steady_clock::now() - serveStart)
+                           .count();
+
+    // Validate benign payloads end-to-end, exactly as runHttpd does.
+    std::string body = httpdFileBody(config.fileSize);
+    run.responsesOk = true;
+    for (const svc::FleetJobResult &jr : run.report.jobResults) {
+        bool attackJob = jr.id >= config.jobs - config.attackJobs;
+        if (!attackJob && !jr.result.ok()) {
+            run.responsesOk = false;
+            break;
+        }
+        size_t expect = static_cast<size_t>(config.requestsPerJob);
+        if (jr.responses.size() < expect) {
+            run.responsesOk = false;
+            break;
+        }
+        for (size_t i = 0; i < expect; ++i) {
+            const std::string &resp = jr.responses[i];
+            if (resp.find("200 OK") == std::string::npos ||
+                resp.size() <= body.size() ||
+                resp.substr(resp.size() - body.size()) != body) {
+                run.responsesOk = false;
+                break;
+            }
+        }
+        if (!run.responsesOk)
+            break;
     }
     return run;
 }

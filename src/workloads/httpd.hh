@@ -15,9 +15,13 @@
 #define SHIFT_WORKLOADS_HTTPD_HH
 
 #include <cstdint>
+#include <memory>
 #include <string>
+#include <vector>
 
 #include "runtime/session.hh"
+#include "runtime/session_template.hh"
+#include "svc/fleet.hh"
 
 namespace shift::workloads
 {
@@ -49,8 +53,70 @@ struct HttpdRun
 /** The MiniC source of the server (exposed for tests/examples). */
 extern const char *const kHttpdSource;
 
+/** The ab-style request every benign connection carries. */
+extern const char *const kHttpdRequest;
+
+/** A path-traversal request that escapes the doc root (H2 fires). */
+extern const char *const kHttpdAttackRequest;
+
+/** Session options for the httpd workload (tracking + server policy). */
+SessionOptions httpdSessionOptions(TrackingMode mode,
+                                   Granularity granularity,
+                                   CpuFeatures features, ExecEngine engine);
+
+/** Deterministic content of the served /www/data.bin file. */
+std::string httpdFileBody(uint64_t fileSize);
+
+/**
+ * Provision an OS for serving: server-realistic I/O costs, the data
+ * file, and /etc/shadow as the traversal target. Used for both a
+ * Session's OS and a SessionTemplate's prototype OS.
+ */
+void provisionHttpdOs(Os &os, uint64_t fileSize);
+
 /** Run the server against `config.requests` queued connections. */
 HttpdRun runHttpd(const HttpdConfig &config);
+
+// ----- fleet driver (compile once, serve from many clones) --------------
+
+/** Configuration of one fleet measurement. */
+struct HttpdFleetConfig
+{
+    TrackingMode mode = TrackingMode::Shift;
+    Granularity granularity = Granularity::Byte;
+    CpuFeatures features;
+    ExecEngine engine = ExecEngine::Predecoded;
+    uint64_t fileSize = 4 * 1024;
+    int jobs = 8;            ///< clones forked (one per job)
+    int requestsPerJob = 4;  ///< connections each clone serves
+    unsigned workers = 4;    ///< fleet worker threads
+    size_t queueCapacity = 0;
+    /** The last `attackJobs` jobs end with a traversal attack. */
+    int attackJobs = 0;
+};
+
+/** Measured fleet result. */
+struct HttpdFleetRun
+{
+    svc::FleetReport report;
+    bool responsesOk = false; ///< every benign response carried the file
+    double buildSeconds = 0;  ///< compile+instrument+snapshot (once)
+    double serveSeconds = 0;  ///< host time inside Fleet::serve
+};
+
+/** Compile/instrument once and provision the prototype OS. */
+std::unique_ptr<SessionTemplate>
+makeHttpdTemplate(const HttpdFleetConfig &config);
+
+/**
+ * The job list a fleet measurement serves — exposed so tests and the
+ * bench harness can replay the byte-identical workload through
+ * sequential single-use Sessions.
+ */
+std::vector<svc::FleetJob> httpdFleetJobs(const HttpdFleetConfig &config);
+
+/** Serve the job list through a Fleet of `config.workers` workers. */
+HttpdFleetRun runHttpdFleet(const HttpdFleetConfig &config);
 
 } // namespace shift::workloads
 

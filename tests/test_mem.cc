@@ -319,5 +319,111 @@ TEST(Cache, WorkingSetLargerThanCacheThrashes)
     EXPECT_EQ(cache.hits(), 0u);
 }
 
+// ----- snapshot / copy-on-write -----------------------------------------
+
+TEST(MemorySnapshot, RestoreSharesPagesUntilWritten)
+{
+    Memory mem;
+    mem.map(kBase, 2 * Memory::kPageSize);
+    mem.write(kBase, 8, 0x1111);
+    mem.write(kBase + Memory::kPageSize, 8, 0x2222);
+
+    Memory::Snapshot snap = mem.snapshot();
+    EXPECT_EQ(snap.pageCount(), 2u);
+
+    Memory clone;
+    clone.restore(snap);
+    EXPECT_EQ(clone.pageCount(), 2u);
+    EXPECT_EQ(clone.cowCopies(), 0u);
+
+    uint64_t v = 0;
+    ASSERT_EQ(clone.read(kBase, 8, v), MemFault::None);
+    EXPECT_EQ(v, 0x1111u);
+
+    // Reads share; the first write to a page copies exactly that page.
+    ASSERT_EQ(clone.write(kBase, 8, 0x9999), MemFault::None);
+    EXPECT_EQ(clone.cowCopies(), 1u);
+    clone.read(kBase, 8, v);
+    EXPECT_EQ(v, 0x9999u);
+
+    // The origin and the snapshot are unaffected.
+    mem.read(kBase, 8, v);
+    EXPECT_EQ(v, 0x1111u);
+
+    // Writing the same page again is free; the second page still shares.
+    clone.write(kBase + 8, 8, 0x7777);
+    EXPECT_EQ(clone.cowCopies(), 1u);
+    clone.write(kBase + Memory::kPageSize, 8, 0x8888);
+    EXPECT_EQ(clone.cowCopies(), 2u);
+    mem.read(kBase + Memory::kPageSize, 8, v);
+    EXPECT_EQ(v, 0x2222u);
+}
+
+TEST(MemorySnapshot, OriginWritesAfterSnapshotCowToo)
+{
+    Memory mem;
+    mem.map(kBase, Memory::kPageSize);
+    mem.write(kBase, 8, 0xAA);
+    Memory::Snapshot snap = mem.snapshot();
+
+    // The origin itself now shares with the snapshot: its next write
+    // must not bleed into clones restored later.
+    mem.write(kBase, 8, 0xBB);
+    EXPECT_EQ(mem.cowCopies(), 1u);
+
+    Memory clone;
+    clone.restore(snap);
+    uint64_t v = 0;
+    clone.read(kBase, 8, v);
+    EXPECT_EQ(v, 0xAAu);
+}
+
+TEST(MemorySnapshot, SpillSidecarIsCaptured)
+{
+    Memory mem;
+    mem.map(kBase, Memory::kPageSize);
+    ASSERT_EQ(mem.writeSpill(kBase, 0x42, true), MemFault::None);
+    Memory::Snapshot snap = mem.snapshot();
+
+    Memory clone;
+    clone.restore(snap);
+    uint64_t v = 0;
+    bool nat = false;
+    ASSERT_EQ(clone.readFill(kBase, v, nat), MemFault::None);
+    EXPECT_EQ(v, 0x42u);
+    EXPECT_TRUE(nat);
+
+    // COW preserves the sidecar of untouched words on the copied page.
+    clone.writeSpill(kBase + 8, 1, false);
+    clone.readFill(kBase, v, nat);
+    EXPECT_EQ(v, 0x42u);
+    EXPECT_TRUE(nat);
+}
+
+TEST(MemorySnapshot, SnapshotOfRestoredCloneChains)
+{
+    Memory mem;
+    mem.map(kBase, Memory::kPageSize);
+    mem.write(kBase, 8, 1);
+    Memory::Snapshot first = mem.snapshot();
+
+    Memory clone;
+    clone.restore(first);
+    clone.write(kBase, 8, 2);
+    Memory::Snapshot second = clone.snapshot();
+
+    Memory grandchild;
+    grandchild.restore(second);
+    uint64_t v = 0;
+    grandchild.read(kBase, 8, v);
+    EXPECT_EQ(v, 2u);
+    grandchild.write(kBase, 8, 3);
+
+    clone.read(kBase, 8, v);
+    EXPECT_EQ(v, 2u);
+    mem.read(kBase, 8, v);
+    EXPECT_EQ(v, 1u);
+}
+
 } // namespace
 } // namespace shift

@@ -54,6 +54,60 @@ TEST(Config, Booleans)
     EXPECT_TRUE(cfg.getBool("b", "missing", true));
 }
 
+TEST(StatSet, MergeSumsCounterWise)
+{
+    StatSet a;
+    a.add("loads", 3);
+    a.add("stores", 5);
+    StatSet b;
+    b.add("loads", 7);
+    b.add("stores", 11);
+    a.merge(b);
+    EXPECT_EQ(a.get("loads"), 10u);
+    EXPECT_EQ(a.get("stores"), 16u);
+    // The merged-from set is untouched.
+    EXPECT_EQ(b.get("loads"), 7u);
+}
+
+TEST(StatSet, MergeCreatesAbsentCounters)
+{
+    StatSet a;
+    a.add("only_in_a", 1);
+    StatSet b;
+    b.add("only_in_b", 2);
+    a.merge(b);
+    EXPECT_EQ(a.get("only_in_a"), 1u);
+    EXPECT_EQ(a.get("only_in_b"), 2u);
+    EXPECT_EQ(a.names().size(), 2u);
+    // Merging an empty set changes nothing.
+    a.merge(StatSet{});
+    EXPECT_EQ(a.names().size(), 2u);
+}
+
+TEST(StatSet, SelfMergeDoubles)
+{
+    StatSet a;
+    a.add("x", 21);
+    a.add("y", 1);
+    a.merge(a);
+    EXPECT_EQ(a.get("x"), 42u);
+    EXPECT_EQ(a.get("y"), 2u);
+    EXPECT_EQ(a.names().size(), 2u);
+}
+
+TEST(ConcurrentStatSet, MergeAndSnapshot)
+{
+    ConcurrentStatSet agg;
+    StatSet one;
+    one.add("cycles", 100);
+    agg.merge(one);
+    agg.merge(one);
+    agg.add("jobs");
+    StatSet out = agg.snapshot();
+    EXPECT_EQ(out.get("cycles"), 200u);
+    EXPECT_EQ(out.get("jobs"), 1u);
+}
+
 TEST(Config, Integers)
 {
     Config cfg = Config::parse("[n]\ndec = 42\nhex = 0x20\nbad = 1x\n");

@@ -1,0 +1,243 @@
+/**
+ * @file
+ * Fleet-service unit tests: the bounded MPMC queue, machine snapshot
+ * capture/restore, the SessionTemplate compile-once / clone-many
+ * factory, the Session run-once guard, and per-clone log tagging.
+ */
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <thread>
+#include <vector>
+
+#include "runtime/session_template.hh"
+#include "session_helpers.hh"
+#include "support/logging.hh"
+#include "svc/mpmc_queue.hh"
+
+namespace shift
+{
+namespace
+{
+
+using svc::MpmcQueue;
+using testutil::shiftOptions;
+
+// ----- MpmcQueue --------------------------------------------------------
+
+TEST(MpmcQueue, FifoThroughOneThread)
+{
+    MpmcQueue<int> q(8);
+    EXPECT_TRUE(q.push(1));
+    EXPECT_TRUE(q.push(2));
+    EXPECT_TRUE(q.push(3));
+    EXPECT_EQ(q.size(), 3u);
+    EXPECT_EQ(q.pop(), std::optional<int>(1));
+    EXPECT_EQ(q.pop(), std::optional<int>(2));
+    EXPECT_EQ(q.pop(), std::optional<int>(3));
+}
+
+TEST(MpmcQueue, CloseDrainsThenEndsStream)
+{
+    MpmcQueue<int> q(8);
+    q.push(10);
+    q.push(20);
+    q.close();
+    EXPECT_FALSE(q.push(30)); // rejected after close
+    EXPECT_EQ(q.pop(), std::optional<int>(10));
+    EXPECT_EQ(q.pop(), std::optional<int>(20));
+    EXPECT_EQ(q.pop(), std::nullopt); // end of stream, no block
+}
+
+TEST(MpmcQueue, BoundedPushBlocksUntilPopped)
+{
+    MpmcQueue<int> q(1);
+    ASSERT_TRUE(q.push(1));
+    std::atomic<bool> pushed{false};
+    std::thread producer([&] {
+        q.push(2); // must block: queue is full
+        pushed.store(true);
+    });
+    // Give the producer a chance to (wrongly) complete.
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+    EXPECT_FALSE(pushed.load());
+    EXPECT_EQ(q.pop(), std::optional<int>(1));
+    producer.join();
+    EXPECT_TRUE(pushed.load());
+    EXPECT_EQ(q.pop(), std::optional<int>(2));
+}
+
+TEST(MpmcQueue, ManyProducersManyConsumers)
+{
+    constexpr int kPerProducer = 200;
+    constexpr int kProducers = 3;
+    constexpr int kConsumers = 3;
+    MpmcQueue<int> q(4);
+    std::atomic<long> sum{0};
+    std::atomic<int> count{0};
+
+    std::vector<std::thread> threads;
+    for (int c = 0; c < kConsumers; ++c) {
+        threads.emplace_back([&] {
+            while (std::optional<int> v = q.pop()) {
+                sum.fetch_add(*v);
+                count.fetch_add(1);
+            }
+        });
+    }
+    std::vector<std::thread> producers;
+    for (int p = 0; p < kProducers; ++p) {
+        producers.emplace_back([&, p] {
+            for (int i = 0; i < kPerProducer; ++i)
+                q.push(p * kPerProducer + i);
+        });
+    }
+    for (std::thread &t : producers)
+        t.join();
+    q.close();
+    for (std::thread &t : threads)
+        t.join();
+
+    int n = kProducers * kPerProducer;
+    EXPECT_EQ(count.load(), n);
+    EXPECT_EQ(sum.load(), static_cast<long>(n) * (n - 1) / 2);
+}
+
+// ----- Session run-once guard -------------------------------------------
+
+TEST(Session, SecondRunIsFatal)
+{
+    Session session("int main() { return 7; }", shiftOptions());
+    RunResult r = session.run();
+    EXPECT_EQ(r.exitCode, 7);
+    EXPECT_THROW(session.run(), FatalError);
+}
+
+// ----- SessionTemplate / SessionClone -----------------------------------
+
+const char *const kCounterSource =
+    "int counter;"
+    "int main() {"
+    "  counter = counter + 1;"
+    "  print_num(counter);"
+    "  return counter;"
+    "}";
+
+TEST(SessionTemplate, ClonesMatchFreshSessionBitForBit)
+{
+    const char *src =
+        "char buf[64];"
+        "int main() {"
+        "  __taint(buf, 64);"
+        "  int i = 0; int acc = 0;"
+        "  while (i < 1000) { acc = acc + i * 3; i = i + 1; }"
+        "  print_num(acc);"
+        "  return __mem_tainted(buf);"
+        "}";
+
+    Session fresh(src, shiftOptions());
+    RunResult freshResult = fresh.run();
+    std::string freshStdout = fresh.os().stdoutText();
+
+    SessionTemplate tmpl(src, shiftOptions());
+    for (int i = 0; i < 3; ++i) {
+        auto clone = tmpl.instantiate();
+        RunResult r = clone->run();
+        EXPECT_EQ(r.exitCode, freshResult.exitCode);
+        EXPECT_EQ(r.cycles, freshResult.cycles) << "clone " << i;
+        EXPECT_EQ(r.instructions, freshResult.instructions);
+        EXPECT_EQ(clone->os().stdoutText(), freshStdout);
+    }
+}
+
+TEST(SessionTemplate, ClonesAreIsolated)
+{
+    // Each clone starts from the same snapshot: the global counter is
+    // 1 in every clone, not accumulated across clones.
+    SessionTemplate tmpl(kCounterSource, shiftOptions());
+    for (int i = 0; i < 4; ++i) {
+        auto clone = tmpl.instantiate();
+        RunResult r = clone->run();
+        EXPECT_TRUE(r.exited);
+        EXPECT_EQ(r.exitCode, 1) << "clone " << i << " saw a sibling's "
+                                 << "write through a shared page";
+    }
+}
+
+TEST(SessionTemplate, CloneIsSingleUse)
+{
+    SessionTemplate tmpl(kCounterSource, shiftOptions());
+    auto clone = tmpl.instantiate();
+    clone->run();
+    EXPECT_THROW(clone->run(), FatalError);
+}
+
+TEST(SessionTemplate, ProvisioningAfterFreezeIsFatal)
+{
+    SessionTemplate tmpl(kCounterSource, shiftOptions());
+    tmpl.os(); // fine before freeze
+    auto clone = tmpl.instantiate();
+    EXPECT_TRUE(tmpl.frozen());
+    EXPECT_THROW(tmpl.os(), FatalError);
+}
+
+TEST(SessionTemplate, SnapshotSharesPagesAndClonesCowLittle)
+{
+    SessionTemplate tmpl(kCounterSource, shiftOptions());
+    auto clone = tmpl.instantiate();
+    size_t shared = tmpl.snapshotPages();
+    EXPECT_GT(shared, 0u);
+    EXPECT_EQ(clone->machine().memory().cowCopies(), 0u);
+    clone->run();
+    // The run dirtied only a sliver of the snapshot (stack, the
+    // counter page, some tag pages) — clone cost is O(dirtied pages).
+    uint64_t dirtied = clone->machine().memory().cowCopies();
+    EXPECT_GT(dirtied, 0u);
+    EXPECT_LT(dirtied, shared / 2);
+}
+
+TEST(SessionTemplate, ConcurrentClonesComputeIdenticalResults)
+{
+    SessionTemplate tmpl(kCounterSource, shiftOptions());
+    tmpl.freeze();
+
+    constexpr int kThreads = 8;
+    std::vector<RunResult> results(kThreads);
+    std::vector<std::thread> threads;
+    for (int i = 0; i < kThreads; ++i) {
+        threads.emplace_back([&, i] {
+            auto clone = tmpl.instantiate();
+            results[i] = clone->run();
+        });
+    }
+    for (std::thread &t : threads)
+        t.join();
+    for (int i = 0; i < kThreads; ++i) {
+        EXPECT_TRUE(results[i].exited);
+        EXPECT_EQ(results[i].exitCode, 1);
+        EXPECT_EQ(results[i].cycles, results[0].cycles);
+    }
+}
+
+// ----- log tagging ------------------------------------------------------
+
+TEST(Logging, CloneTagPrefixesOutput)
+{
+    setVerbose(true);
+    setLogCloneTag(5);
+    testing::internal::CaptureStderr();
+    SHIFT_WARN("from a worker");
+    std::string tagged = testing::internal::GetCapturedStderr();
+    setLogCloneTag(-1);
+    testing::internal::CaptureStderr();
+    SHIFT_WARN("from the main thread");
+    std::string untagged = testing::internal::GetCapturedStderr();
+    setVerbose(false);
+
+    EXPECT_EQ(tagged, "warn: [clone 5] from a worker\n");
+    EXPECT_EQ(untagged, "warn: from the main thread\n");
+}
+
+} // namespace
+} // namespace shift
