@@ -479,8 +479,15 @@ class FunctionInstrumenter
             const Instr *instr;
             ~KillGuard()
             {
-                if (defReg(*instr) >= 0 &&
-                    defReg(*instr) == self->cachedTagAddrReg_)
+                int d = defReg(*instr);
+                // The cached tag address dies when its source address
+                // register is redefined, and equally when the original
+                // code clobbers kT0 itself: the allocator never hands
+                // out the scratch registers, but hand-written assembly
+                // may use them, and a stale kT0 would silently address
+                // the wrong bitmap byte.
+                if (d >= 0 &&
+                    (d == self->cachedTagAddrReg_ || d == kT0))
                     self->cachedTagAddrReg_ = -1;
             }
         } killGuard{this, &instr};

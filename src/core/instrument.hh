@@ -113,9 +113,13 @@ struct InstrumentOptions
      * some adjacent data". When consecutive accesses in a basic block
      * go through the same (unmodified) address register, the
      * tag-address fold already sitting in the scratch register is
-     * reused instead of recomputed.
+     * reused instead of recomputed. On by default since the
+     * differential taint-equivalence suite (tests/test_opt.cc) pinned
+     * it down; the conservative invalidation model (redefinition of
+     * the address register or of the scratch itself, joins, calls) is
+     * documented in docs/INSTR-OPT.md.
      */
-    bool reuseTagAddr = false;
+    bool reuseTagAddr = true;
 };
 
 /** Static counts from one instrumentation run. */

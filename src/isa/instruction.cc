@@ -109,6 +109,12 @@ opcodeName(Opcode op)
       case Opcode::Clrnat: return "clrnat";
       case Opcode::Syscall: return "syscall";
       case Opcode::Halt: return "halt";
+      case Opcode::FusedTagAddr: return "fused.tagaddr";
+      case Opcode::FusedChkByte: return "fused.chk1";
+      case Opcode::FusedChkWord: return "fused.chk8";
+      case Opcode::FusedClearNat: return "fused.clrnat";
+      case Opcode::FusedStUpdByte: return "fused.stupd1";
+      case Opcode::FusedStUpdWord: return "fused.stupd8";
     }
     return "???";
 }

@@ -110,10 +110,27 @@ enum class Opcode : uint8_t
     // Environment.
     Syscall, ///< simulated OS call; number in imm, args in r16..r23
     Halt,    ///< stop the machine (normal termination path for _start)
+
+    // Fused taint micro-ops. These never appear in a Program: the
+    // predecoder recognizes the instrumenter's canonical emitted
+    // idioms and collapses each into one decoded micro-op, so the
+    // residual instrumentation costs one dispatch instead of 4-13.
+    // The fused handlers replay the constituent instructions exactly
+    // (cycles, stalls, stat attribution, fault points), which keeps
+    // the predecoded engine bit-identical to the legacy stepper.
+    FusedTagAddr,   ///< 4-instr tag-address fold (extr/shl/extr/or)
+    FusedChkByte,   ///< 9-instr byte-granularity bitmap check
+    FusedChkWord,   ///< 4-instr word-granularity bitmap check
+    FusedClearNat,  ///< 3-instr spill/reload NaT purge
+    FusedStUpdByte, ///< 13-instr byte-granularity bitmap RMW update
+    FusedStUpdWord, ///< 7-instr word-granularity bitmap RMW update
 };
 
 /** One past the last opcode, for dispatch tables indexed by Opcode. */
-constexpr size_t kNumOpcodes = static_cast<size_t>(Opcode::Halt) + 1;
+constexpr size_t kNumOpcodes = static_cast<size_t>(Opcode::FusedStUpdWord) + 1;
+
+/** First fused micro-op; fused ops appear only in decoded streams. */
+constexpr size_t kFirstFusedOpcode = static_cast<size_t>(Opcode::FusedTagAddr);
 
 /** Comparison relations for Cmp/CmpNat. */
 enum class CmpRel : uint8_t

@@ -1,5 +1,6 @@
 #include "memory.hh"
 
+#include <algorithm>
 #include <cstring>
 
 #include "support/logging.hh"
@@ -200,6 +201,46 @@ Memory::readFillSlow(uint64_t addr, uint64_t &value, bool &nat)
     uint64_t word = (addr & (kPageSize - 1)) >> 3;
     nat = (page->nat[word >> 6] >> (word & 63)) & 1;
     return MemFault::None;
+}
+
+uint64_t
+Memory::contentHash(int region) const
+{
+    // Sorted page keys so the digest is independent of map iteration
+    // order; all-zero pages are skipped so demand-allocating a page
+    // one run never touched does not perturb the hash.
+    std::vector<uint64_t> keys;
+    keys.reserve(pages_.size());
+    for (const auto &entry : pages_) {
+        if (region >= 0 &&
+            regionOf(entry.first << kPageShift) != unsigned(region))
+            continue;
+        keys.push_back(entry.first);
+    }
+    std::sort(keys.begin(), keys.end());
+
+    auto mix = [](uint64_t h, uint64_t v) {
+        h ^= v + 0x9e3779b97f4a7c15ULL + (h << 6) + (h >> 2);
+        return h * 0xff51afd7ed558ccdULL;
+    };
+
+    uint64_t hash = 0x5851f42d4c957f2dULL;
+    for (uint64_t key : keys) {
+        const Page &page = *pages_.at(key);
+        bool zero = true;
+        for (size_t i = 0; i < kPageSize && zero; i += 8)
+            zero = loadLe(page.data.data() + i, 8) == 0;
+        for (uint64_t natWord : page.nat)
+            zero = zero && natWord == 0;
+        if (zero)
+            continue;
+        hash = mix(hash, key);
+        for (size_t i = 0; i < kPageSize; i += 8)
+            hash = mix(hash, loadLe(page.data.data() + i, 8));
+        for (uint64_t natWord : page.nat)
+            hash = mix(hash, natWord);
+    }
+    return hash;
 }
 
 MemFault

@@ -172,6 +172,19 @@ class Memory
     size_t pageCount() const { return pages_.size(); }
 
     /**
+     * Order-independent digest of the address space: data bytes and
+     * the NaT sidecar of every non-zero page, keyed by page address.
+     * Two memories whose mapped contents are byte-identical hash
+     * equal even if their page maps were populated in different
+     * orders or one demand-allocated zero pages the other never
+     * touched. `region` restricts the digest to one region (e.g. the
+     * tag space for taint-bitmap comparison); -1 hashes everything.
+     * Walks every page: for end-of-run differential checks, not hot
+     * paths.
+     */
+    uint64_t contentHash(int region = -1) const;
+
+    /**
      * Enable or disable the page-translation cache (enabled by
      * default). The legacy execution engine disables it so it stays a
      * faithful pre-change baseline — every access pays the hash-map

@@ -1,0 +1,1266 @@
+#include "opt/instr_opt.hh"
+
+#include <algorithm>
+#include <array>
+#include <cstddef>
+#include <map>
+#include <vector>
+
+#include "mem/address_space.hh"
+#include "support/logging.hh"
+
+namespace shift
+{
+
+namespace
+{
+
+// Scratch registers / predicates owned by the instrumenter (mirrors
+// src/core/instrument.cc; the allocator never hands these out).
+constexpr int kT0 = reg::shiftTmp0;
+constexpr int kT1 = reg::shiftTmp1;
+constexpr int kT2 = reg::shiftTmp2;
+constexpr int kT3 = reg::shiftTmp3;
+constexpr int kPTag = 12;
+constexpr int kPSrcNat = 13;
+constexpr int kPSrcNat2 = 14;
+
+/** Availability lattice for "whose tag address is in kT0". */
+constexpr int kTop = -2;  ///< unreached: everything available
+constexpr int kNone = -1; ///< nothing available
+
+int
+meetAvail(int a, int b)
+{
+    if (a == kTop)
+        return b;
+    if (b == kTop)
+        return a;
+    return a == b ? a : kNone;
+}
+
+// ---------------------------------------------------------------------
+// Known-low-bits lattice for pass (f). Only the low 3 bits of a
+// register matter: they decide addr&7 at byte-granularity bitmap
+// accesses. mask says which of the 3 bits are known, value holds them.
+// ---------------------------------------------------------------------
+
+struct KnownBits
+{
+    uint8_t mask = 0;  ///< which of bits [0,3) are known
+    uint8_t value = 0; ///< their values (subset of mask)
+
+    bool
+    operator==(const KnownBits &o) const
+    {
+        return mask == o.mask && value == o.value;
+    }
+};
+
+KnownBits
+kbExact(int64_t v)
+{
+    return {7, static_cast<uint8_t>(v & 7)};
+}
+
+KnownBits
+kbMeet(KnownBits a, KnownBits b)
+{
+    KnownBits r;
+    r.mask = a.mask & b.mask & static_cast<uint8_t>(~(a.value ^ b.value));
+    r.value = a.value & r.mask;
+    return r;
+}
+
+/** Contiguous known bits from bit 0 (what carries propagate through). */
+int
+kbPrefix(KnownBits a)
+{
+    int n = 0;
+    while (n < 3 && (a.mask >> n) & 1)
+        ++n;
+    return n;
+}
+
+KnownBits
+kbAdd(KnownBits a, KnownBits b)
+{
+    int k = std::min(kbPrefix(a), kbPrefix(b));
+    KnownBits r;
+    r.mask = static_cast<uint8_t>((1 << k) - 1);
+    r.value = static_cast<uint8_t>((a.value + b.value) & r.mask);
+    return r;
+}
+
+KnownBits
+kbMul(KnownBits a, KnownBits b)
+{
+    int k = std::min(kbPrefix(a), kbPrefix(b));
+    KnownBits r;
+    r.mask = static_cast<uint8_t>((1 << k) - 1);
+    r.value = static_cast<uint8_t>((a.value * b.value) & r.mask);
+    return r;
+}
+
+KnownBits
+kbShl(KnownBits a, int64_t s)
+{
+    if (s < 0)
+        return {};
+    if (s >= 3)
+        return {7, 0}; // low 3 bits shifted out: all zero
+    KnownBits r;
+    r.mask = static_cast<uint8_t>(
+        ((a.mask << s) | ((1 << s) - 1)) & 7);
+    r.value = static_cast<uint8_t>((a.value << s) & r.mask);
+    return r;
+}
+
+KnownBits
+kbAnd(KnownBits a, KnownBits b)
+{
+    KnownBits r;
+    // A result bit is known when both inputs are known, or either
+    // input is a known zero.
+    r.mask = static_cast<uint8_t>(
+        ((a.mask & b.mask) | (a.mask & ~a.value) | (b.mask & ~b.value)) &
+        7);
+    r.value = static_cast<uint8_t>(a.value & b.value & r.mask);
+    return r;
+}
+
+KnownBits
+kbOr(KnownBits a, KnownBits b)
+{
+    KnownBits r;
+    r.mask = static_cast<uint8_t>(
+        ((a.mask & b.mask) | (a.mask & a.value) | (b.mask & b.value)) &
+        7);
+    r.value = static_cast<uint8_t>((a.value | b.value) & r.mask);
+    return r;
+}
+
+KnownBits
+kbXor(KnownBits a, KnownBits b)
+{
+    KnownBits r;
+    r.mask = a.mask & b.mask;
+    r.value = static_cast<uint8_t>((a.value ^ b.value) & r.mask);
+    return r;
+}
+
+/** Per-register known-bits state for one program point. */
+struct AlignState
+{
+    std::array<KnownBits, kNumGpr> regs;
+
+    bool
+    operator==(const AlignState &o) const
+    {
+        return regs == o.regs;
+    }
+};
+
+AlignState
+alignMeet(const AlignState &a, const AlignState &b)
+{
+    AlignState r;
+    for (int i = 0; i < kNumGpr; ++i)
+        r.regs[static_cast<size_t>(i)] =
+            kbMeet(a.regs[static_cast<size_t>(i)],
+                   b.regs[static_cast<size_t>(i)]);
+    return r;
+}
+
+/**
+ * Match the figure-4 tag-address fold at code[i..i+3]:
+ *   extr kT0 = R, 61, 3 ; shl kT0 <<= regionShift ;
+ *   extr kT1 = R, dataShift, ... ; or kT0 |= kT1
+ * all Provenance::TagAddr. Reports the address register.
+ */
+bool
+matchFold(const std::vector<Instr> &code, size_t i, int *addrReg)
+{
+    if (i + 4 > code.size())
+        return false;
+    const Instr *c = &code[i];
+    if (c[0].op != Opcode::Extr || c[0].prov != Provenance::TagAddr ||
+        c[0].qp != 0 || c[0].r1 != kT0 ||
+        c[0].pos != static_cast<uint8_t>(kRegionShift) || c[0].len != 3)
+        return false;
+    int r = c[0].r2;
+    if (c[1].op != Opcode::Shl || c[1].prov != Provenance::TagAddr ||
+        c[1].r1 != kT0 || c[1].r2 != kT0 || !c[1].useImm)
+        return false;
+    if (c[2].op != Opcode::Extr || c[2].prov != Provenance::TagAddr ||
+        c[2].r1 != kT1 || c[2].r2 != r)
+        return false;
+    if (c[3].op != Opcode::Or || c[3].prov != Provenance::TagAddr ||
+        c[3].r1 != kT0 || c[3].r2 != kT0 || c[3].useImm ||
+        c[3].r3 != kT1)
+        return false;
+    *addrReg = r;
+    return true;
+}
+
+/**
+ * Match a load-path bitmap check starting at code[i]. Byte
+ * granularity is the 9-instruction two-tag-byte window assembly, word
+ * granularity the 4-instruction tbit form. Both end by writing kPTag.
+ * Only non-speculative checks match (ld.s checks defer differently).
+ */
+bool
+matchLoadCheck(const std::vector<Instr> &code, size_t i, int *addrReg,
+               int64_t *mask, size_t *len)
+{
+    if (i >= code.size())
+        return false;
+    const Instr &first = code[i];
+    if (first.op != Opcode::Ld || first.prov != Provenance::TagMem ||
+        first.origClass != OrigClass::ForLoad || first.spec ||
+        first.r1 != kT1 || first.r2 != kT0 || first.size != 1)
+        return false;
+    // Word form: ld ; extr kT2=R,3,3 ; shr kT1>>=kT2 ; tbit kPTag.
+    if (i + 4 <= code.size() && code[i + 1].op == Opcode::Extr) {
+        const Instr *c = &code[i];
+        if (c[1].r1 == kT2 && c[1].pos == 3 && c[1].len == 3 &&
+            c[2].op == Opcode::Shr && c[2].r1 == kT1 &&
+            c[2].r2 == kT1 && !c[2].useImm && c[2].r3 == kT2 &&
+            c[3].op == Opcode::Tbit && c[3].p1 == kPTag &&
+            c[3].p2 == 0 && c[3].r2 == kT1) {
+            *addrReg = c[1].r2;
+            *mask = -1; // single covered bit; size-independent
+            *len = 4;
+            return true;
+        }
+        return false;
+    }
+    // Byte form.
+    if (i + 9 > code.size())
+        return false;
+    const Instr *c = &code[i];
+    if (c[1].op != Opcode::Add || c[1].r1 != kT2 || c[1].r2 != kT0 ||
+        !c[1].useImm || c[1].imm != 1)
+        return false;
+    if (c[2].op != Opcode::Ld || c[2].r1 != kT2 || c[2].r2 != kT2 ||
+        c[2].spec || c[2].size != 1)
+        return false;
+    if (c[3].op != Opcode::Shl || c[3].r1 != kT2 || !c[3].useImm ||
+        c[3].imm != 8)
+        return false;
+    if (c[4].op != Opcode::Or || c[4].r1 != kT1 || c[4].r2 != kT1 ||
+        c[4].useImm || c[4].r3 != kT2)
+        return false;
+    if (c[5].op != Opcode::And || c[5].r1 != kT2 || !c[5].useImm ||
+        c[5].imm != 7)
+        return false;
+    if (c[6].op != Opcode::Shr || c[6].r1 != kT1 || c[6].r2 != kT1 ||
+        c[6].useImm || c[6].r3 != kT2)
+        return false;
+    if (c[7].op != Opcode::And || c[7].r1 != kT1 || c[7].r2 != kT1 ||
+        !c[7].useImm)
+        return false;
+    if (c[8].op != Opcode::Cmp || c[8].rel != CmpRel::Ne ||
+        c[8].p1 != kPTag || c[8].p2 != 0 || c[8].r2 != kT1 ||
+        !c[8].useImm || c[8].imm != 0)
+        return false;
+    *addrReg = c[5].r2;
+    *mask = c[7].imm;
+    *len = 9;
+    return true;
+}
+
+/**
+ * Match a store-path bitmap update (mask build + RMW) starting at
+ * code[i]: 13 instructions at byte granularity (two tag bytes), 7 at
+ * word granularity. The leading tnat and the trailing real store are
+ * not part of the unit.
+ */
+bool
+matchStoreUpdate(const std::vector<Instr> &code, size_t i, int *addrReg,
+                 int64_t *mask, size_t *len)
+{
+    if (i >= code.size())
+        return false;
+    const Instr &first = code[i];
+    if (first.prov != Provenance::TagAddr ||
+        first.origClass != OrigClass::ForStore)
+        return false;
+    bool byteGran;
+    int r;
+    if (first.op == Opcode::And && first.r1 == kT2 && first.useImm &&
+        first.imm == 7) {
+        byteGran = true;
+        r = first.r2;
+    } else if (first.op == Opcode::Extr && first.r1 == kT2 &&
+               first.pos == 3 && first.len == 3) {
+        byteGran = false;
+        r = first.r2;
+    } else {
+        return false;
+    }
+    size_t n = byteGran ? 13 : 7;
+    if (i + n > code.size())
+        return false;
+    const Instr *c = &code[i];
+    if (c[1].op != Opcode::Movi || c[1].r1 != kT3)
+        return false;
+    if (c[2].op != Opcode::Shl || c[2].r1 != kT3 || c[2].r2 != kT3 ||
+        c[2].useImm || c[2].r3 != kT2)
+        return false;
+    auto rmw = [&](size_t a, int addr) {
+        return c[a].op == Opcode::Ld && c[a].r1 == kT1 &&
+               c[a].r2 == addr && c[a].size == 1 && !c[a].spec &&
+               c[a + 1].op == Opcode::Or && c[a + 1].qp == kPSrcNat &&
+               c[a + 1].r1 == kT1 && c[a + 1].r3 == kT3 &&
+               c[a + 2].op == Opcode::Andcm &&
+               c[a + 2].qp == kPSrcNat2 && c[a + 2].r1 == kT1 &&
+               c[a + 2].r3 == kT3 && c[a + 3].op == Opcode::St &&
+               c[a + 3].r1 == addr && c[a + 3].r2 == kT1 &&
+               c[a + 3].size == 1 && !c[a + 3].spill;
+    };
+    if (!rmw(3, kT0))
+        return false;
+    if (byteGran) {
+        if (c[7].op != Opcode::Shr || c[7].r1 != kT3 || !c[7].useImm ||
+            c[7].imm != 8)
+            return false;
+        if (c[8].op != Opcode::Add || c[8].r1 != kT2 ||
+            c[8].r2 != kT0 || !c[8].useImm || c[8].imm != 1)
+            return false;
+        if (!rmw(9, kT2))
+            return false;
+    }
+    *addrReg = r;
+    *mask = c[1].imm;
+    *len = n;
+    return true;
+}
+
+/**
+ * Match the spill/reload NaT purge of register X at code[i]:
+ *   add kT3 = sp, -16 ; st8.spill [kT3] = X ; ld8 X = [kT3]
+ * (or a single clrnat X under the ISA extension). Provenance is
+ * whatever the emitting path used (Relax or TagReg).
+ */
+bool
+matchClearNat(const std::vector<Instr> &code, size_t i, int *regOut,
+              size_t *len)
+{
+    if (i >= code.size())
+        return false;
+    const Instr &first = code[i];
+    if (first.prov == Provenance::Original)
+        return false;
+    if (first.op == Opcode::Clrnat) {
+        *regOut = first.r1;
+        *len = 1;
+        return true;
+    }
+    if (i + 3 > code.size())
+        return false;
+    const Instr *c = &code[i];
+    if (c[0].op != Opcode::Add || c[0].r1 != kT3 ||
+        c[0].r2 != reg::sp || !c[0].useImm || c[0].imm != -16)
+        return false;
+    if (c[1].op != Opcode::St || !c[1].spill || c[1].r1 != kT3 ||
+        c[1].size != 8)
+        return false;
+    if (c[2].op != Opcode::Ld || c[2].fill || c[2].spec ||
+        c[2].r2 != kT3 || c[2].size != 8 || c[2].r1 != c[1].r2)
+        return false;
+    *regOut = c[1].r2;
+    *len = 3;
+    return true;
+}
+
+// ---------------------------------------------------------------------
+// CFG.
+// ---------------------------------------------------------------------
+
+struct Block
+{
+    size_t begin = 0, end = 0; ///< [begin, end) instruction indices
+    std::vector<int> succs;
+    std::vector<int> preds;
+};
+
+struct Cfg
+{
+    std::vector<Block> blocks;
+
+    void
+    build(const std::vector<Instr> &code)
+    {
+        blocks.clear();
+        if (code.empty())
+            return;
+        std::vector<size_t> leaders{0};
+        std::map<int64_t, size_t> labelAt;
+        for (size_t i = 0; i < code.size(); ++i) {
+            const Instr &in = code[i];
+            if (in.op == Opcode::Label) {
+                leaders.push_back(i);
+                labelAt[in.imm] = i;
+            } else if (in.op == Opcode::Br || in.op == Opcode::Chk ||
+                       in.op == Opcode::BrRet ||
+                       in.op == Opcode::Halt) {
+                leaders.push_back(i + 1);
+            }
+        }
+        std::sort(leaders.begin(), leaders.end());
+        leaders.erase(std::unique(leaders.begin(), leaders.end()),
+                      leaders.end());
+        while (!leaders.empty() && leaders.back() >= code.size())
+            leaders.pop_back();
+
+        std::map<size_t, int> blockAt;
+        for (size_t b = 0; b < leaders.size(); ++b) {
+            Block blk;
+            blk.begin = leaders[b];
+            blk.end = b + 1 < leaders.size() ? leaders[b + 1]
+                                             : code.size();
+            blockAt[blk.begin] = static_cast<int>(b);
+            blocks.push_back(blk);
+        }
+        auto addEdge = [&](int from, int to) {
+            blocks[from].succs.push_back(to);
+            blocks[to].preds.push_back(from);
+        };
+        for (size_t b = 0; b < blocks.size(); ++b) {
+            const Instr &last = code[blocks[b].end - 1];
+            bool fallsThrough = true;
+            if (last.op == Opcode::Br) {
+                auto it = labelAt.find(last.imm);
+                if (it != labelAt.end())
+                    addEdge(static_cast<int>(b),
+                            blockAt[it->second]);
+                if (last.qp == 0)
+                    fallsThrough = false;
+            } else if (last.op == Opcode::Chk) {
+                auto it = labelAt.find(last.imm);
+                if (it != labelAt.end())
+                    addEdge(static_cast<int>(b),
+                            blockAt[it->second]);
+            } else if (last.op == Opcode::BrRet ||
+                       last.op == Opcode::Halt) {
+                fallsThrough = false;
+            }
+            if (fallsThrough && b + 1 < blocks.size())
+                addEdge(static_cast<int>(b), static_cast<int>(b + 1));
+        }
+    }
+};
+
+/** True for instructions that clobber every availability fact. */
+bool
+isBarrier(const Instr &in)
+{
+    return in.op == Opcode::BrCall || in.op == Opcode::BrCalli ||
+           in.op == Opcode::Syscall;
+}
+
+// ---------------------------------------------------------------------
+// Per-function optimizer.
+// ---------------------------------------------------------------------
+
+class FunctionOptimizer
+{
+  public:
+    FunctionOptimizer(Function &fn, const OptimizerOptions &opt,
+                      OptStats &stats)
+        : fn_(fn), opt_(opt), stats_(stats)
+    {}
+
+    void
+    run()
+    {
+        if (opt_.hoist) {
+            // Bounded: each round inserts one preheader fold and the
+            // opportunity test refuses folds already in place.
+            while (hoistOne()) {
+            }
+        }
+        if (opt_.cse)
+            eliminateRedundantFolds();
+        if (opt_.redundantChecks)
+            eliminateRedundantChecks();
+        if (opt_.deadUpdates)
+            eliminateDeadUpdates();
+        if (opt_.cleanRelax)
+            eliminateCleanRelax();
+        // Narrowing runs last: it breaks up the canonical unit shapes
+        // the other passes (and the fusion matchers) key on.
+        if (opt_.narrow)
+            narrowAlignedAccesses();
+    }
+
+  private:
+    Function &fn_;
+    const OptimizerOptions &opt_;
+    OptStats &stats_;
+
+    /** Erase the marked instructions (never Labels). */
+    void
+    applyDeletions(const std::vector<char> &dead)
+    {
+        std::vector<Instr> kept;
+        kept.reserve(fn_.code.size());
+        for (size_t i = 0; i < fn_.code.size(); ++i) {
+            if (dead[i]) {
+                ++stats_.instrsRemoved;
+                continue;
+            }
+            kept.push_back(std::move(fn_.code[i]));
+        }
+        fn_.code = std::move(kept);
+    }
+
+    // -----------------------------------------------------------------
+    // (b) Loop-invariant fold hoisting.
+    // -----------------------------------------------------------------
+
+    /**
+     * Find one natural loop whose body computes the fold of an
+     * address register the body never redefines, and copy that fold
+     * in front of the loop header so the CSE pass can delete the
+     * in-loop copies. Returns true when an insertion happened.
+     */
+    bool
+    hoistOne()
+    {
+        std::vector<Instr> &code = fn_.code;
+        Cfg cfg;
+        cfg.build(code);
+        for (size_t h = 1; h < cfg.blocks.size(); ++h) {
+            const Block &hd = cfg.blocks[h];
+            if (hd.begin >= code.size() ||
+                code[hd.begin].op != Opcode::Label)
+                continue;
+            int maxBack = -1;
+            bool forwardOk = true;
+            for (int p : hd.preds) {
+                if (static_cast<size_t>(p) >= h)
+                    maxBack = std::max(maxBack, p);
+                else if (static_cast<size_t>(p) != h - 1)
+                    forwardOk = false;
+            }
+            if (maxBack < 0 || !forwardOk)
+                continue;
+            // The preheader must actually fall through into the
+            // header, or the inserted fold would never execute.
+            const Instr &preLast = code[cfg.blocks[h - 1].end - 1];
+            if ((preLast.op == Opcode::Br && preLast.qp == 0) ||
+                preLast.op == Opcode::BrRet ||
+                preLast.op == Opcode::Halt)
+                continue;
+
+            // Loop body: blocks [h, maxBack]. No calls/returns, no
+            // side entries assumed beyond what CSE re-verifies.
+            size_t bodyBegin = hd.begin;
+            size_t bodyEnd = cfg.blocks[maxBack].end;
+            int candidate = -1;
+            Instr foldCopy[4];
+            bool safe = true;
+            for (size_t i = bodyBegin; i < bodyEnd && safe;) {
+                const Instr &in = code[i];
+                int r;
+                if (matchFold(code, i, &r)) {
+                    if (candidate == -1) {
+                        candidate = r;
+                        for (int k = 0; k < 4; ++k)
+                            foldCopy[k] = code[i + k];
+                    } else if (candidate != r) {
+                        safe = false; // competing folds share kT0
+                    }
+                    i += 4;
+                    continue;
+                }
+                if (isBarrier(in) || in.op == Opcode::BrRet)
+                    safe = false;
+                ++i;
+            }
+            if (!safe || candidate < 0)
+                continue;
+            // The body must never redefine the address register (by
+            // ANY instruction: a relax strip/retaint of the pointer
+            // changes its NaT, and a hoisted fold would freeze the
+            // wrong NaT into kT0) nor clobber kT0 outside folds.
+            for (size_t i = bodyBegin; i < bodyEnd && safe;) {
+                int r;
+                if (matchFold(code, i, &r)) {
+                    i += 4;
+                    continue;
+                }
+                int d = defReg(code[i]);
+                if (d == candidate || d == kT0)
+                    safe = false;
+                ++i;
+            }
+            if (!safe)
+                continue;
+            // Refuse when the preheader already ends with this fold
+            // (bounds the hoist loop; also what CSE will key on).
+            size_t at = hd.begin; // insert just before the Label
+            int r;
+            if (at >= 4 && matchFold(code, at - 4, &r) &&
+                r == candidate)
+                continue;
+            code.insert(code.begin() + static_cast<long>(at),
+                        foldCopy, foldCopy + 4);
+            stats_.instrsAdded += 4;
+            ++stats_.foldsHoisted;
+            return true;
+        }
+        return false;
+    }
+
+    // -----------------------------------------------------------------
+    // (a) Tag-address CSE over the whole function.
+    // -----------------------------------------------------------------
+
+    /** Transfer one block; optionally record redundant folds. */
+    int
+    flowBlock(const std::vector<Instr> &code, const Block &blk,
+              int avail, std::vector<char> *dead)
+    {
+        for (size_t i = blk.begin; i < blk.end;) {
+            const Instr &in = code[i];
+            int r;
+            if (matchFold(code, i, &r)) {
+                if (avail == r) {
+                    if (dead) {
+                        for (size_t k = i; k < i + 4; ++k)
+                            (*dead)[k] = 1;
+                        ++stats_.foldsElided;
+                    }
+                } else {
+                    avail = r;
+                }
+                i += 4;
+                continue;
+            }
+            if (isBarrier(in)) {
+                avail = kNone;
+            } else if (in.prov == Provenance::Original) {
+                int d = defReg(in);
+                if (d >= 0 && (d == avail || d == kT0))
+                    avail = kNone;
+            }
+            ++i;
+        }
+        return avail;
+    }
+
+    void
+    eliminateRedundantFolds()
+    {
+        std::vector<Instr> &code = fn_.code;
+        Cfg cfg;
+        cfg.build(code);
+        if (cfg.blocks.empty())
+            return;
+        std::vector<int> in(cfg.blocks.size(), kTop);
+        std::vector<int> out(cfg.blocks.size(), kTop);
+        in[0] = kNone; // entry: nothing available
+        bool changed = true;
+        while (changed) {
+            changed = false;
+            for (size_t b = 0; b < cfg.blocks.size(); ++b) {
+                int newIn = b == 0 ? kNone : kTop;
+                for (int p : cfg.blocks[b].preds)
+                    newIn = meetAvail(newIn, out[p]);
+                // Unreached blocks keep TOP on both sides so their
+                // code cannot contaminate reachable joins.
+                int newOut =
+                    newIn == kTop
+                        ? kTop
+                        : flowBlock(code, cfg.blocks[b], newIn,
+                                    nullptr);
+                if (newIn != in[b] || newOut != out[b]) {
+                    in[b] = newIn;
+                    out[b] = newOut;
+                    changed = true;
+                }
+            }
+        }
+        std::vector<char> dead(code.size(), 0);
+        for (size_t b = 0; b < cfg.blocks.size(); ++b) {
+            // kTop means unreached: deleting there is safe, but keep
+            // the code honest and skip it.
+            if (in[b] == kTop)
+                continue;
+            flowBlock(code, cfg.blocks[b], in[b], &dead);
+        }
+        applyDeletions(dead);
+    }
+
+    // -----------------------------------------------------------------
+    // (c) Redundant bitmap-check elimination (block-local).
+    // -----------------------------------------------------------------
+
+    void
+    eliminateRedundantChecks()
+    {
+        std::vector<Instr> &code = fn_.code;
+        std::vector<char> dead(code.size(), 0);
+        int checkedReg = kNone;
+        int64_t checkedMask = 0;
+        for (size_t i = 0; i < code.size();) {
+            const Instr &in = code[i];
+            int r;
+            int64_t mask;
+            size_t len;
+            if (matchLoadCheck(code, i, &r, &mask, &len)) {
+                if (checkedReg == r && checkedMask == mask) {
+                    for (size_t k = i; k < i + len; ++k)
+                        dead[k] = 1;
+                    ++stats_.checksElided;
+                } else {
+                    checkedReg = r;
+                    checkedMask = mask;
+                }
+                i += len;
+                continue;
+            }
+            // Kills: the bitmap may change (any store), control may
+            // join or leave, the pointer or kPTag may be redefined.
+            if (in.op == Opcode::St || in.op == Opcode::Label ||
+                in.op == Opcode::Br || in.op == Opcode::Chk ||
+                in.op == Opcode::BrRet || in.op == Opcode::Halt ||
+                isBarrier(in)) {
+                checkedReg = kNone;
+            } else if (in.op == Opcode::Cmp ||
+                       in.op == Opcode::CmpNat ||
+                       in.op == Opcode::Tnat ||
+                       in.op == Opcode::Tbit) {
+                if (in.p1 == kPTag || in.p2 == kPTag)
+                    checkedReg = kNone;
+            } else if (in.prov == Provenance::Original) {
+                int d = defReg(in);
+                if (d >= 0 && (d == checkedReg || d == kT0))
+                    checkedReg = kNone;
+            }
+            ++i;
+        }
+        applyDeletions(dead);
+    }
+
+    // -----------------------------------------------------------------
+    // (d) Dead bitmap-update elimination (block-local).
+    // -----------------------------------------------------------------
+
+    void
+    eliminateDeadUpdates()
+    {
+        std::vector<Instr> &code = fn_.code;
+        std::vector<char> dead(code.size(), 0);
+        for (size_t i = 0; i < code.size();) {
+            int r;
+            int64_t mask;
+            size_t len;
+            if (!matchStoreUpdate(code, i, &r, &mask, &len)) {
+                ++i;
+                continue;
+            }
+            // Scan forward: is this exact tag slot overwritten before
+            // anything can read the bitmap? Loads of any kind (tag
+            // checks, reloads), stores other than a matching update,
+            // control flow and pointer redefinitions all block it.
+            bool overwritten = false;
+            for (size_t j = i + len; j < code.size();) {
+                int r2;
+                int64_t mask2;
+                size_t len2;
+                if (matchStoreUpdate(code, j, &r2, &mask2, &len2)) {
+                    if (r2 == r && mask2 == mask)
+                        overwritten = true;
+                    break;
+                }
+                const Instr &in = code[j];
+                if (in.op == Opcode::Ld || in.op == Opcode::Label ||
+                    in.op == Opcode::Br || in.op == Opcode::Chk ||
+                    in.op == Opcode::BrRet || in.op == Opcode::Halt ||
+                    isBarrier(in))
+                    break;
+                if (in.prov == Provenance::Original) {
+                    int d = defReg(in);
+                    if (d >= 0 && (d == r || d == kT0))
+                        break;
+                }
+                ++j;
+            }
+            if (overwritten) {
+                for (size_t k = i; k < i + len; ++k)
+                    dead[k] = 1;
+                ++stats_.updatesElided;
+            }
+            i += len;
+        }
+        applyDeletions(dead);
+    }
+
+    // -----------------------------------------------------------------
+    // (e) NaT-cleanliness relax elimination.
+    // -----------------------------------------------------------------
+
+    /**
+     * May-carry-NaT transfer for one instruction over a 64-bit dirty
+     * mask. Sound over-approximation: anything not provably clean is
+     * dirty. Plain loads architecturally CLEAR NaT (taint arrives via
+     * the separate predicated retaint add, whose NaT-source operand
+     * is dirty), so the instrumented sequences need no special cases.
+     */
+    static uint64_t
+    flowDirty(const Instr &in, uint64_t dirty)
+    {
+        auto setDirty = [&](int r, bool d) {
+            if (r == reg::zero)
+                return; // hardwired clean
+            uint64_t bit = 1ULL << (r & 63);
+            if (in.qp != 0) // may be nullified: merge
+                dirty |= d ? bit : 0;
+            else
+                dirty = d ? (dirty | bit) : (dirty & ~bit);
+        };
+        switch (in.op) {
+          case Opcode::BrCall:
+          case Opcode::BrCalli:
+          case Opcode::Syscall:
+            return ~1ULL; // callee may dirty anything but r0
+          case Opcode::Movi:
+          case Opcode::MovFromBr:
+          case Opcode::MovFromUnat:
+          case Opcode::Clrnat:
+            setDirty(in.r1, false);
+            return dirty;
+          case Opcode::Setnat:
+            setDirty(in.r1, true);
+            return dirty;
+          case Opcode::Ld:
+            // ld.s defers faults into NaT; ld8.fill restores it.
+            setDirty(in.r1, in.spec || in.fill);
+            return dirty;
+          default:
+            break;
+        }
+        int d = defReg(in);
+        if (d < 0)
+            return dirty;
+        bool anyDirty = false;
+        forEachUse(in, [&](uint16_t r) {
+            if (r != reg::zero && (dirty >> (r & 63)) & 1)
+                anyDirty = true;
+        });
+        setDirty(d, anyDirty);
+        return dirty;
+    }
+
+    void
+    eliminateCleanRelax()
+    {
+        std::vector<Instr> &code = fn_.code;
+        Cfg cfg;
+        cfg.build(code);
+        if (cfg.blocks.empty())
+            return;
+        // Optimistic fixpoint: entry all-dirty (arguments and every
+        // callee-clobbered register may carry NaT), others clean
+        // until proven otherwise.
+        std::vector<uint64_t> in(cfg.blocks.size(), 0);
+        std::vector<uint64_t> out(cfg.blocks.size(), 0);
+        in[0] = ~1ULL;
+        bool changed = true;
+        while (changed) {
+            changed = false;
+            for (size_t b = 0; b < cfg.blocks.size(); ++b) {
+                uint64_t newIn = b == 0 ? ~1ULL : 0;
+                for (int p : cfg.blocks[b].preds)
+                    newIn |= out[p];
+                uint64_t st = newIn;
+                for (size_t i = cfg.blocks[b].begin;
+                     i < cfg.blocks[b].end; ++i)
+                    st = flowDirty(code[i], st);
+                if (newIn != in[b] || st != out[b]) {
+                    in[b] = newIn;
+                    out[b] = st;
+                    changed = true;
+                }
+            }
+        }
+
+        std::vector<char> dead(code.size(), 0);
+        for (size_t b = 0; b < cfg.blocks.size(); ++b) {
+            uint64_t dirty = in[b];
+            for (size_t i = cfg.blocks[b].begin;
+                 i < cfg.blocks[b].end; ++i) {
+                tryElideAt(code, i, dirty, dead);
+                dirty = flowDirty(code[i], dirty);
+            }
+        }
+        applyDeletions(dead);
+    }
+
+    /**
+     * If code[i] starts a deletable relax/purify unit for a provably
+     * clean register, mark it dead. Two shapes:
+     *  - compare relaxation half: tnat pN = X ; clearNat(X) ;
+     *    ... cmp ... ; (pN) add X += natSrc — the whole half goes
+     *    when X cannot carry NaT (the predicate could never fire);
+     *  - zero-idiom purge: xor/sub r,r,r ; clearNat(r) — the purge
+     *    goes when r was already clean (NaT hardware ORs r's own
+     *    bits, so a clean input means a clean result).
+     */
+    void
+    tryElideAt(const std::vector<Instr> &code, size_t i,
+               uint64_t dirty, std::vector<char> &dead)
+    {
+        if (dead[i])
+            return;
+        auto isClean = [&](int r) {
+            return r == reg::zero || !((dirty >> (r & 63)) & 1);
+        };
+
+        const Instr &in = code[i];
+        // Compare-relax half.
+        if (in.op == Opcode::Tnat && in.prov == Provenance::Relax &&
+            in.origClass == OrigClass::ForCompare && in.p2 == 0 &&
+            (in.p1 == kPSrcNat || in.p1 == kPSrcNat2) &&
+            isClean(in.r2)) {
+            int x = in.r2;
+            int pred = in.p1;
+            int cn;
+            size_t cnLen;
+            if (!matchClearNat(code, i + 1, &cn, &cnLen) || cn != x)
+                return;
+            // Find the paired retaint; nothing in between may write
+            // the predicate (compiled code never touches p13/p14,
+            // this guards hand-written assembly).
+            size_t retaint = 0;
+            for (size_t j = i + 1 + cnLen;
+                 j < code.size() && j < i + 1 + cnLen + 16; ++j) {
+                const Instr &c = code[j];
+                if ((c.op == Opcode::Cmp || c.op == Opcode::CmpNat ||
+                     c.op == Opcode::Tnat || c.op == Opcode::Tbit) &&
+                    (c.p1 == pred || c.p2 == pred))
+                    return;
+                if (c.op == Opcode::Add && c.qp == pred &&
+                    c.prov == Provenance::Relax &&
+                    c.origClass == OrigClass::ForCompare &&
+                    c.r1 == x && c.r2 == x && !c.useImm &&
+                    c.r3 == reg::natSrc) {
+                    retaint = j;
+                    break;
+                }
+                if (isBranchLikeLocal(c))
+                    return;
+            }
+            if (!retaint)
+                return;
+            for (size_t k = i; k < i + 1 + cnLen; ++k)
+                dead[k] = 1;
+            dead[retaint] = 1;
+            ++stats_.relaxElided;
+            return;
+        }
+
+        // Zero-idiom purge: the idiom itself stays (it is original
+        // code), the emitted clearNat goes.
+        if ((in.op == Opcode::Xor || in.op == Opcode::Sub) &&
+            in.prov == Provenance::Original && !in.useImm &&
+            in.r1 == in.r2 && in.r2 == in.r3 && isClean(in.r1)) {
+            int cn;
+            size_t cnLen;
+            if (matchClearNat(code, i + 1, &cn, &cnLen) &&
+                cn == in.r1 &&
+                code[i + 1].prov == Provenance::TagReg) {
+                for (size_t k = i + 1; k < i + 1 + cnLen; ++k)
+                    dead[k] = 1;
+                ++stats_.purifiesElided;
+            }
+        }
+    }
+
+    // -----------------------------------------------------------------
+    // (f) Alignment-driven check/update narrowing.
+    // -----------------------------------------------------------------
+
+    /**
+     * Known-low-bits transfer for one instruction. Clrnat/Setnat touch
+     * only the NaT bit; anything not modelled makes its destination
+     * unknown. Calls clobber everything but sp (callee-restored by the
+     * ABI: every prologue/epilogue adjusts sp by a 16-aligned frame)
+     * and the hardwired r0.
+     */
+    static void
+    flowKnown(const Instr &in, AlignState &st)
+    {
+        auto get = [&](int r) -> KnownBits {
+            if (r == reg::zero)
+                return {7, 0};
+            return st.regs[static_cast<size_t>(r & 63)];
+        };
+        auto src2 = [&]() {
+            return in.useImm ? kbExact(in.imm) : get(in.r3);
+        };
+
+        switch (in.op) {
+          case Opcode::BrCall:
+          case Opcode::BrCalli:
+          case Opcode::Syscall:
+            for (int r = 1; r < kNumGpr; ++r) {
+                if (r != reg::sp)
+                    st.regs[static_cast<size_t>(r)] = {};
+            }
+            return;
+          case Opcode::Setnat:
+          case Opcode::Clrnat:
+            return; // value bits unchanged
+          default:
+            break;
+        }
+
+        int d = defReg(in);
+        if (d <= 0)
+            return;
+        KnownBits nb; // unknown unless proven below
+        switch (in.op) {
+          case Opcode::Movi:
+            if (in.callee.empty())
+                nb = kbExact(in.imm);
+            break;
+          case Opcode::Mov:
+            nb = get(in.r2);
+            break;
+          case Opcode::Add:
+            nb = kbAdd(get(in.r2), src2());
+            break;
+          case Opcode::Sub: {
+            // Borrows ripple exactly like carries.
+            KnownBits a = get(in.r2), b = src2();
+            int k = std::min(kbPrefix(a), kbPrefix(b));
+            nb.mask = static_cast<uint8_t>((1 << k) - 1);
+            nb.value =
+                static_cast<uint8_t>((a.value - b.value) & nb.mask);
+            break;
+          }
+          case Opcode::Mul:
+            nb = kbMul(get(in.r2), src2());
+            break;
+          case Opcode::Shladd:
+            nb = kbAdd(kbShl(get(in.r2), in.pos), get(in.r3));
+            break;
+          case Opcode::Shl:
+            if (in.useImm)
+                nb = kbShl(get(in.r2), in.imm);
+            break;
+          case Opcode::And:
+            nb = kbAnd(get(in.r2), src2());
+            break;
+          case Opcode::Or:
+            nb = kbOr(get(in.r2), src2());
+            break;
+          case Opcode::Xor:
+            nb = kbXor(get(in.r2), src2());
+            break;
+          case Opcode::Zxt:
+          case Opcode::Sxt:
+            // Sizes are whole bytes, so the low 3 bits survive.
+            nb = get(in.r2);
+            break;
+          case Opcode::Extr:
+            // Zero-extended field: bits at and above len are known 0;
+            // a field starting at bit 0 also keeps the source's low
+            // known bits.
+            if (in.len < 3)
+                nb.mask = static_cast<uint8_t>(7 & ~((1 << in.len) - 1));
+            if (in.pos == 0) {
+                uint8_t low = static_cast<uint8_t>(
+                    in.len >= 3 ? 7 : (1 << in.len) - 1);
+                KnownBits s = get(in.r2);
+                nb.mask |= s.mask & low;
+                nb.value = s.value & nb.mask;
+            }
+            break;
+          default:
+            break; // loads, movfrombr, ... : unknown
+        }
+        KnownBits &slot = st.regs[static_cast<size_t>(d & 63)];
+        slot = in.qp != 0 ? kbMeet(slot, nb) : nb;
+    }
+
+    /**
+     * Walk one block, applying the unit-aware transfer: a spill/reload
+     * NaT purge preserves the purged register's value (only its NaT
+     * changes), so it must not be modelled as a value-killing reload.
+     * When `narrow` is set, byte-granularity check/update units are
+     * narrowed in place using the state at their head.
+     */
+    AlignState
+    alignFlowBlock(const std::vector<Instr> &code, const Block &blk,
+                   AlignState st, std::vector<char> *dead)
+    {
+        auto maxLowOf = [&](int r) -> int {
+            KnownBits kb = r == reg::zero
+                               ? KnownBits{7, 0}
+                               : st.regs[static_cast<size_t>(r & 63)];
+            return (kb.value & kb.mask) | (7 & ~kb.mask);
+        };
+        auto exactZero = [&](int r) {
+            KnownBits kb = r == reg::zero
+                               ? KnownBits{7, 0}
+                               : st.regs[static_cast<size_t>(r & 63)];
+            return kb.mask == 7 && kb.value == 0;
+        };
+        auto bitsOf = [](int64_t mask) {
+            int n = 0;
+            while (mask > 0) {
+                n += static_cast<int>(mask & 1);
+                mask >>= 1;
+            }
+            return n;
+        };
+
+        for (size_t i = blk.begin; i < blk.end;) {
+            int cn;
+            size_t cnLen;
+            if (matchClearNat(code, i, &cn, &cnLen) && cnLen == 3) {
+                // add kT3 = sp, -16 defines kT3; the spill/reload pair
+                // leaves the purged register's VALUE intact.
+                flowKnown(code[i], st);
+                i += cnLen;
+                continue;
+            }
+            int r;
+            int64_t mask;
+            size_t len;
+            if (dead && matchLoadCheck(code, i, &r, &mask, &len) &&
+                len == 9) {
+                int size = bitsOf(code[i + 7].imm);
+                if (maxLowOf(r) + size <= 8) {
+                    // Covered bits fit the low tag byte: the second
+                    // tag-byte window (add/ld/shl/or) is dead.
+                    for (size_t k = i + 1; k <= i + 4; ++k)
+                        (*dead)[k] = 1;
+                    if (exactZero(r)) {
+                        // Bit index provably 0: the extraction and the
+                        // variable shift are no-ops too.
+                        (*dead)[i + 5] = 1;
+                        (*dead)[i + 6] = 1;
+                    }
+                    ++stats_.checksNarrowed;
+                }
+                for (size_t k = i; k < i + len; ++k)
+                    flowKnown(code[k], st);
+                i += len;
+                continue;
+            }
+            if (dead && matchStoreUpdate(code, i, &r, &mask, &len) &&
+                len == 13) {
+                int size = bitsOf(code[i + 1].imm);
+                if (maxLowOf(r) + size <= 8) {
+                    // Shifted mask fits the low tag byte: the high
+                    // half (shr/add + RMW) ORs and clears nothing.
+                    for (size_t k = i + 7; k <= i + 12; ++k)
+                        (*dead)[k] = 1;
+                    if (exactZero(r)) {
+                        (*dead)[i] = 1;     // and kT2 = addr, 7
+                        (*dead)[i + 2] = 1; // shl kT3 <<= kT2 (by 0)
+                    }
+                    ++stats_.updatesNarrowed;
+                }
+                for (size_t k = i; k < i + len; ++k)
+                    flowKnown(code[k], st);
+                i += len;
+                continue;
+            }
+            flowKnown(code[i], st);
+            ++i;
+        }
+        return st;
+    }
+
+    void
+    narrowAlignedAccesses()
+    {
+        std::vector<Instr> &code = fn_.code;
+        Cfg cfg;
+        cfg.build(code);
+        if (cfg.blocks.empty())
+            return;
+
+        // Entry facts are ABI invariants: sp is 16-aligned (the loader
+        // starts it 128-aligned and frames are 16-aligned) and r0 is 0.
+        AlignState entry;
+        entry.regs[reg::zero] = {7, 0};
+        entry.regs[reg::sp] = {7, 0};
+
+        size_t n = cfg.blocks.size();
+        std::vector<AlignState> in(n), out(n);
+        std::vector<char> reached(n, 0);
+        bool changed = true;
+        while (changed) {
+            changed = false;
+            for (size_t b = 0; b < n; ++b) {
+                AlignState newIn;
+                bool any = b == 0;
+                if (any)
+                    newIn = entry;
+                for (int p : cfg.blocks[b].preds) {
+                    if (!reached[static_cast<size_t>(p)])
+                        continue;
+                    newIn = any ? alignMeet(
+                                      newIn, out[static_cast<size_t>(p)])
+                                : out[static_cast<size_t>(p)];
+                    any = true;
+                }
+                if (!any)
+                    continue; // unreached so far
+                AlignState newOut =
+                    alignFlowBlock(code, cfg.blocks[b], newIn, nullptr);
+                if (!reached[b] || !(newIn == in[b]) ||
+                    !(newOut == out[b])) {
+                    reached[b] = 1;
+                    in[b] = std::move(newIn);
+                    out[b] = std::move(newOut);
+                    changed = true;
+                }
+            }
+        }
+
+        std::vector<char> dead(code.size(), 0);
+        for (size_t b = 0; b < n; ++b) {
+            if (!reached[b])
+                continue;
+            alignFlowBlock(code, cfg.blocks[b], in[b], &dead);
+        }
+        applyDeletions(dead);
+    }
+
+    static bool
+    isBranchLikeLocal(const Instr &in)
+    {
+        return in.op == Opcode::Label || in.op == Opcode::Br ||
+               in.op == Opcode::Chk || in.op == Opcode::BrRet ||
+               in.op == Opcode::Halt || isBarrier(in);
+    }
+};
+
+} // namespace
+
+OptStats
+optimizeInstrumentation(Program &program, const OptimizerOptions &options)
+{
+    OptStats stats;
+    stats.sizeBefore = program.staticInstrCount();
+    if (options.enable) {
+        for (Function &fn : program.functions) {
+            FunctionOptimizer fo(fn, options, stats);
+            fo.run();
+        }
+    }
+    stats.sizeAfter = program.staticInstrCount();
+    return stats;
+}
+
+} // namespace shift

@@ -13,7 +13,7 @@ namespace detail
 Program
 buildProgram(const std::vector<std::string> &sources,
              SessionOptions &options, InstrumentStats &instrStats,
-             minic::SpeculateStats &speculateStats)
+             minic::SpeculateStats &speculateStats, OptStats &optStats)
 {
     // 1. Compile (application + MiniC libc in one link).
     std::vector<std::string> modules;
@@ -40,6 +40,11 @@ buildProgram(const std::vector<std::string> &sources,
         options.instr.natSetClear = options.features.natSetClear;
         options.instr.natAwareCompare = options.features.natAwareCompare;
         instrStats = instrumentProgram(program, options.instr);
+        // 3. Post-instrumentation optimizer: deletes redundant taint
+        // work the peephole instrumenter emitted (no-op unless
+        // options.optimize.enable). SHIFT sequences only; the
+        // software baseline keeps its literal instruction stream.
+        optStats = optimizeInstrumentation(program, options.optimize);
         break;
       }
       case TrackingMode::SoftwareDift: {
@@ -125,7 +130,7 @@ void
 Session::build(const std::vector<std::string> &sources)
 {
     program_ = detail::buildProgram(sources, options_, instrStats_,
-                                    speculateStats_);
+                                    speculateStats_, optStats_);
 
     // Machine + runtime wiring.
     machine_ = std::make_unique<Machine>(program_, options_.features,

@@ -27,6 +27,7 @@
 #include "baseline/software_dift.hh"
 #include "core/instrument.hh"
 #include "lang/speculate.hh"
+#include "opt/instr_opt.hh"
 #include "core/policy.hh"
 #include "core/taint_map.hh"
 #include "isa/program.hh"
@@ -53,6 +54,7 @@ struct SessionOptions
     CpuFeatures features;            ///< architectural enhancements
     ExecEngine engine = ExecEngine::Predecoded; ///< interpreter engine
     InstrumentOptions instr;         ///< granularity is taken from policy
+    OptimizerOptions optimize;       ///< post-instrumentation optimizer
     BaselineOptions baseline;        ///< for SoftwareDift mode
     bool includeStdlib = true;
     uint64_t maxSteps = 2'000'000'000ULL;
@@ -73,7 +75,8 @@ namespace detail
  */
 Program buildProgram(const std::vector<std::string> &sources,
                      SessionOptions &options, InstrumentStats &instrStats,
-                     minic::SpeculateStats &speculateStats);
+                     minic::SpeculateStats &speculateStats,
+                     OptStats &optStats);
 
 /**
  * Per-machine runtime wiring: built-ins, taint-source input hook,
@@ -120,6 +123,7 @@ class Session
     {
         return speculateStats_;
     }
+    const OptStats &optStats() const { return optStats_; }
     const SessionOptions &options() const { return options_; }
 
   private:
@@ -129,6 +133,7 @@ class Session
     Program program_;
     InstrumentStats instrStats_;
     minic::SpeculateStats speculateStats_;
+    OptStats optStats_;
     Os os_;
     std::unique_ptr<Machine> machine_;
     std::unique_ptr<TaintMap> taint_;

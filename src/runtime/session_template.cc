@@ -10,7 +10,7 @@ SessionTemplate::SessionTemplate(const std::vector<std::string> &sources,
     : options_(std::move(options))
 {
     program_ = detail::buildProgram(sources, options_, instrStats_,
-                                    speculateStats_);
+                                    speculateStats_, optStats_);
     proto_ = std::make_unique<Machine>(program_, options_.features,
                                        options_.engine);
 }

@@ -114,6 +114,7 @@ class SessionTemplate
 
     const Program &program() const { return program_; }
     const InstrumentStats &instrStats() const { return instrStats_; }
+    const OptStats &optStats() const { return optStats_; }
     const minic::SpeculateStats &speculateStats() const
     {
         return speculateStats_;
@@ -131,6 +132,7 @@ class SessionTemplate
     Program program_;
     InstrumentStats instrStats_;
     minic::SpeculateStats speculateStats_;
+    OptStats optStats_;
 
     /** Provisioned prototype OS, copied into each clone. */
     Os protoOs_;

@@ -2,6 +2,8 @@
 
 #include <unordered_map>
 
+#include "mem/address_space.hh"
+
 namespace shift
 {
 
@@ -35,10 +37,452 @@ badProgram(const Function &fn, int funcIndex, size_t origIndex,
     return fault;
 }
 
+// ------------------------------------------------------------------
+// Decode-time macro-op fusion.
+//
+// The matchers below recognize the instrumenter's fixed idioms (see
+// src/core/instrument.cc) on the dense stream, field-exactly: opcode,
+// registers, immediates, qualifying predicates AND the precomputed
+// (provenance, class) stat index of every constituent, so only
+// instrumentation sequences — never structurally similar user code —
+// fuse, and the fused handler can re-derive each constituent's stat
+// attribution. All captured registers must be pairwise distinct
+// (guaranteed for instrumenter output, whose scratch registers are
+// compiler-reserved); the handlers rely on that to keep values in
+// locals between constituent writes.
+// ------------------------------------------------------------------
+
+Provenance
+provOf(const DecodedInstr &d)
+{
+    return static_cast<Provenance>(d.statIdx / kNumOrigClass);
+}
+
+OrigClass
+clsOf(const DecodedInstr &d)
+{
+    return static_cast<OrigClass>(d.statIdx % kNumOrigClass);
+}
+
+/** dst = src1 OP src2 (register form), unpredicated. */
+bool
+aluReg(const DecodedInstr &d, Opcode op, unsigned r1, unsigned r2,
+       unsigned r3)
+{
+    return d.op == op && !d.useImm && d.qp == 0 && d.r1 == r1 &&
+           d.r2 == r2 && d.r3 == r3;
+}
+
+/** dst = src1 OP imm, unpredicated. */
+bool
+aluImm(const DecodedInstr &d, Opcode op, unsigned r1, unsigned r2,
+       int64_t imm)
+{
+    return d.op == op && d.useImm && d.qp == 0 && d.r1 == r1 &&
+           d.r2 == r2 && d.imm == imm;
+}
+
+/** Plain (non-speculative, non-fill) single-byte tag load. */
+bool
+tagLd1(const DecodedInstr &d, unsigned r1, unsigned r2)
+{
+    return d.op == Opcode::Ld && d.qp == 0 && d.size == 1 && !d.spec &&
+           !d.fill && d.r1 == r1 && d.r2 == r2;
+}
+
+/** Plain single-byte tag store. */
+bool
+tagSt1(const DecodedInstr &d, unsigned addr, unsigned src)
+{
+    return d.op == Opcode::St && d.qp == 0 && d.size == 1 && !d.spill &&
+           d.r1 == addr && d.r2 == src;
+}
+
+bool
+distinct3(unsigned a, unsigned b, unsigned c)
+{
+    return a != b && a != c && b != c && a != reg::zero &&
+           b != reg::zero && c != reg::zero;
+}
+
+/**
+ * The figure-4 tag-address fold:
+ *   extr t0 = R, 61, 3; shl t0 = t0, rs; extr t1 = R, ds, 36-ds;
+ *   or t0 = t0, t1
+ * with rs = kImplementedBits - ds and ds the bitmap density shift
+ * (3 byte-granularity, 6 word).
+ */
+size_t
+matchFoldD(const std::vector<DecodedInstr> &c, size_t i, DecodedInstr &f)
+{
+    if (i + 4 > c.size())
+        return 0;
+    const DecodedInstr &e0 = c[i];
+    if (e0.op != Opcode::Extr || e0.useImm || e0.qp != 0 ||
+        e0.pos != kRegionShift || e0.len != 3)
+        return 0;
+    if (provOf(e0) != Provenance::TagAddr)
+        return 0;
+    unsigned t0 = e0.r1, R = e0.r2;
+    const DecodedInstr &s1 = c[i + 1];
+    if (!(s1.op == Opcode::Shl && s1.useImm && s1.qp == 0 &&
+          s1.r1 == t0 && s1.r2 == t0))
+        return 0;
+    int64_t rs = s1.imm;
+    if (rs != static_cast<int64_t>(kImplementedBits) - 3 &&
+        rs != static_cast<int64_t>(kImplementedBits) - 6)
+        return 0;
+    unsigned ds = kImplementedBits - static_cast<unsigned>(rs);
+    const DecodedInstr &e2 = c[i + 2];
+    if (!(e2.op == Opcode::Extr && !e2.useImm && e2.qp == 0 &&
+          e2.r2 == R && e2.pos == ds &&
+          e2.len == kImplementedBits - ds))
+        return 0;
+    unsigned t1 = e2.r1;
+    if (!distinct3(t0, t1, R))
+        return 0;
+    const DecodedInstr &o3 = c[i + 3];
+    if (!aluReg(o3, Opcode::Or, t0, t0, t1))
+        return 0;
+    if (s1.statIdx != e0.statIdx || e2.statIdx != e0.statIdx ||
+        o3.statIdx != e0.statIdx)
+        return 0;
+    f = DecodedInstr{};
+    f.op = Opcode::FusedTagAddr;
+    f.useMask = e0.useMask;
+    f.origIndex = e0.origIndex;
+    f.statIdx = e0.statIdx;
+    f.r1 = static_cast<uint16_t>(t0);
+    f.r2 = static_cast<uint16_t>(R);
+    f.r3 = static_cast<uint16_t>(t1);
+    f.pos = static_cast<uint8_t>(ds);
+    f.len = e2.len;
+    f.imm = rs;
+    return 4;
+}
+
+/**
+ * The byte-granularity bitmap check (9 instructions assembling a
+ * 16-bit tag window from two byte loads) or the word-granularity one
+ * (4 instructions), ending in the kPTag-setting compare/tbit.
+ */
+size_t
+matchCheckD(const std::vector<DecodedInstr> &c, size_t i, DecodedInstr &f)
+{
+    if (i + 4 > c.size())
+        return 0;
+    const DecodedInstr &l0 = c[i];
+    if (l0.op != Opcode::Ld || l0.qp != 0 || l0.size != 1 || l0.spec ||
+        l0.fill)
+        return 0;
+    if (provOf(l0) != Provenance::TagMem)
+        return 0;
+    unsigned t1 = l0.r1, t0 = l0.r2;
+    OrigClass cls = clsOf(l0);
+    uint8_t sMem = l0.statIdx;
+    uint8_t sAddr =
+        static_cast<uint8_t>(statIndex(Provenance::TagAddr, cls));
+    uint8_t sReg =
+        static_cast<uint8_t>(statIndex(Provenance::TagReg, cls));
+
+    // Byte form: add t2=t0,1; ld1 t2,[t2]; shl t2,8; or t1,t2;
+    //            and t2=R,7; shr t1,t2; and t1,mask; cmp.ne pT=t1,0
+    if (i + 9 <= c.size() && c[i + 1].op == Opcode::Add) {
+        const DecodedInstr &a1 = c[i + 1];
+        unsigned t2 = a1.r1;
+        const DecodedInstr &a5 = c[i + 5];
+        unsigned R = a5.r2;
+        const DecodedInstr &a7 = c[i + 7];
+        const DecodedInstr &m8 = c[i + 8];
+        if (aluImm(a1, Opcode::Add, t2, t0, 1) && a1.statIdx == sAddr &&
+            distinct3(t0, t1, t2) && R != t0 && R != t1 && R != t2 &&
+            R != reg::zero && tagLd1(c[i + 2], t2, t2) &&
+            c[i + 2].statIdx == sMem &&
+            aluImm(c[i + 3], Opcode::Shl, t2, t2, 8) &&
+            c[i + 3].statIdx == sAddr &&
+            aluReg(c[i + 4], Opcode::Or, t1, t1, t2) &&
+            c[i + 4].statIdx == sAddr &&
+            aluImm(a5, Opcode::And, t2, R, 7) && a5.statIdx == sAddr &&
+            aluReg(c[i + 6], Opcode::Shr, t1, t1, t2) &&
+            c[i + 6].statIdx == sAddr && a7.op == Opcode::And &&
+            a7.useImm && a7.qp == 0 && a7.r1 == t1 && a7.r2 == t1 &&
+            a7.statIdx == sAddr && m8.op == Opcode::Cmp &&
+            m8.rel == CmpRel::Ne && m8.useImm && m8.imm == 0 &&
+            m8.qp == 0 && m8.r2 == t1 && m8.p2 == 0 && m8.p1 != 0 &&
+            m8.statIdx == sReg) {
+            f = DecodedInstr{};
+            f.op = Opcode::FusedChkByte;
+            f.useMask = l0.useMask;
+            f.origIndex = l0.origIndex;
+            f.statIdx = sMem;
+            f.r1 = static_cast<uint16_t>(t1);
+            f.r2 = static_cast<uint16_t>(R);
+            f.r3 = static_cast<uint16_t>(t2);
+            f.br = static_cast<uint8_t>(t0);
+            f.p1 = m8.p1;
+            f.imm = a7.imm;
+            return 9;
+        }
+    }
+
+    // Word form: extr t2=R,3,3; shr t1,t2; tbit pT=t1,0
+    const DecodedInstr &e1 = c[i + 1];
+    if (e1.op == Opcode::Extr && !e1.useImm && e1.qp == 0 &&
+        e1.pos == 3 && e1.len == 3 && e1.statIdx == sAddr) {
+        unsigned t2 = e1.r1, R = e1.r2;
+        const DecodedInstr &tb = c[i + 3];
+        if (distinct3(t0, t1, t2) && R != t0 && R != t1 && R != t2 &&
+            R != reg::zero &&
+            aluReg(c[i + 2], Opcode::Shr, t1, t1, t2) &&
+            c[i + 2].statIdx == sAddr && tb.op == Opcode::Tbit &&
+            tb.qp == 0 && tb.r2 == t1 && tb.imm == 0 && tb.p2 == 0 &&
+            tb.p1 != 0 && tb.statIdx == sReg) {
+            f = DecodedInstr{};
+            f.op = Opcode::FusedChkWord;
+            f.useMask = l0.useMask;
+            f.origIndex = l0.origIndex;
+            f.statIdx = sMem;
+            f.r1 = static_cast<uint16_t>(t1);
+            f.r2 = static_cast<uint16_t>(R);
+            f.r3 = static_cast<uint16_t>(t2);
+            f.br = static_cast<uint8_t>(t0);
+            f.p1 = tb.p1;
+            return 4;
+        }
+    }
+    return 0;
+}
+
+/**
+ * The spill/reload NaT purge (section 4.1, no natSetClear):
+ *   add t3 = sp, -16; st8.spill [t3] = r; ld8 r = [t3]
+ */
+size_t
+matchClearNatD(const std::vector<DecodedInstr> &c, size_t i,
+               DecodedInstr &f)
+{
+    if (i + 3 > c.size())
+        return 0;
+    const DecodedInstr &a0 = c[i];
+    if (a0.op != Opcode::Add || !a0.useImm || a0.qp != 0)
+        return 0;
+    if (provOf(a0) == Provenance::Original)
+        return 0;
+    unsigned t3 = a0.r1, base = a0.r2;
+    const DecodedInstr &s1 = c[i + 1];
+    if (!(s1.op == Opcode::St && s1.spill && s1.qp == 0 &&
+          s1.size == 8 && s1.r1 == t3))
+        return 0;
+    unsigned r = s1.r2;
+    if (r == t3 || r == reg::zero || t3 == reg::zero)
+        return 0;
+    const DecodedInstr &l2 = c[i + 2];
+    if (!(l2.op == Opcode::Ld && l2.qp == 0 && !l2.spec && !l2.fill &&
+          l2.size == 8 && l2.r1 == r && l2.r2 == t3))
+        return 0;
+    if (s1.statIdx != a0.statIdx || l2.statIdx != a0.statIdx)
+        return 0;
+    f = DecodedInstr{};
+    f.op = Opcode::FusedClearNat;
+    f.useMask = a0.useMask;
+    f.origIndex = a0.origIndex;
+    f.statIdx = a0.statIdx;
+    f.r1 = static_cast<uint16_t>(r);
+    f.r2 = static_cast<uint16_t>(base);
+    f.r3 = static_cast<uint16_t>(t3);
+    f.imm = a0.imm;
+    return 3;
+}
+
+/**
+ * The bitmap read-modify-write update: the 3-instruction mask build
+ * followed by ld1/(pSet)or/(pClr)andcm/st1, with the straddle half at
+ * t0+1 under byte granularity (13 instructions total; word takes 7).
+ */
+size_t
+matchStUpdD(const std::vector<DecodedInstr> &c, size_t i, DecodedInstr &f)
+{
+    if (i + 7 > c.size())
+        return 0;
+    const DecodedInstr &m0 = c[i];
+    bool byteGran;
+    unsigned t2, R;
+    if (m0.op == Opcode::And && m0.useImm && m0.qp == 0 && m0.imm == 7) {
+        byteGran = true;
+        t2 = m0.r1;
+        R = m0.r2;
+    } else if (m0.op == Opcode::Extr && !m0.useImm && m0.qp == 0 &&
+               m0.pos == 3 && m0.len == 3) {
+        byteGran = false;
+        t2 = m0.r1;
+        R = m0.r2;
+    } else {
+        return 0;
+    }
+    if (provOf(m0) != Provenance::TagAddr)
+        return 0;
+    size_t len = byteGran ? 13 : 7;
+    if (i + len > c.size())
+        return 0;
+    OrigClass cls = clsOf(m0);
+    uint8_t sAddr = m0.statIdx;
+    uint8_t sMem =
+        static_cast<uint8_t>(statIndex(Provenance::TagMem, cls));
+    uint8_t sReg =
+        static_cast<uint8_t>(statIndex(Provenance::TagReg, cls));
+
+    const DecodedInstr &m1 = c[i + 1];
+    if (!(m1.op == Opcode::Movi && m1.useImm && m1.qp == 0 &&
+          m1.statIdx == sAddr))
+        return 0;
+    unsigned t3 = m1.r1;
+    if (!aluReg(c[i + 2], Opcode::Shl, t3, t3, t2) ||
+        c[i + 2].statIdx != sAddr)
+        return 0;
+    const DecodedInstr &l3 = c[i + 3];
+    if (!(l3.op == Opcode::Ld && l3.qp == 0 && l3.size == 1 &&
+          !l3.spec && !l3.fill && l3.statIdx == sMem))
+        return 0;
+    unsigned t1 = l3.r1, t0 = l3.r2;
+    if (!distinct3(t0, t1, t2) || !distinct3(t0, t1, t3) ||
+        !distinct3(t2, t3, R) || R == t0 || R == t1 || t2 == t3)
+        return 0;
+    const DecodedInstr &o4 = c[i + 4];
+    const DecodedInstr &a5 = c[i + 5];
+    if (!(o4.op == Opcode::Or && !o4.useImm && o4.r1 == t1 &&
+          o4.r2 == t1 && o4.r3 == t3 && o4.qp != 0 &&
+          o4.statIdx == sReg))
+        return 0;
+    uint8_t pSet = o4.qp;
+    if (!(a5.op == Opcode::Andcm && !a5.useImm && a5.r1 == t1 &&
+          a5.r2 == t1 && a5.r3 == t3 && a5.qp != 0 && a5.qp != pSet &&
+          a5.statIdx == sReg))
+        return 0;
+    uint8_t pClr = a5.qp;
+    if (!tagSt1(c[i + 6], t0, t1) || c[i + 6].statIdx != sMem)
+        return 0;
+    if (byteGran) {
+        if (!aluImm(c[i + 7], Opcode::Shr, t3, t3, 8) ||
+            c[i + 7].statIdx != sAddr)
+            return 0;
+        if (!aluImm(c[i + 8], Opcode::Add, t2, t0, 1) ||
+            c[i + 8].statIdx != sAddr)
+            return 0;
+        if (!tagLd1(c[i + 9], t1, t2) || c[i + 9].statIdx != sMem)
+            return 0;
+        const DecodedInstr &o10 = c[i + 10];
+        const DecodedInstr &a11 = c[i + 11];
+        if (!(o10.op == Opcode::Or && !o10.useImm && o10.r1 == t1 &&
+              o10.r2 == t1 && o10.r3 == t3 && o10.qp == pSet &&
+              o10.statIdx == sReg))
+            return 0;
+        if (!(a11.op == Opcode::Andcm && !a11.useImm && a11.r1 == t1 &&
+              a11.r2 == t1 && a11.r3 == t3 && a11.qp == pClr &&
+              a11.statIdx == sReg))
+            return 0;
+        if (!tagSt1(c[i + 12], t2, t1) || c[i + 12].statIdx != sMem)
+            return 0;
+    }
+    f = DecodedInstr{};
+    f.op = byteGran ? Opcode::FusedStUpdByte : Opcode::FusedStUpdWord;
+    f.useMask = m0.useMask;
+    f.origIndex = m0.origIndex;
+    f.statIdx = sAddr;
+    f.r1 = static_cast<uint16_t>(t1);
+    f.r2 = static_cast<uint16_t>(R);
+    f.r3 = static_cast<uint16_t>(t3);
+    f.br = static_cast<uint8_t>(t2);
+    f.target = static_cast<int32_t>(t0);
+    f.p1 = pSet;
+    f.p2 = pClr;
+    f.imm = m1.imm;
+    return len;
+}
+
+/**
+ * Fuse the instrumenter idioms in one dense stream (sentinel not yet
+ * appended). Groups with a branch landing in their interior or with
+ * non-contiguous original indices are left unfused; every Br/Chk
+ * target is remapped onto the shrunk stream afterwards.
+ */
+void
+fuseFunction(DecodedFunction &df)
+{
+    std::vector<DecodedInstr> &in = df.code;
+    const size_t n = in.size();
+    if (n < 3)
+        return;
+
+    std::vector<uint8_t> isTarget(n + 1, 0);
+    for (const DecodedInstr &d : in) {
+        if ((d.op == Opcode::Br || d.op == Opcode::Chk) && d.target >= 0)
+            isTarget[static_cast<size_t>(d.target)] = 1;
+    }
+
+    auto groupOk = [&](size_t i, size_t len) {
+        for (size_t k = 1; k < len; ++k) {
+            if (isTarget[i + k])
+                return false;
+            if (in[i + k].origIndex !=
+                in[i].origIndex + static_cast<int32_t>(k))
+                return false;
+        }
+        return true;
+    };
+
+    std::vector<DecodedInstr> out;
+    out.reserve(n);
+    std::vector<int32_t> remap(n + 1, 0);
+    size_t i = 0;
+    bool changed = false;
+    while (i < n) {
+        DecodedInstr f;
+        size_t len = 0;
+        switch (in[i].op) {
+          case Opcode::Extr:
+            len = matchFoldD(in, i, f);
+            if (!len)
+                len = matchStUpdD(in, i, f); // word-granularity mask
+            break;
+          case Opcode::And:
+            len = matchStUpdD(in, i, f); // byte-granularity mask
+            break;
+          case Opcode::Ld:
+            len = matchCheckD(in, i, f);
+            break;
+          case Opcode::Add:
+            len = matchClearNatD(in, i, f);
+            break;
+          default:
+            break;
+        }
+        if (len > 1 && groupOk(i, len)) {
+            for (size_t k = 0; k < len; ++k)
+                remap[i + k] = static_cast<int32_t>(out.size());
+            out.push_back(f);
+            i += len;
+            changed = true;
+        } else {
+            remap[i] = static_cast<int32_t>(out.size());
+            out.push_back(in[i]);
+            ++i;
+        }
+    }
+    remap[n] = static_cast<int32_t>(out.size());
+    if (!changed)
+        return;
+    for (DecodedInstr &d : out) {
+        if ((d.op == Opcode::Br || d.op == Opcode::Chk) && d.target >= 0)
+            d.target = remap[static_cast<size_t>(d.target)];
+    }
+    in = std::move(out);
+}
+
 } // namespace
 
 bool
-decodeProgram(const Program &program, DecodedProgram &out, Fault &error)
+decodeProgram(const Program &program, DecodedProgram &out, Fault &error,
+              bool fuse)
 {
     out.functions.clear();
     out.functions.resize(program.functions.size());
@@ -139,6 +583,10 @@ decodeProgram(const Program &program, DecodedProgram &out, Fault &error)
             df.code.push_back(d);
         }
 
+        // Pass 3: collapse instrumentation idioms into macro micro-ops.
+        if (fuse)
+            fuseFunction(df);
+
         // End-of-function sentinel: falling (or branching) past the
         // last instruction lands here instead of needing a bounds
         // check on every fetch. Label never survives decode, so the
@@ -151,6 +599,18 @@ decodeProgram(const Program &program, DecodedProgram &out, Fault &error)
         df.code.push_back(sentinel);
     }
     return true;
+}
+
+bool
+hasFusedOps(const DecodedProgram &program)
+{
+    for (const DecodedFunction &df : program.functions) {
+        for (const DecodedInstr &d : df.code) {
+            if (static_cast<size_t>(d.op) >= kFirstFusedOpcode)
+                return true;
+        }
+    }
+    return false;
 }
 
 } // namespace shift

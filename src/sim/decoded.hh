@@ -22,6 +22,20 @@
  *    functions, so no string is hashed on any dynamic call.
  *  - The set of GRs each instruction reads is precomputed as a 64-bit
  *    mask, making the load-use stall check one shift and AND.
+ *  - The instrumenter's fixed taint idioms (the figure-4 tag-address
+ *    fold, the 4/9-instruction bitmap checks, the spill/reload NaT
+ *    purge and the bitmap RMW update) are recognized on the dense
+ *    stream and fused into single macro micro-ops (Opcode::Fused*).
+ *    A fused handler replays its constituents' exact architectural
+ *    semantics — register writes, cycle/stat charges, stalls, cache
+ *    accesses and fault points — while paying the fetch/dispatch
+ *    front end once, so simulated counts stay bit-identical to the
+ *    legacy stepper and only host time drops. A group is only fused
+ *    when no branch targets its interior and its constituents are
+ *    contiguous in the original stream (so a fault inside the group
+ *    can name constituent k's architectural pc). Per-instruction
+ *    trace hooks need the unfused stream; Machine::setTraceHook
+ *    re-decodes with `fuse` off.
  *
  * A branch to an unresolved label is a malformed program; the pass
  * rejects it here, at construction time, with a BadProgram fault that
@@ -114,10 +128,16 @@ struct DecodedProgram
  * Decode and link `program`. Returns false when the program is
  * malformed (a Br/Chk naming a label no Label pseudo-op defines), with
  * `error` filled in as a BadProgram fault whose detail names the
- * function and label.
+ * function and label. `fuse` additionally collapses the instrumenter's
+ * taint idioms into Fused* macro micro-ops (see the file comment);
+ * pass false to keep a one-to-one stream, e.g. for per-instruction
+ * trace hooks.
  */
 bool decodeProgram(const Program &program, DecodedProgram &out,
-                   Fault &error);
+                   Fault &error, bool fuse = true);
+
+/** True when any function's stream contains a fused macro micro-op. */
+bool hasFusedOps(const DecodedProgram &program);
 
 } // namespace shift
 

@@ -222,6 +222,8 @@ Machine::archPc() const
 {
     if (engine_ == ExecEngine::Legacy)
         return pc_;
+    if (archPcOverride_ >= 0)
+        return static_cast<uint64_t>(archPcOverride_);
     if (!decoded_ || curFunc_ < 0 ||
         static_cast<size_t>(curFunc_) >= decoded_->functions.size())
         return pc_;
@@ -244,6 +246,31 @@ Machine::registerBuiltin(const std::string &name, BuiltinFn fn)
     for (size_t i = 0; i < decoded_->builtinNames.size(); ++i) {
         if (decoded_->builtinNames[i] == name)
             builtinSlotFns_[i] = &stored;
+    }
+}
+
+void
+Machine::setTraceHook(TraceFn fn)
+{
+    trace_ = std::move(fn);
+    // Per-instruction tracing and fused macro micro-ops are at odds:
+    // a fused handler executes a whole instrumentation idiom between
+    // trace points. Swap in an unfused decode of the same program.
+    // Only possible before the run (pc 0 in both streams); run() can
+    // be called once, so a post-run install has nothing left to trace.
+    if (!trace_ || engine_ != ExecEngine::Predecoded || !decoded_ ||
+        ran_ || !hasFusedOps(*decoded_))
+        return;
+    auto decoded = std::make_shared<DecodedProgram>();
+    Fault decodeError;
+    if (!decodeProgram(*program_, *decoded, decodeError, /*fuse=*/false))
+        return; // the fused decode succeeded, so this cannot happen
+    decoded_ = std::move(decoded);
+    builtinSlotFns_.assign(decoded_->builtinNames.size(), nullptr);
+    for (size_t i = 0; i < decoded_->builtinNames.size(); ++i) {
+        auto it = builtins_.find(decoded_->builtinNames[i]);
+        if (it != builtins_.end())
+            builtinSlotFns_[i] = &it->second;
     }
 }
 
@@ -878,6 +905,18 @@ Machine::stepLegacy()
 
       case Opcode::Label:
         break; // handled above
+
+      case Opcode::FusedTagAddr:
+      case Opcode::FusedChkByte:
+      case Opcode::FusedChkWord:
+      case Opcode::FusedClearNat:
+      case Opcode::FusedStUpdByte:
+      case Opcode::FusedStUpdWord:
+        // Fused micro-ops exist only in decoded streams; an
+        // architectural program carrying one is malformed.
+        setFault(FaultKind::BadProgram, FaultContext::None, 0,
+                 "fused micro-op in an architectural program");
+        return;
     }
 }
 
@@ -990,6 +1029,8 @@ Machine::runDecoded(uint64_t maxSteps)
         &&L_MovToBr, &&L_MovFromBr, &&L_MovToUnat, &&L_MovFromUnat,
         &&L_Setnat, &&L_Clrnat,
         &&L_Syscall, &&L_Halt,
+        &&L_FusedTagAddr, &&L_FusedChkByte, &&L_FusedChkWord,
+        &&L_FusedClearNat, &&L_FusedStUpdByte, &&L_FusedStUpdWord,
     };
     static_assert(sizeof(kJump) / sizeof(kJump[0]) == kNumOpcodes,
                   "dispatch table must cover every opcode");
@@ -1557,6 +1598,426 @@ nullified:
                  df->origCount,
                  "fell off the end of function '" + df->src->name + "'");
         SHIFT_STOPPED();
+
+    // ----- fused taint micro-ops (see decodeProgram) -------------------
+    // Each handler replays its constituents' architectural semantics
+    // back to back — the same register writes, cycle and stat charges,
+    // load-use stalls, cache accesses and fault points as the unfused
+    // stream — while paying the fetch/dispatch front end once, so every
+    // simulated number stays bit-identical to the legacy stepper and
+    // only host time drops. Constituents are contiguous in the original
+    // stream (a fusion precondition), so a fault at constituent k
+    // reports origIndex + k through archPcOverride_. The entry stall
+    // uses the first constituent's use mask (stamped by the front end);
+    // interior stalls are charged where the unfused stream stalls.
+
+    SHIFT_OP(FusedTagAddr) {
+        // extr t0=R,61,3; shl t0,t0,rs; extr t1=R,ds,36-ds; or t0,t0,t1
+        // Pure ALU: no faults, no interior stalls (no constituent
+        // follows a load), one shared (TagAddr, cls) stat index.
+        const Gpr a = gpr_[dp->r2];
+        uint64_t t1v = (a.val >> dp->pos) & lowMask(dp->len);
+        uint64_t t0v = (((a.val >> kRegionShift) & 7)
+                        << static_cast<unsigned>(dp->imm)) |
+                       t1v;
+        setGpr(dp->r3, t1v, a.nat);
+        setGpr(dp->r1, t0v, a.nat);
+        cycles += 4 * cycleModel_.alu;
+        instrs += 4;
+        cyFlat[statIdx] += 4 * cycleModel_.alu;
+        inFlat[statIdx] += 4;
+        ++pc;
+        SHIFT_NEXT_FAST();
+    }
+
+    SHIFT_OP(FusedChkByte) {
+        // ld1 t1,[t0]; add t2=t0,1; ld1 t2,[t2]; shl t2,t2,8;
+        // or t1,t1,t2; and t2=R,7; shr t1,t1,t2; and t1,t1,mask;
+        // cmp.ne pT,p0 = t1,0
+        const unsigned cls = statIdx % kNumOrigClass;
+        const unsigned idxMem = statIdx; // entry = first tag load
+        const unsigned idxAddr =
+            statIndex(Provenance::TagAddr, static_cast<OrigClass>(cls));
+        const unsigned idxReg =
+            statIndex(Provenance::TagReg, static_cast<OrigClass>(cls));
+        const Gpr a = gpr_[dp->br]; // t0: tag byte address
+        if (a.nat) {
+            archPcOverride_ = dp->origIndex;
+            sync();
+            setFault(FaultKind::NatConsumption,
+                     cls == static_cast<unsigned>(OrigClass::ForStore)
+                         ? FaultContext::StoreAddress
+                         : FaultContext::LoadAddress,
+                     a.val, "load through a NaT (tainted) address");
+            SHIFT_STOPPED();
+        }
+        uint64_t lo = 0;
+        MemFault mf = mem_.read(a.val, 1, lo);
+        if (mf != MemFault::None) {
+            archPcOverride_ = dp->origIndex;
+            sync();
+            setFault(FaultKind::IllegalAddress, FaultContext::LoadAddress,
+                     a.val, "load from illegal address");
+            SHIFT_STOPPED();
+        }
+        setGpr(dp->r1, lo, false);
+        ++loadCount_;
+        charge(cycleModel_.loadBase);
+        uint64_t extra = dcache_.access(a.val) ? cycleModel_.loadHit
+                                               : cycleModel_.loadMiss;
+        cycles += extra;
+        cyFlat[idxMem] += extra;
+        // add t2 = t0 + 1
+        statIdx = idxAddr;
+        uint64_t hiAddr = a.val + 1;
+        setGpr(dp->r3, hiAddr, false);
+        charge(cycleModel_.alu);
+        // ld1 t2, [t2] (address just computed, known clean)
+        uint64_t hi = 0;
+        mf = mem_.read(hiAddr, 1, hi);
+        if (mf != MemFault::None) {
+            archPcOverride_ = dp->origIndex + 2;
+            sync();
+            setFault(FaultKind::IllegalAddress, FaultContext::LoadAddress,
+                     hiAddr, "load from illegal address");
+            SHIFT_STOPPED();
+        }
+        setGpr(dp->r3, hi, false);
+        ++loadCount_;
+        statIdx = idxMem;
+        charge(cycleModel_.loadBase);
+        extra = dcache_.access(hiAddr) ? cycleModel_.loadHit
+                                       : cycleModel_.loadMiss;
+        cycles += extra;
+        cyFlat[idxMem] += extra;
+        // shl t2, t2, 8 — consumes the just-loaded t2: load-use stall
+        statIdx = idxAddr;
+        cycles += cycleModel_.loadUseStall;
+        stallCycles_ += cycleModel_.loadUseStall;
+        cyFlat[idxAddr] += cycleModel_.loadUseStall;
+        hi <<= 8;
+        setGpr(dp->r3, hi, false);
+        charge(cycleModel_.alu);
+        // or t1, t1, t2
+        lo |= hi;
+        setGpr(dp->r1, lo, false);
+        charge(cycleModel_.alu);
+        // and t2 = R, 7 — R's NaT starts propagating here
+        const Gpr r = gpr_[dp->r2];
+        uint64_t bitIdx = r.val & 7;
+        setGpr(dp->r3, bitIdx, r.nat);
+        charge(cycleModel_.alu);
+        // shr t1, t1, t2 (shift < 8)
+        lo >>= bitIdx;
+        setGpr(dp->r1, lo, r.nat);
+        charge(cycleModel_.alu);
+        // and t1, t1, mask
+        lo &= static_cast<uint64_t>(dp->imm);
+        setGpr(dp->r1, lo, r.nat);
+        charge(cycleModel_.alu);
+        // cmp.ne pT, p0 = t1, 0 — a NaT operand clears both predicates
+        // (p0 writes are hardwired no-ops)
+        statIdx = idxReg;
+        setPred(dp->p1, r.nat ? false : lo != 0);
+        charge(cycleModel_.alu);
+        ++pc;
+        SHIFT_NEXT_FAST();
+    }
+
+    SHIFT_OP(FusedChkWord) {
+        // ld1 t1,[t0]; extr t2=R,3,3; shr t1,t1,t2; tbit pT,p0 = t1,0
+        const unsigned cls = statIdx % kNumOrigClass;
+        const unsigned idxMem = statIdx;
+        const unsigned idxAddr =
+            statIndex(Provenance::TagAddr, static_cast<OrigClass>(cls));
+        const unsigned idxReg =
+            statIndex(Provenance::TagReg, static_cast<OrigClass>(cls));
+        const Gpr a = gpr_[dp->br]; // t0
+        if (a.nat) {
+            archPcOverride_ = dp->origIndex;
+            sync();
+            setFault(FaultKind::NatConsumption,
+                     cls == static_cast<unsigned>(OrigClass::ForStore)
+                         ? FaultContext::StoreAddress
+                         : FaultContext::LoadAddress,
+                     a.val, "load through a NaT (tainted) address");
+            SHIFT_STOPPED();
+        }
+        uint64_t lo = 0;
+        MemFault mf = mem_.read(a.val, 1, lo);
+        if (mf != MemFault::None) {
+            archPcOverride_ = dp->origIndex;
+            sync();
+            setFault(FaultKind::IllegalAddress, FaultContext::LoadAddress,
+                     a.val, "load from illegal address");
+            SHIFT_STOPPED();
+        }
+        setGpr(dp->r1, lo, false);
+        ++loadCount_;
+        charge(cycleModel_.loadBase);
+        uint64_t extra = dcache_.access(a.val) ? cycleModel_.loadHit
+                                               : cycleModel_.loadMiss;
+        cycles += extra;
+        cyFlat[idxMem] += extra;
+        // extr t2 = R, 3, 3
+        statIdx = idxAddr;
+        const Gpr r = gpr_[dp->r2];
+        uint64_t bitIdx = (r.val >> 3) & 7;
+        setGpr(dp->r3, bitIdx, r.nat);
+        charge(cycleModel_.alu);
+        // shr t1, t1, t2 (shift < 8)
+        lo >>= bitIdx;
+        setGpr(dp->r1, lo, r.nat);
+        charge(cycleModel_.alu);
+        // tbit pT, p0 = t1, 0 — NaT clears both predicates
+        statIdx = idxReg;
+        setPred(dp->p1, r.nat ? false : bit(lo, 0));
+        charge(cycleModel_.alu);
+        ++pc;
+        SHIFT_NEXT_FAST();
+    }
+
+    SHIFT_OP(FusedClearNat) {
+        // add t3=sp,disp; st8.spill [t3]=r; ld8 r,[t3]
+        // One shared (prov, cls) stat index across all three.
+        const Gpr bs = gpr_[dp->r2];
+        uint64_t addr = bs.val + static_cast<uint64_t>(dp->imm);
+        setGpr(dp->r3, addr, bs.nat);
+        charge(cycleModel_.alu);
+        // st8.spill [t3] = r
+        if (bs.nat) {
+            archPcOverride_ = dp->origIndex + 1;
+            sync();
+            setFault(FaultKind::NatConsumption,
+                     FaultContext::StoreAddress, addr,
+                     "store through a NaT (tainted) address");
+            SHIFT_STOPPED();
+        }
+        const Gpr src = gpr_[dp->r1];
+        MemFault mf = mem_.writeSpill(addr, src.val, src.nat);
+        if (mf == MemFault::None) {
+            unsigned spillBit = static_cast<unsigned>((addr >> 3) & 63);
+            unat_ = insertBit(unat_, spillBit, src.nat);
+        } else {
+            archPcOverride_ = dp->origIndex + 1;
+            sync();
+            setFault(FaultKind::IllegalAddress,
+                     FaultContext::StoreAddress, addr,
+                     "store to illegal address");
+            SHIFT_STOPPED();
+        }
+        ++storeCount_;
+        charge(cycleModel_.storeBase);
+        uint64_t extra = dcache_.access(addr) ? 0 : cycleModel_.storeMiss;
+        cycles += extra;
+        cyFlat[statIdx] += extra;
+        // ld8 r = [t3] — the plain reload leaves the value, drops NaT
+        uint64_t v = 0;
+        mf = mem_.read(addr, 8, v);
+        if (mf != MemFault::None) {
+            archPcOverride_ = dp->origIndex + 2;
+            sync();
+            setFault(FaultKind::IllegalAddress, FaultContext::LoadAddress,
+                     addr, "load from illegal address");
+            SHIFT_STOPPED();
+        }
+        setGpr(dp->r1, v, false);
+        ++loadCount_;
+        charge(cycleModel_.loadBase);
+        extra = dcache_.access(addr) ? cycleModel_.loadHit
+                                     : cycleModel_.loadMiss;
+        cycles += extra;
+        cyFlat[statIdx] += extra;
+        loadMask = 1ULL << (dp->r1 & 63); // last constituent is a load
+        ++pc;
+        SHIFT_NEXT_FAST();
+    }
+
+    SHIFT_OP(FusedStUpdByte)
+    SHIFT_OP(FusedStUpdWord) {
+        // and t2=R,7 / extr t2=R,3,3; movi t3,m; shl t3,t3,t2;
+        // ld1 t1,[t0]; (pSet) or t1,t1,t3; (pClr) andcm t1,t1,t3;
+        // st1 [t0]=t1 — byte granularity repeats the RMW at t0+1 for
+        // the straddling high half of the mask.
+        const bool byteGran = dp->op == Opcode::FusedStUpdByte;
+        const unsigned cls = statIdx % kNumOrigClass;
+        const unsigned idxAddr = statIdx; // entry = mask ALU (TagAddr)
+        const unsigned idxMem =
+            statIndex(Provenance::TagMem, static_cast<OrigClass>(cls));
+        const unsigned idxReg =
+            statIndex(Provenance::TagReg, static_cast<OrigClass>(cls));
+        const Gpr r = gpr_[dp->r2];
+        // t2 = bit index within the tag byte (R's NaT propagates)
+        uint64_t t2v = byteGran ? (r.val & 7) : ((r.val >> 3) & 7);
+        setGpr(dp->br, t2v, r.nat);
+        charge(cycleModel_.alu);
+        // t3 = mask immediate
+        uint64_t t3v = static_cast<uint64_t>(dp->imm);
+        setGpr(dp->r3, t3v, false);
+        charge(cycleModel_.alu);
+        // t3 <<= t2 (shift < 8)
+        t3v <<= t2v;
+        bool t3n = r.nat;
+        setGpr(dp->r3, t3v, t3n);
+        charge(cycleModel_.alu);
+        // ld1 t1, [t0]
+        const Gpr a = gpr_[static_cast<size_t>(dp->target)];
+        if (a.nat) {
+            archPcOverride_ = dp->origIndex + 3;
+            sync();
+            setFault(FaultKind::NatConsumption,
+                     cls == static_cast<unsigned>(OrigClass::ForStore)
+                         ? FaultContext::StoreAddress
+                         : FaultContext::LoadAddress,
+                     a.val, "load through a NaT (tainted) address");
+            SHIFT_STOPPED();
+        }
+        uint64_t t1v = 0;
+        MemFault mf = mem_.read(a.val, 1, t1v);
+        if (mf != MemFault::None) {
+            archPcOverride_ = dp->origIndex + 3;
+            sync();
+            setFault(FaultKind::IllegalAddress, FaultContext::LoadAddress,
+                     a.val, "load from illegal address");
+            SHIFT_STOPPED();
+        }
+        bool t1n = false;
+        setGpr(dp->r1, t1v, t1n);
+        ++loadCount_;
+        statIdx = idxMem;
+        charge(cycleModel_.loadBase);
+        uint64_t extra = dcache_.access(a.val) ? cycleModel_.loadHit
+                                               : cycleModel_.loadMiss;
+        cycles += extra;
+        cyFlat[idxMem] += extra;
+        // (pSet) or t1,t1,t3 — stalls on the just-loaded t1 when it
+        // executes; occupies a nullified slot otherwise (which also
+        // clears the stall window for the andcm, as in the unfused
+        // stream).
+        statIdx = idxReg;
+        if (pred_[dp->p1]) {
+            cycles += cycleModel_.loadUseStall;
+            stallCycles_ += cycleModel_.loadUseStall;
+            cyFlat[idxReg] += cycleModel_.loadUseStall;
+            t1v |= t3v;
+            t1n = t1n || t3n;
+            setGpr(dp->r1, t1v, t1n);
+            charge(cycleModel_.alu);
+        } else {
+            charge(cycleModel_.nullified);
+        }
+        // (pClr) andcm t1,t1,t3
+        if (pred_[dp->p2]) {
+            t1v &= ~t3v;
+            t1n = t1n || t3n;
+            setGpr(dp->r1, t1v, t1n);
+            charge(cycleModel_.alu);
+        } else {
+            charge(cycleModel_.nullified);
+        }
+        // st1 [t0] = t1 (t0 known clean — the ld above would have
+        // faulted; a NaT source is the unfused stream's plain-store
+        // policy fault)
+        if (t1n) {
+            archPcOverride_ = dp->origIndex + 6;
+            sync();
+            setFault(FaultKind::NatConsumption, FaultContext::StoreValue,
+                     a.val, "plain store of a NaT source register");
+            SHIFT_STOPPED();
+        }
+        mf = mem_.write(a.val, 1, t1v);
+        if (mf != MemFault::None) {
+            archPcOverride_ = dp->origIndex + 6;
+            sync();
+            setFault(FaultKind::IllegalAddress,
+                     FaultContext::StoreAddress, a.val,
+                     "store to illegal address");
+            SHIFT_STOPPED();
+        }
+        ++storeCount_;
+        statIdx = idxMem;
+        charge(cycleModel_.storeBase);
+        extra = dcache_.access(a.val) ? 0 : cycleModel_.storeMiss;
+        cycles += extra;
+        cyFlat[idxMem] += extra;
+        if (byteGran) {
+            // shr t3, t3, 8
+            statIdx = idxAddr;
+            t3v >>= 8;
+            setGpr(dp->r3, t3v, t3n);
+            charge(cycleModel_.alu);
+            // add t2 = t0 + 1
+            uint64_t hiAddr = a.val + 1;
+            setGpr(dp->br, hiAddr, false);
+            charge(cycleModel_.alu);
+            // ld1 t1, [t2]
+            mf = mem_.read(hiAddr, 1, t1v);
+            if (mf != MemFault::None) {
+                archPcOverride_ = dp->origIndex + 9;
+                sync();
+                setFault(FaultKind::IllegalAddress,
+                         FaultContext::LoadAddress, hiAddr,
+                         "load from illegal address");
+                SHIFT_STOPPED();
+            }
+            t1n = false;
+            setGpr(dp->r1, t1v, t1n);
+            ++loadCount_;
+            statIdx = idxMem;
+            charge(cycleModel_.loadBase);
+            extra = dcache_.access(hiAddr) ? cycleModel_.loadHit
+                                           : cycleModel_.loadMiss;
+            cycles += extra;
+            cyFlat[idxMem] += extra;
+            // (pSet) or / (pClr) andcm on the high half
+            statIdx = idxReg;
+            if (pred_[dp->p1]) {
+                cycles += cycleModel_.loadUseStall;
+                stallCycles_ += cycleModel_.loadUseStall;
+                cyFlat[idxReg] += cycleModel_.loadUseStall;
+                t1v |= t3v;
+                t1n = t1n || t3n;
+                setGpr(dp->r1, t1v, t1n);
+                charge(cycleModel_.alu);
+            } else {
+                charge(cycleModel_.nullified);
+            }
+            if (pred_[dp->p2]) {
+                t1v &= ~t3v;
+                t1n = t1n || t3n;
+                setGpr(dp->r1, t1v, t1n);
+                charge(cycleModel_.alu);
+            } else {
+                charge(cycleModel_.nullified);
+            }
+            // st1 [t2] = t1
+            if (t1n) {
+                archPcOverride_ = dp->origIndex + 12;
+                sync();
+                setFault(FaultKind::NatConsumption,
+                         FaultContext::StoreValue, hiAddr,
+                         "plain store of a NaT source register");
+                SHIFT_STOPPED();
+            }
+            mf = mem_.write(hiAddr, 1, t1v);
+            if (mf != MemFault::None) {
+                archPcOverride_ = dp->origIndex + 12;
+                sync();
+                setFault(FaultKind::IllegalAddress,
+                         FaultContext::StoreAddress, hiAddr,
+                         "store to illegal address");
+                SHIFT_STOPPED();
+            }
+            ++storeCount_;
+            statIdx = idxMem;
+            charge(cycleModel_.storeBase);
+            extra = dcache_.access(hiAddr) ? 0 : cycleModel_.storeMiss;
+            cycles += extra;
+            cyFlat[idxMem] += extra;
+        }
+        ++pc;
+        SHIFT_NEXT_FAST();
+    }
 
 #if SHIFT_THREADED_DISPATCH
 stepLimitHit:

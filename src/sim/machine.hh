@@ -173,8 +173,13 @@ class Machine
     /** Install the NaT-fault-to-alert converter (security monitor). */
     void setNatFaultHandler(NatFaultHandler fn) { natFault_ = std::move(fn); }
 
-    /** Install an instruction trace hook (debugging aid). */
-    void setTraceHook(TraceFn fn) { trace_ = std::move(fn); }
+    /**
+     * Install an instruction trace hook (debugging aid). On the
+     * predecoded engine this re-decodes the program without macro-op
+     * fusion (before the run only), so the hook sees every
+     * architectural instruction individually.
+     */
+    void setTraceHook(TraceFn fn);
 
     /** Raise a software security alert (H1-H5); kill stops the run. */
     void raiseAlert(SecurityAlert alert, bool kill);
@@ -312,6 +317,15 @@ class Machine
 
     int curFunc_ = -1;
     uint64_t pc_ = 0;
+    /**
+     * Architectural pc of the faulting constituent when a fault is
+     * raised from inside a fused macro micro-op (whose own origIndex
+     * only names its first constituent); -1 otherwise. Set just
+     * before setFault and left in place — setFault always stops the
+     * machine, and the legacy engine's pc likewise stays on the
+     * faulting instruction.
+     */
+    int64_t archPcOverride_ = -1;
     std::vector<Frame> callStack_;
 
     // Label position tables: labelPos_[func][label] = instruction index.

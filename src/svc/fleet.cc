@@ -62,6 +62,17 @@ Fleet::serve(const std::vector<FleetJob> &jobs)
             jr.responses = clone->os().responses();
             jr.cowPages = clone->machine().memory().cowCopies();
 
+            if (options_.reference) {
+                std::unique_ptr<SessionClone> ref =
+                    options_.reference->instantiate();
+                for (const std::string &request : job->requests)
+                    ref->os().queueConnection(request);
+                RunResult refResult = ref->run();
+                jr.savedSimCycles =
+                    static_cast<int64_t>(refResult.cycles) -
+                    static_cast<int64_t>(jr.result.cycles);
+            }
+
             aggregate.merge(jr.result.stats);
             std::lock_guard<std::mutex> lock(resultsMutex);
             results.push_back(std::move(jr));
@@ -83,6 +94,7 @@ Fleet::serve(const std::vector<FleetJob> &jobs)
     FleetReport report;
     report.hostSeconds = secondsSince(serveStart);
     report.stats = aggregate.snapshot();
+    report.optStats = tmpl_->optStats();
 
     std::sort(results.begin(), results.end(),
               [](const FleetJobResult &a, const FleetJobResult &b) {
@@ -98,6 +110,7 @@ Fleet::serve(const std::vector<FleetJob> &jobs)
         report.detections += jr.result.alerts.size();
         report.allOk = report.allOk && jr.result.ok();
         report.totalSimCycles += jr.result.cycles;
+        report.totalSavedSimCycles += jr.savedSimCycles;
         size_t n = std::max<size_t>(jr.responses.size(), 1);
         for (size_t i = 0; i < n; ++i)
             latencies.push_back(jr.result.cycles / n);

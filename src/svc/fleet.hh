@@ -47,6 +47,12 @@ struct FleetJobResult
     uint64_t cowPages = 0;  ///< pages this clone dirtied (COW copies)
     double forkSeconds = 0; ///< host time to instantiate the clone
     double runSeconds = 0;  ///< host time to simulate the job
+    /**
+     * Simulated cycles the instrumentation optimizer saved on this
+     * job: reference-template cycles minus this clone's cycles.
+     * Zero unless FleetOptions::reference is set.
+     */
+    int64_t savedSimCycles = 0;
 };
 
 struct FleetOptions
@@ -54,6 +60,15 @@ struct FleetOptions
     unsigned workers = 4;
     /** Queue bound; 0 picks 2x workers. */
     size_t queueCapacity = 0;
+    /**
+     * Optional measurement twin: a template built from the same
+     * sources and options but with the optimizer off. When set, every
+     * job is replayed on a reference clone and the cycle delta lands
+     * in FleetJobResult::savedSimCycles (host cost doubles; leave
+     * null for production serving). Provision both templates
+     * identically or the deltas are meaningless.
+     */
+    SessionTemplate *reference = nullptr;
 };
 
 /** Aggregate over every job the fleet served. */
@@ -73,6 +88,14 @@ struct FleetReport
 
     double hostSeconds = 0;
     double requestsPerHostSecond = 0;
+
+    /**
+     * Static optimizer counters from the template build (all zero
+     * when the optimizer was off).
+     */
+    OptStats optStats;
+    /** Sum of per-job savedSimCycles (0 without a reference twin). */
+    int64_t totalSavedSimCycles = 0;
 
     /** Counter-wise sum of every clone's detailed stats. */
     StatSet stats;

@@ -560,7 +560,8 @@ attackScenarios()
 
 AttackRun
 runAttackScenario(const AttackScenario &scenario, bool exploit,
-                  Granularity granularity, ExecEngine engine)
+                  Granularity granularity, ExecEngine engine,
+                  OptimizerOptions optimize)
 {
     SessionOptions options;
     options.mode = TrackingMode::Shift;
@@ -568,6 +569,7 @@ runAttackScenario(const AttackScenario &scenario, bool exploit,
     options.policy.granularity = granularity;
     options.engine = engine;
     options.instr.relaxLoadFunctions = scenario.relaxLoadFunctions;
+    options.optimize = optimize;
 
     Session session(scenario.source, options);
     if (exploit)

@@ -53,11 +53,14 @@ struct AttackRun
 
 /**
  * Run a scenario under SHIFT at the given granularity. With
- * `exploit` false this is the false-positive check.
+ * `exploit` false this is the false-positive check. `optimize`
+ * applies the post-instrumentation optimizer (detection must be
+ * unchanged; the differential suite leans on this).
  */
 AttackRun runAttackScenario(const AttackScenario &scenario, bool exploit,
                             Granularity granularity,
-                            ExecEngine engine = ExecEngine::Predecoded);
+                            ExecEngine engine = ExecEngine::Predecoded,
+                            OptimizerOptions optimize = {});
 
 /** All eight scenarios, in the paper's table order. */
 const std::vector<AttackScenario> &attackScenarios();

@@ -175,6 +175,7 @@ runHttpd(const HttpdConfig &config)
 {
     SessionOptions options = httpdSessionOptions(
         config.mode, config.granularity, config.features, config.engine);
+    options.optimize = config.optimize;
 
     Session session(kHttpdSource, options);
     provisionHttpdOs(session.os(), config.fileSize);
@@ -215,6 +216,7 @@ makeHttpdTemplate(const HttpdFleetConfig &config)
 {
     SessionOptions options = httpdSessionOptions(
         config.mode, config.granularity, config.features, config.engine);
+    options.optimize = config.optimize;
     auto tmpl = std::make_unique<SessionTemplate>(
         std::string(kHttpdSource), std::move(options));
     provisionHttpdOs(tmpl->os(), config.fileSize);

@@ -33,6 +33,7 @@ struct HttpdConfig
     Granularity granularity = Granularity::Byte;
     CpuFeatures features;
     ExecEngine engine = ExecEngine::Predecoded;
+    OptimizerOptions optimize;     ///< post-instrumentation optimizer
     uint64_t fileSize = 4 * 1024;  ///< served file size in bytes
     int requests = 50;             ///< number of requests to serve
 };
@@ -86,6 +87,7 @@ struct HttpdFleetConfig
     Granularity granularity = Granularity::Byte;
     CpuFeatures features;
     ExecEngine engine = ExecEngine::Predecoded;
+    OptimizerOptions optimize;     ///< post-instrumentation optimizer
     uint64_t fileSize = 4 * 1024;
     int jobs = 8;            ///< clones forked (one per job)
     int requestsPerJob = 4;  ///< connections each clone serves

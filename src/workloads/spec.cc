@@ -984,6 +984,7 @@ runSpecKernel(const SpecKernel &kernel, const SpecRunConfig &config)
     options.engine = config.engine;
     options.instr.relaxLoadFunctions = kernel.relaxLoadFunctions;
     options.instr.relaxStoreFunctions = kernel.relaxStoreFunctions;
+    options.optimize = config.optimize;
 
     Session session(kernel.source, options);
     int scale = config.scale > 0 ? config.scale : kernel.defaultScale;
@@ -991,6 +992,7 @@ runSpecKernel(const SpecKernel &kernel, const SpecRunConfig &config)
 
     SpecRun run;
     run.instrStats = session.instrStats();
+    run.optStats = session.optStats();
     run.staticSize = session.program().staticInstrCount();
     auto start = std::chrono::steady_clock::now();
     run.result = session.run();

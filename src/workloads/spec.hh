@@ -56,6 +56,7 @@ struct SpecRunConfig
     bool taintInput = true;   ///< unsafe (tainted) vs safe input
     CpuFeatures features;     ///< architectural enhancements
     ExecEngine engine = ExecEngine::Predecoded;
+    OptimizerOptions optimize; ///< post-instrumentation optimizer
     int scale = 0;            ///< 0 = kernel default
 };
 
@@ -64,6 +65,7 @@ struct SpecRun
 {
     RunResult result;
     InstrumentStats instrStats;
+    OptStats optStats;        ///< optimizer counters (zero when off)
     uint64_t staticSize = 0;  ///< static instructions after passes
     /**
      * Host wall-clock seconds spent inside Machine::run() alone —

@@ -1,0 +1,263 @@
+/**
+ * @file
+ * Fused taint micro-op tests.
+ *
+ * The predecoder collapses the instrumenter's canonical idioms (the
+ * tag-address fold, the 4/9-instruction bitmap checks, the spill/
+ * reload NaT purge, the bitmap RMW store update) into single Fused*
+ * micro-ops. This suite pins the contract:
+ *
+ *  - instrumented programs actually fuse (the idioms are recognized at
+ *    both granularities, and `fuse = false` keeps a one-to-one
+ *    stream);
+ *  - the fused engine is observationally identical to the legacy
+ *    stepper on instrumented programs, including NaT-consumption
+ *    faults whose architectural pc lies INSIDE a fused group (the
+ *    store-update's tag-bitmap load is constituent 3 of a 13-wide
+ *    group);
+ *  - trace hooks see every architectural instruction individually
+ *    (setTraceHook re-decodes without fusion).
+ */
+
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "runtime/session.hh"
+#include "session_helpers.hh"
+#include "sim/decoded.hh"
+
+namespace shift
+{
+namespace
+{
+
+/** Constituent count of each fused micro-op (architectural instrs). */
+int
+fusedWidth(Opcode op)
+{
+    switch (op) {
+      case Opcode::FusedTagAddr:
+        return 4;
+      case Opcode::FusedChkByte:
+        return 9;
+      case Opcode::FusedChkWord:
+        return 4;
+      case Opcode::FusedClearNat:
+        return 3;
+      case Opcode::FusedStUpdByte:
+        return 13;
+      case Opcode::FusedStUpdWord:
+        return 7;
+      default:
+        return 0;
+    }
+}
+
+/** Decode an instrumented program and count micro-ops per opcode. */
+std::map<Opcode, int>
+fusedCounts(const Program &program, bool fuse)
+{
+    DecodedProgram decoded;
+    Fault error;
+    EXPECT_TRUE(decodeProgram(program, decoded, error, fuse))
+        << error.detail;
+    std::map<Opcode, int> counts;
+    for (const DecodedFunction &fn : decoded.functions) {
+        for (const DecodedInstr &dp : fn.code) {
+            if (static_cast<size_t>(dp.op) >= kFirstFusedOpcode)
+                ++counts[dp.op];
+        }
+    }
+    return counts;
+}
+
+const char *kMixedSource =
+    "char buf[64];\n"
+    "int main() {\n"
+    "  int fd = open(\"input.dat\", 0);\n"
+    "  int n = read(fd, buf, 32);\n"
+    "  close(fd);\n"
+    "  long sum = 0;\n"
+    "  for (int i = 0; i < n; i++) {\n"
+    "    buf[i] = (char)(buf[i] + 1);\n"
+    "    sum += buf[i];\n"
+    "  }\n"
+    "  return (int)(sum & 127);\n"
+    "}\n";
+
+TEST(FusedDecode, ByteGranularityIdiomsFuse)
+{
+    Session session(kMixedSource,
+                    testutil::shiftOptions(Granularity::Byte));
+    const Program &program = session.program();
+
+    std::map<Opcode, int> fused = fusedCounts(program, true);
+    EXPECT_GT(fused[Opcode::FusedTagAddr], 0);
+    EXPECT_GT(fused[Opcode::FusedChkByte], 0);
+    EXPECT_GT(fused[Opcode::FusedStUpdByte], 0);
+    EXPECT_GT(fused[Opcode::FusedClearNat], 0);
+    EXPECT_EQ(fused[Opcode::FusedChkWord], 0);
+    EXPECT_EQ(fused[Opcode::FusedStUpdWord], 0);
+
+    std::map<Opcode, int> unfused = fusedCounts(program, false);
+    EXPECT_TRUE(unfused.empty());
+}
+
+TEST(FusedDecode, WordGranularityIdiomsFuse)
+{
+    Session session(kMixedSource,
+                    testutil::shiftOptions(Granularity::Word));
+    std::map<Opcode, int> fused = fusedCounts(session.program(), true);
+    EXPECT_GT(fused[Opcode::FusedTagAddr], 0);
+    EXPECT_GT(fused[Opcode::FusedChkWord], 0);
+    EXPECT_GT(fused[Opcode::FusedStUpdWord], 0);
+    EXPECT_EQ(fused[Opcode::FusedChkByte], 0);
+    EXPECT_EQ(fused[Opcode::FusedStUpdByte], 0);
+}
+
+// ---------------------------------------------------------------------
+// Engine equivalence with faults inside fused groups.
+// ---------------------------------------------------------------------
+
+struct FaultRun
+{
+    RunResult result;
+    Program program; ///< the instrumented program that ran
+};
+
+FaultRun
+runTainted(const std::string &source, Granularity granularity,
+           ExecEngine engine, const std::string &input)
+{
+    SessionOptions options = testutil::shiftOptions(granularity);
+    options.engine = engine;
+    Session session(source, options);
+    session.os().addFile("input.dat", input);
+    FaultRun run;
+    run.result = session.run();
+    run.program = session.program();
+    return run;
+}
+
+void
+expectSameAlert(const RunResult &legacy, const RunResult &pre,
+                const std::string &what)
+{
+    EXPECT_EQ(legacy.killedByPolicy, pre.killedByPolicy) << what;
+    EXPECT_EQ(legacy.instructions, pre.instructions) << what;
+    EXPECT_EQ(legacy.cycles, pre.cycles) << what;
+    ASSERT_EQ(legacy.alerts.size(), pre.alerts.size()) << what;
+    for (size_t i = 0; i < legacy.alerts.size(); ++i) {
+        EXPECT_EQ(legacy.alerts[i].policy, pre.alerts[i].policy) << what;
+        EXPECT_EQ(legacy.alerts[i].function, pre.alerts[i].function)
+            << what;
+        EXPECT_EQ(legacy.alerts[i].pc, pre.alerts[i].pc) << what;
+    }
+}
+
+/**
+ * True when `pc` in `function` lies strictly inside a fused group
+ * (i.e. it is a constituent other than the first, so the fault had to
+ * be raised from within a fused handler with an overridden pc).
+ */
+bool
+pcInsideFusedGroup(const Program &program, int functionIndex,
+                   uint64_t pc)
+{
+    DecodedProgram decoded;
+    Fault error;
+    if (!decodeProgram(program, decoded, error, true))
+        return false;
+    if (functionIndex < 0 ||
+        static_cast<size_t>(functionIndex) >= decoded.functions.size())
+        return false;
+    const DecodedFunction &fn = decoded.functions[functionIndex];
+    for (const DecodedInstr &dp : fn.code) {
+        int width = fusedWidth(dp.op);
+        if (width == 0)
+            continue;
+        uint64_t first = static_cast<uint64_t>(dp.origIndex);
+        if (pc > first && pc < first + width)
+            return true;
+    }
+    return false;
+}
+
+TEST(FusedFaults, TaintedLoadAddressMatchesLegacy)
+{
+    const char *source =
+        "int table[64];\n"
+        "int main() {\n"
+        "  char buf[8];\n"
+        "  int fd = open(\"input.dat\", 0);\n"
+        "  read(fd, buf, 8);\n"
+        "  int idx = buf[0];\n"
+        "  return table[idx];\n"
+        "}\n";
+    for (Granularity g : {Granularity::Byte, Granularity::Word}) {
+        FaultRun legacy =
+            runTainted(source, g, ExecEngine::Legacy, "\x05");
+        FaultRun pre =
+            runTainted(source, g, ExecEngine::Predecoded, "\x05");
+        ASSERT_TRUE(pre.result.killedByPolicy);
+        EXPECT_EQ(pre.result.alerts.back().policy, "L1");
+        expectSameAlert(legacy.result, pre.result, "load");
+    }
+}
+
+TEST(FusedFaults, TaintedStoreAddressFaultsInsideFusedGroup)
+{
+    const char *source =
+        "int table[64];\n"
+        "int main() {\n"
+        "  char buf[8];\n"
+        "  int fd = open(\"input.dat\", 0);\n"
+        "  read(fd, buf, 8);\n"
+        "  int idx = buf[0];\n"
+        "  table[idx] = 1;\n"
+        "  return 0;\n"
+        "}\n";
+    for (Granularity g : {Granularity::Byte, Granularity::Word}) {
+        FaultRun legacy =
+            runTainted(source, g, ExecEngine::Legacy, "\x07");
+        FaultRun pre =
+            runTainted(source, g, ExecEngine::Predecoded, "\x07");
+        ASSERT_TRUE(pre.result.killedByPolicy);
+        EXPECT_EQ(pre.result.alerts.back().policy, "L2");
+        expectSameAlert(legacy.result, pre.result, "store");
+
+        // The tag-bitmap load that consumed the NaT is an interior
+        // constituent of the fused store-update group: the alert's
+        // architectural pc must come from the handler's pc override.
+        const SecurityAlert &alert = pre.result.alerts.back();
+        EXPECT_TRUE(pcInsideFusedGroup(pre.program, alert.function,
+                                       alert.pc))
+            << alert.function << "+" << alert.pc;
+    }
+}
+
+// ---------------------------------------------------------------------
+// Trace hooks force the unfused stream.
+// ---------------------------------------------------------------------
+
+TEST(FusedTrace, TraceHookSeesEveryArchitecturalInstruction)
+{
+    Session session(kMixedSource,
+                    testutil::shiftOptions(Granularity::Byte));
+    session.os().addFile("input.dat", "trace-hook-check");
+
+    // The program fuses; the hook must still see one callback per
+    // architectural instruction (the machine re-decodes unfused).
+    EXPECT_FALSE(fusedCounts(session.program(), true).empty());
+
+    uint64_t traced = 0;
+    session.machine().setTraceHook(
+        [&traced](const Machine &, const Instr &) { ++traced; });
+    RunResult result = session.run();
+    EXPECT_TRUE(result.exited) << result.fault.detail;
+    EXPECT_EQ(traced, result.instructions);
+}
+
+} // namespace
+} // namespace shift

@@ -294,6 +294,7 @@ TEST(Instrument, TagAddressReuseShrinksAdjacentAccesses)
     // load's tag-address fold (paper section 6.4).
     const char *src = "void f(long *p) { *p = *p + 1; }";
     InstrumentOptions plain;
+    plain.reuseTagAddr = false;
     InstrumentStats plainStats;
     instrumented(src, plain, &plainStats);
 
@@ -313,6 +314,7 @@ TEST(Instrument, TagAddressReuseInvalidatedByRedefinition)
     const char *src =
         "void f(long *p, long *q) { *p = 1; p = q; *p = 2; }";
     InstrumentOptions plain;
+    plain.reuseTagAddr = false;
     InstrumentStats plainStats;
     instrumented(src, plain, &plainStats);
     InstrumentOptions cse;
@@ -320,6 +322,41 @@ TEST(Instrument, TagAddressReuseInvalidatedByRedefinition)
     InstrumentStats cseStats;
     instrumented(src, cse, &cseStats);
     EXPECT_EQ(cseStats.newSize, plainStats.newSize);
+}
+
+TEST(Instrument, TagAddressReuseInvalidatedByScratchClobber)
+{
+    // Hand-written assembly may legally write the instrumenter's kT0
+    // scratch (r27) between two accesses through the same pointer; a
+    // stale cached fold would then address the wrong bitmap byte. The
+    // cache must drop on a redefinition of the scratch itself, not
+    // only of the address register.
+    auto build = [](bool clobber) {
+        Program program;
+        Function fn;
+        fn.name = "f";
+        fn.code.push_back(makeSt(4, 5, 8));
+        if (clobber)
+            fn.code.push_back(makeMovi(reg::shiftTmp0, 99));
+        fn.code.push_back(makeSt(4, 6, 8));
+        Instr ret;
+        ret.op = Opcode::BrRet;
+        fn.code.push_back(ret);
+        program.addFunction(std::move(fn));
+        return program;
+    };
+    InstrumentOptions options;
+    options.reuseTagAddr = true;
+
+    Program reused = build(false);
+    instrumentProgram(reused, options);
+    Program clobbered = build(true);
+    instrumentProgram(clobbered, options);
+
+    // One fold carries two extr.u; the clobbered variant needs two
+    // folds, the clean one reuses the first.
+    EXPECT_EQ(countOp(reused.functions[0], Opcode::Extr), 2);
+    EXPECT_EQ(countOp(clobbered.functions[0], Opcode::Extr), 4);
 }
 
 TEST(Instrument, RejectsVirtualRegisters)
