@@ -1,0 +1,44 @@
+# Merge every BENCH_*.json in BENCH_DIR into one BENCH_trajectory.json
+# blob: {"generated": <epoch>, "benches": {"<name>": <contents>, ...}}.
+# Each bench binary owns its BENCH_<name>.json schema; this script only
+# aggregates, so charting tooling reads a single artifact per build.
+#
+#   cmake -DBENCH_DIR=/path/to/build -P bench/make_trajectory.cmake
+
+if(NOT DEFINED BENCH_DIR)
+    set(BENCH_DIR "${CMAKE_CURRENT_BINARY_DIR}")
+endif()
+
+file(GLOB bench_files "${BENCH_DIR}/BENCH_*.json")
+list(FILTER bench_files EXCLUDE REGEX "BENCH_trajectory\\.json$")
+list(SORT bench_files)
+
+if(NOT bench_files)
+    message(FATAL_ERROR
+        "bench-trajectory: no BENCH_*.json in ${BENCH_DIR} — run at "
+        "least one bench binary first (e.g. ./bench/bench_interp)")
+endif()
+
+string(TIMESTAMP now "%s" UTC)
+set(blob "{\n  \"generated\": ${now},\n  \"benches\": {\n")
+set(first TRUE)
+foreach(path IN LISTS bench_files)
+    get_filename_component(fname "${path}" NAME_WE)
+    string(REGEX REPLACE "^BENCH_" "" bench_name "${fname}")
+    file(READ "${path}" contents)
+    string(STRIP "${contents}" contents)
+    # Indent the nested document two levels for readability.
+    string(REPLACE "\n" "\n    " contents "${contents}")
+    if(NOT first)
+        string(APPEND blob ",\n")
+    endif()
+    set(first FALSE)
+    string(APPEND blob "    \"${bench_name}\": ${contents}")
+endforeach()
+string(APPEND blob "\n  }\n}\n")
+
+file(WRITE "${BENCH_DIR}/BENCH_trajectory.json" "${blob}")
+list(LENGTH bench_files count)
+message(STATUS
+    "bench-trajectory: merged ${count} bench file(s) into "
+    "${BENCH_DIR}/BENCH_trajectory.json")

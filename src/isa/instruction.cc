@@ -115,6 +115,10 @@ opcodeName(Opcode op)
       case Opcode::FusedClearNat: return "fused.clrnat";
       case Opcode::FusedStUpdByte: return "fused.stupd1";
       case Opcode::FusedStUpdWord: return "fused.stupd8";
+      case Opcode::FpEnter: return "fp.enter";
+      case Opcode::FpChkProbe: return "fp.chk";
+      case Opcode::FpStProbe: return "fp.stupd";
+      case Opcode::FpClrProbe: return "fp.clrnat";
     }
     return "???";
 }

@@ -124,10 +124,24 @@ enum class Opcode : uint8_t
     FusedClearNat,  ///< 3-instr spill/reload NaT purge
     FusedStUpdByte, ///< 13-instr byte-granularity bitmap RMW update
     FusedStUpdWord, ///< 7-instr word-granularity bitmap RMW update
+
+    // Fast-path micro-ops. These appear only in the dual-version fast
+    // block streams (see docs/FAST-PATH.md): each probe guards one
+    // elided check/update/purge against the hierarchical taint
+    // summary and deopts to the instrumented stream — at the elided
+    // group's own slow-stream pc, so no work is replayed — when the
+    // guard cannot prove the elision invisible. Probes charge zero
+    // simulated cycles: on the clean path the elided work never
+    // happens architecturally, and on deopt the slow stream charges
+    // it exactly once.
+    FpEnter,    ///< fast-block entry: hit counting + cold-block bail
+    FpChkProbe, ///< guards an elided bitmap check (byte or word)
+    FpStProbe,  ///< guards an elided bitmap RMW update
+    FpClrProbe, ///< guards an elided spill/reload NaT purge
 };
 
 /** One past the last opcode, for dispatch tables indexed by Opcode. */
-constexpr size_t kNumOpcodes = static_cast<size_t>(Opcode::FusedStUpdWord) + 1;
+constexpr size_t kNumOpcodes = static_cast<size_t>(Opcode::FpClrProbe) + 1;
 
 /** First fused micro-op; fused ops appear only in decoded streams. */
 constexpr size_t kFirstFusedOpcode = static_cast<size_t>(Opcode::FusedTagAddr);

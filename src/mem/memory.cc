@@ -38,6 +38,7 @@ Memory::snapshot() const
     tlbFlush();
     Snapshot snap;
     snap.pages_ = pages_;
+    snap.summary_ = summary_;
     return snap;
 }
 
@@ -45,6 +46,7 @@ void
 Memory::restore(const Snapshot &snap)
 {
     pages_ = snap.pages_;
+    summary_ = snap.summary_;
     tlbFlush();
 }
 

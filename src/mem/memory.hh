@@ -37,6 +37,7 @@
 #include <vector>
 
 #include "mem/address_space.hh"
+#include "mem/taint_summary.hh"
 
 namespace shift
 {
@@ -111,6 +112,14 @@ class Memory
     MemFault
     write(uint64_t addr, unsigned size, uint64_t value)
     {
+        // Taint-summary maintenance rides the store path, ahead of the
+        // fast/slow split so every route (TLB hit, COW fault, demand
+        // map, host-side TaintMap::setBit) is covered. Marking before
+        // the fault checks can over-mark on a write that then faults;
+        // the summary is conservative by contract, so that only costs
+        // a deopt, never soundness.
+        if (regionOf(addr) == kTagRegion && value != 0)
+            summary_.mark(addr, size);
         uint64_t off = addr & (kPageSize - 1);
         Page *page = tlbLookupWritable(addr >> kPageShift);
         if (page && off + size <= kPageSize) {
@@ -130,6 +139,11 @@ class Memory
     MemFault
     writeSpill(uint64_t addr, uint64_t value, bool nat)
     {
+        // No pass spills into the tag space, but the summary contract
+        // (dirty covers every nonzero bitmap byte) must hold for any
+        // program the machine can run.
+        if (regionOf(addr) == kTagRegion && value != 0)
+            summary_.mark(addr, 8);
         uint64_t off = addr & (kPageSize - 1);
         Page *page = tlbLookupWritable(addr >> kPageShift);
         if (page && off + 8 <= kPageSize) {
@@ -223,6 +237,13 @@ class Memory
       private:
         friend class Memory;
         std::unordered_map<uint64_t, std::shared_ptr<Page>> pages_;
+        /**
+         * Taint summary at capture time, by value. restore() adopts a
+         * private copy, so clones forked from one snapshot share no
+         * summary state — a clone dirtying a line never poisons a
+         * sibling's fast path.
+         */
+        TaintSummary summary_;
     };
 
     /** Capture the current address space by sharing every page. */
@@ -237,6 +258,12 @@ class Memory
 
     /** Pages copied by write-fault-time COW since construction. */
     uint64_t cowCopies() const { return cowCopies_; }
+
+    /**
+     * Hierarchical dirty bits over the tag space, maintained on the
+     * store path. The fast-path probes read it; nothing else should.
+     */
+    const TaintSummary &taintSummary() const { return summary_; }
 
   private:
     /**
@@ -385,6 +412,7 @@ class Memory
 
     std::unordered_map<uint64_t, std::shared_ptr<Page>> pages_;
     uint64_t cowCopies_ = 0;
+    TaintSummary summary_;
     // Mutable: a translation cache is transparent state, filled on the
     // const read paths too.
     mutable std::array<TlbEntry, kTlbEntries> tlb_{};

@@ -135,6 +135,7 @@ Session::build(const std::vector<std::string> &sources)
     // Machine + runtime wiring.
     machine_ = std::make_unique<Machine>(program_, options_.features,
                                          options_.engine);
+    machine_->setFastPathEnabled(options_.fastPath);
     policy_ = std::make_unique<PolicyEngine>(options_.policy);
     bool tracking = options_.mode != TrackingMode::None;
     if (tracking) {

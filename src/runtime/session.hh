@@ -59,6 +59,16 @@ struct SessionOptions
     bool includeStdlib = true;
     uint64_t maxSteps = 2'000'000'000ULL;
 
+    /**
+     * Run taint-clean superblocks through the dual-version fast tier
+     * (predecoded engine only; see docs/FAST-PATH.md). Off by default:
+     * the fast tier elides the taint instrumentation's architectural
+     * work on clean data, so simulated instruction/cycle counts drop
+     * relative to the always-instrumented stream — opt in where that
+     * is the point (serving fleets), leave off for cost-model studies.
+     */
+    bool fastPath = false;
+
     /** Apply the control-speculation optimizer before tracking. */
     bool speculate = false;
     minic::SpeculateOptions speculateOptions;

@@ -69,6 +69,7 @@ SessionClone::SessionClone(const SessionTemplate &tmpl, int cloneId)
     machine_ = std::make_unique<Machine>(tmpl.program_, *tmpl.snapshot_,
                                          tmpl.options_.features,
                                          tmpl.options_.engine);
+    machine_->setFastPathEnabled(tmpl.options_.fastPath);
     policy_ = std::make_unique<PolicyEngine>(tmpl.options_.policy);
     bool tracking = tmpl.options_.mode != TrackingMode::None;
     if (tracking) {

@@ -478,6 +478,555 @@ fuseFunction(DecodedFunction &df)
     in = std::move(out);
 }
 
+// ------------------------------------------------------------------
+// The taint-clean fast tier (docs/FAST-PATH.md).
+//
+// buildFastStream() partitions the fused slow stream into superblocks
+// (leaders: index 0, every Br/Chk target, the sentinel) and emits a
+// parallel fast stream: one FpEnter per block, kept instructions
+// copied one-to-one, and every elidable taint group — the decode-time
+// Fused* micro-ops plus the optimizer's narrowed remnants, which are
+// too irregular to fuse — replaced by a single summary probe. A probe
+// that cannot prove its group invisible deopts to the slow stream at
+// the group's own dense index, so kept instructions execute exactly
+// once in exactly one stream and nothing is replayed.
+//
+// The narrowed-remnant matchers below are the decoded-stream twins of
+// the optimizer's post-deletion shapes (src/opt/instr_opt.cc,
+// narrowAlignedAccesses): statIdx provenance plus field-exact
+// structure, so only instrumentation matches, never user code.
+// ------------------------------------------------------------------
+
+/**
+ * PR 3's narrowed byte-granularity check remnant. 5-instruction form
+ * (hi-byte window deleted): ld1 t1,[t0]; and t2=R,7; shr t1,t2;
+ * and t1,mask; cmp.ne pT=t1,0. 3-instruction form (shift provably 0):
+ * ld1 t1,[t0]; and t1,mask; cmp.ne pT=t1,0. Both read one bitmap byte.
+ */
+size_t
+matchNarrowedCheck(const std::vector<DecodedInstr> &c, size_t i,
+                   size_t limit, unsigned &t0, unsigned &R, uint8_t &pT)
+{
+    const DecodedInstr &l0 = c[i];
+    if (l0.op != Opcode::Ld || l0.qp != 0 || l0.size != 1 || l0.spec ||
+        l0.fill)
+        return 0;
+    if (provOf(l0) != Provenance::TagMem)
+        return 0;
+    unsigned t1 = l0.r1;
+    t0 = l0.r2;
+    OrigClass cls = clsOf(l0);
+    uint8_t sAddr =
+        static_cast<uint8_t>(statIndex(Provenance::TagAddr, cls));
+    uint8_t sReg =
+        static_cast<uint8_t>(statIndex(Provenance::TagReg, cls));
+
+    if (i + 5 <= limit) {
+        const DecodedInstr &a1 = c[i + 1];
+        const DecodedInstr &m4 = c[i + 4];
+        if (a1.op == Opcode::And && a1.useImm && a1.imm == 7 &&
+            a1.qp == 0 && a1.statIdx == sAddr) {
+            unsigned t2 = a1.r1;
+            R = a1.r2;
+            const DecodedInstr &a3 = c[i + 3];
+            if (distinct3(t0, t1, t2) && R != t0 && R != t1 && R != t2 &&
+                R != reg::zero &&
+                aluReg(c[i + 2], Opcode::Shr, t1, t1, t2) &&
+                c[i + 2].statIdx == sAddr && a3.op == Opcode::And &&
+                a3.useImm && a3.qp == 0 && a3.r1 == t1 && a3.r2 == t1 &&
+                a3.statIdx == sAddr && m4.op == Opcode::Cmp &&
+                m4.rel == CmpRel::Ne && m4.useImm && m4.imm == 0 &&
+                m4.qp == 0 && m4.r2 == t1 && m4.p2 == 0 && m4.p1 != 0 &&
+                m4.statIdx == sReg) {
+                pT = m4.p1;
+                return 5;
+            }
+        }
+    }
+    if (i + 3 <= limit) {
+        const DecodedInstr &a1 = c[i + 1];
+        const DecodedInstr &m2 = c[i + 2];
+        if (a1.op == Opcode::And && a1.useImm && a1.qp == 0 &&
+            a1.r1 == t1 && a1.r2 == t1 && a1.statIdx == sAddr &&
+            t0 != t1 && t0 != reg::zero && t1 != reg::zero &&
+            m2.op == Opcode::Cmp && m2.rel == CmpRel::Ne && m2.useImm &&
+            m2.imm == 0 && m2.qp == 0 && m2.r2 == t1 && m2.p2 == 0 &&
+            m2.p1 != 0 && m2.statIdx == sReg) {
+            R = reg::zero;
+            pT = m2.p1;
+            return 3;
+        }
+    }
+    return 0;
+}
+
+/**
+ * PR 3's narrowed byte-granularity store-update remnant. 7-instruction
+ * form (hi half deleted): and t2=R,7; movi t3=mask; shl t3,t2;
+ * ld1 t1,[t0]; (pSet) or t1,t3; (pClr) andcm t1,t3; st1 [t0]=t1.
+ * 5-instruction form (shift provably 0 deletes the and/shl too). Both
+ * touch one bitmap byte. A canonical 13-group that merely failed to
+ * fuse (interior branch target) starts identically; it is told apart
+ * by its continuation (shr t3,t3,8) and left alone.
+ */
+size_t
+matchNarrowedUpd(const std::vector<DecodedInstr> &c, size_t i,
+                 size_t limit, unsigned &t0, unsigned &R, uint8_t &pSet)
+{
+    if (i >= limit)
+        return 0;
+    const DecodedInstr &m0 = c[i];
+    if (provOf(m0) != Provenance::TagAddr || m0.qp != 0 || !m0.useImm)
+        return 0;
+    OrigClass cls = clsOf(m0);
+    uint8_t sAddr = m0.statIdx;
+    uint8_t sMem =
+        static_cast<uint8_t>(statIndex(Provenance::TagMem, cls));
+    uint8_t sReg =
+        static_cast<uint8_t>(statIndex(Provenance::TagReg, cls));
+
+    auto matchRmw = [&](size_t j, unsigned t3, unsigned &outT0,
+                        uint8_t &outPSet) -> bool {
+        // ld1 t1,[t0]; (pSet) or t1,t3; (pClr) andcm t1,t3; st1 [t0]=t1
+        if (j + 4 > limit)
+            return false;
+        const DecodedInstr &ld = c[j];
+        if (!(ld.op == Opcode::Ld && ld.qp == 0 && ld.size == 1 &&
+              !ld.spec && !ld.fill && ld.statIdx == sMem))
+            return false;
+        unsigned t1 = ld.r1, a = ld.r2;
+        if (!distinct3(t1, t3, a))
+            return false;
+        const DecodedInstr &o = c[j + 1];
+        const DecodedInstr &an = c[j + 2];
+        if (!(o.op == Opcode::Or && !o.useImm && o.r1 == t1 &&
+              o.r2 == t1 && o.r3 == t3 && o.qp != 0 &&
+              o.statIdx == sReg))
+            return false;
+        if (!(an.op == Opcode::Andcm && !an.useImm && an.r1 == t1 &&
+              an.r2 == t1 && an.r3 == t3 && an.qp != 0 &&
+              an.qp != o.qp && an.statIdx == sReg))
+            return false;
+        if (!tagSt1(c[j + 3], a, t1) || c[j + 3].statIdx != sMem)
+            return false;
+        outT0 = a;
+        outPSet = o.qp;
+        return true;
+    };
+
+    if (m0.op == Opcode::And && m0.imm == 7) {
+        // 7-form; reject when it is really a canonical 13-group prefix.
+        if (i + 7 > limit)
+            return 0;
+        unsigned t2 = m0.r1;
+        R = m0.r2;
+        const DecodedInstr &m1 = c[i + 1];
+        if (!(m1.op == Opcode::Movi && m1.useImm && m1.qp == 0 &&
+              m1.statIdx == sAddr))
+            return 0;
+        unsigned t3 = m1.r1;
+        if (!aluReg(c[i + 2], Opcode::Shl, t3, t3, t2) ||
+            c[i + 2].statIdx != sAddr || !distinct3(t2, t3, R))
+            return 0;
+        if (!matchRmw(i + 3, t3, t0, pSet))
+            return 0;
+        if (t0 == t2 || t0 == R)
+            return 0;
+        if (i + 7 < c.size() && aluImm(c[i + 7], Opcode::Shr, t3, t3, 8) &&
+            c[i + 7].statIdx == sAddr)
+            return 0; // canonical 13-group that failed to fuse
+        return 7;
+    }
+    if (m0.op == Opcode::Movi) {
+        // 5-form: the mask is pre-shifted, no address bits consumed.
+        if (i + 5 > limit)
+            return 0;
+        unsigned t3 = m0.r1;
+        if (t3 == reg::zero)
+            return 0;
+        if (!matchRmw(i + 1, t3, t0, pSet))
+            return 0;
+        R = reg::zero;
+        return 5;
+    }
+    return 0;
+}
+
+/** Ops whose r1 is a pure destination (no read of the old value). */
+bool
+writesR1(const DecodedInstr &d)
+{
+    switch (d.op) {
+      case Opcode::Add: case Opcode::Sub: case Opcode::Mul:
+      case Opcode::Div: case Opcode::Mod: case Opcode::DivU:
+      case Opcode::ModU: case Opcode::And: case Opcode::Andcm:
+      case Opcode::Or: case Opcode::Xor: case Opcode::Shl:
+      case Opcode::Shr: case Opcode::Sar: case Opcode::Sxt:
+      case Opcode::Zxt: case Opcode::Extr: case Opcode::Shladd:
+      case Opcode::Mov: case Opcode::Movi: case Opcode::Ld:
+      case Opcode::MovFromBr: case Opcode::MovFromUnat:
+        return true;
+      default:
+        return false;
+    }
+}
+
+/**
+ * Might the tag-address register `t0` be read in c[j, blockEnd)
+ * before an unconditional redefinition? Decides whether a
+ * FusedTagAddr can be elided together with its probed consumer: the
+ * instrumenter's reuseTagAddr CSE (src/core/instrument.cc) can
+ * forward one fold's t0 to later groups, but its cache dies at
+ * labels, branches, calls, checks and syscalls — exactly the points
+ * below — and never crosses a superblock leader, so this block-local
+ * scan is exact for instrumenter output and conservative (via the
+ * precomputed use masks) for anything hand-written.
+ */
+bool
+tagAddrLiveAfter(const std::vector<DecodedInstr> &c, size_t j,
+                 size_t blockEnd, unsigned t0)
+{
+    for (; j < blockEnd; ++j) {
+        const DecodedInstr &d = c[j];
+        switch (d.op) {
+          case Opcode::FusedTagAddr:
+            if (d.r2 == t0)
+                return true;
+            if (d.r1 == t0 || d.r3 == t0)
+                return false;
+            continue;
+          case Opcode::FusedChkByte:
+          case Opcode::FusedChkWord:
+            if (d.br == t0 || d.r2 == t0)
+                return true;
+            if (d.r1 == t0 || d.r3 == t0)
+                return false;
+            continue;
+          case Opcode::FusedStUpdByte:
+          case Opcode::FusedStUpdWord:
+            if (d.target == static_cast<int32_t>(t0) || d.r2 == t0)
+                return true;
+            if (d.r1 == t0 || d.r3 == t0 || d.br == t0)
+                return false;
+            continue;
+          case Opcode::FusedClearNat:
+            // Purges r1's NaT but keeps its value: a read-modify-write.
+            if (d.r1 == t0 || d.r2 == t0)
+                return true;
+            if (d.r3 == t0)
+                return false;
+            continue;
+          default:
+            break;
+        }
+        // chk.s reads its operand's NaT but carries a zero stall mask.
+        if (d.op == Opcode::Chk && d.r2 == t0)
+            return true;
+        if ((d.useMask >> (t0 & 63)) & 1)
+            return true;
+        if (d.op == Opcode::Br || d.op == Opcode::Chk ||
+            d.op == Opcode::BrCall || d.op == Opcode::BrCalli ||
+            d.op == Opcode::BrRet || d.op == Opcode::Syscall)
+            return false; // reuseTagAddr cache reset point
+        if (d.qp == 0 && writesR1(d) && d.r1 == t0)
+            return false;
+    }
+    return false; // dead at the next leader (cache reset at its label)
+}
+
+/**
+ * The load retaint glue: `(pT) add r = r, natSrc`, nullified whenever
+ * the preceding bitmap check came up clean.
+ */
+bool
+isRetaint(const DecodedInstr &d, uint8_t pT, unsigned r)
+{
+    return d.op == Opcode::Add && !d.useImm && d.qp == pT &&
+           d.r1 == r && d.r2 == r && d.r3 == reg::natSrc &&
+           provOf(d) == Provenance::TagReg;
+}
+
+/**
+ * Build `df.fast`/`df.fastEntry` for one function and append its
+ * superblocks to `prog.fastBlocks`. No-op (fast left empty) when the
+ * function contains nothing elidable.
+ */
+void
+buildFastStream(DecodedProgram &prog, size_t funcIdx)
+{
+    DecodedFunction &df = prog.functions[funcIdx];
+    const std::vector<DecodedInstr> &c = df.code; // sentinel included
+    const size_t n = c.size();
+    if (n < 2)
+        return;
+
+    std::vector<uint8_t> leader(n, 0);
+    leader[0] = 1;
+    leader[n - 1] = 1; // the sentinel chains like any branch target
+    for (const DecodedInstr &d : c) {
+        if ((d.op == Opcode::Br || d.op == Opcode::Chk) && d.target >= 0)
+            leader[static_cast<size_t>(d.target)] = 1;
+    }
+
+    std::vector<DecodedInstr> fast;
+    fast.reserve(n + n / 4);
+    std::vector<int32_t> fastEntry(n, -1);
+    std::vector<FastBlockInfo> blocks;
+    size_t probes = 0;
+
+    std::vector<DecodedInstr> body; // one block's fast twin
+    size_t i = 0;
+    while (i < n) {
+        size_t blockEnd = i + 1;
+        while (blockEnd < n && !leader[blockEnd])
+            ++blockEnd;
+        fastEntry[i] = static_cast<int32_t>(fast.size());
+        if (c[i].op == Opcode::Label) {
+            // The fell-off-the-end sentinel needs no entry counting.
+            fast.push_back(c[i]);
+            i = blockEnd;
+            continue;
+        }
+        int32_t blockId =
+            static_cast<int32_t>(prog.fastBlocks.size() + blocks.size());
+        body.clear();
+        size_t blockProbes = 0;
+
+        // A clean check probe leaves the load's retaint glue
+        // permanently nullified; when the original load and its
+        // retaint directly follow the probed window, copy the load
+        // and drop the retaint from the fast twin (a deopt replays
+        // the slow twin, which still carries it). Returns the resume
+        // index.
+        auto elideRetaint = [&](size_t k2, uint8_t pT) -> size_t {
+            if (k2 + 1 < blockEnd && c[k2].op == Opcode::Ld &&
+                c[k2].qp == 0 && isRetaint(c[k2 + 1], pT, c[k2].r1)) {
+                body.push_back(c[k2]);
+                return k2 + 2;
+            }
+            return k2;
+        };
+
+        // The store guard `tnat pSet, pClr = src` directly precedes
+        // its update group (at most the shared tag-address fold in
+        // between — pure ALU, reads no predicates). Fold it into the
+        // store probe: the probe reads src's NaT from r3 and performs
+        // the Tnat's predicate writes itself, so the deopt pc — which
+        // sits after the Tnat — replays into exact predicate state.
+        // pClr != 0 singles out the store guard; the relax/compare
+        // Tnats write only one predicate.
+        auto elideTnat = [&](DecodedInstr &q, uint8_t pSet,
+                             uint8_t pClr) {
+            size_t at = body.size();
+            if (at && body[at - 1].op == Opcode::FusedTagAddr)
+                --at;
+            if (!at)
+                return;
+            const DecodedInstr &tn = body[at - 1];
+            if (tn.op != Opcode::Tnat || tn.qp != 0 || pClr == 0 ||
+                tn.p1 != pSet || tn.p2 != pClr)
+                return;
+            q.r3 = tn.r2; // the stored source register
+            q.pos = pClr;
+            q.p2 |= 2;
+            body.erase(body.begin() + static_cast<ptrdiff_t>(at - 1));
+        };
+
+        for (size_t k = i; k < blockEnd;) {
+            const DecodedInstr &d = c[k];
+            DecodedInstr p;
+            p.origIndex = d.origIndex;
+            p.target = static_cast<int32_t>(k); // deopt pc
+            p.callee = blockId;
+
+            // A tag-address fold feeding exactly one probed group
+            // whose t0 then dies is folded INTO the probe: the probe
+            // recomputes figure 4 from the data address host-side
+            // (p2 = 1) and a deopt replays from the fold's own pc, so
+            // the clean path pays one dispatch for the whole
+            // fold+check/update sequence.
+            if (d.op == Opcode::FusedTagAddr && k + 1 < blockEnd) {
+                const unsigned t0 = d.r1, R = d.r2;
+                const DecodedInstr &g = c[k + 1];
+                DecodedInstr q = p;
+                q.r2 = d.r2; // R: the data address
+                q.p2 = 1;    // data-address (fold-elided) mode
+                size_t glen = 0;
+                if ((g.op == Opcode::FusedChkByte ||
+                     g.op == Opcode::FusedChkWord) &&
+                    g.br == t0 && g.r2 == R &&
+                    d.pos == (g.op == Opcode::FusedChkByte ? 3u : 6u)) {
+                    q.op = Opcode::FpChkProbe;
+                    q.p1 = g.p1;
+                    q.size = g.op == Opcode::FusedChkByte ? 2 : 1;
+                    glen = 1;
+                } else if ((g.op == Opcode::FusedStUpdByte ||
+                            g.op == Opcode::FusedStUpdWord) &&
+                           g.target == static_cast<int32_t>(t0) &&
+                           g.r2 == R &&
+                           d.pos ==
+                               (g.op == Opcode::FusedStUpdByte ? 3u
+                                                               : 6u)) {
+                    q.op = Opcode::FpStProbe;
+                    q.p1 = g.p1;
+                    q.size = g.op == Opcode::FusedStUpdByte ? 2 : 1;
+                    glen = 1;
+                } else if (d.pos == 3) {
+                    // Narrowed byte-granularity remnants read one
+                    // bitmap byte: byte fold, single-line probe
+                    // (size 3). The 3/5-instruction forms don't name
+                    // R; the t0 dataflow alone ties them to the fold.
+                    unsigned nt0 = 0, nR = 0;
+                    uint8_t pred = 0;
+                    if (size_t len = matchNarrowedCheck(
+                            c, k + 1, blockEnd, nt0, nR, pred)) {
+                        if (nt0 == t0 && (nR == R || nR == reg::zero)) {
+                            q.op = Opcode::FpChkProbe;
+                            q.p1 = pred;
+                            q.size = 3;
+                            glen = len;
+                        }
+                    } else if (size_t len = matchNarrowedUpd(
+                                   c, k + 1, blockEnd, nt0, nR, pred)) {
+                        if (nt0 == t0 && (nR == R || nR == reg::zero)) {
+                            q.op = Opcode::FpStProbe;
+                            q.p1 = pred;
+                            q.size = 3;
+                            glen = len;
+                        }
+                    }
+                }
+                if (glen != 0 &&
+                    !tagAddrLiveAfter(c, k + 1 + glen, blockEnd, t0)) {
+                    if (q.op == Opcode::FpStProbe && q.size != 3)
+                        elideTnat(q, g.p1, g.p2);
+                    body.push_back(q);
+                    ++blockProbes;
+                    k = k + 1 + glen;
+                    if (q.op == Opcode::FpChkProbe)
+                        k = elideRetaint(k, q.p1);
+                    continue;
+                }
+            }
+
+            switch (d.op) {
+              case Opcode::FusedChkByte:
+              case Opcode::FusedChkWord:
+                p.op = Opcode::FpChkProbe;
+                p.br = d.br;                      // t0: tag address
+                p.r2 = d.r2;                      // R: data address
+                p.p1 = d.p1;                      // kPTag
+                p.size = d.op == Opcode::FusedChkByte ? 2 : 1;
+                body.push_back(p);
+                ++blockProbes;
+                k = elideRetaint(k + 1, p.p1);
+                continue;
+              case Opcode::FusedStUpdByte:
+              case Opcode::FusedStUpdWord:
+                p.op = Opcode::FpStProbe;
+                p.br = static_cast<uint8_t>(d.target); // t0 (reg num)
+                p.r2 = d.r2;                           // R
+                p.p1 = d.p1;                           // pSet
+                p.size = d.op == Opcode::FusedStUpdByte ? 2 : 1;
+                elideTnat(p, d.p1, d.p2);
+                body.push_back(p);
+                ++blockProbes;
+                ++k;
+                continue;
+              case Opcode::FusedClearNat:
+                p.op = Opcode::FpClrProbe;
+                p.r1 = d.r1; // the purged register
+                p.r2 = d.r2; // spill base: a NaT base faults slow-side
+                body.push_back(p);
+                ++blockProbes;
+                ++k;
+                continue;
+              default:
+                break;
+            }
+            unsigned t0 = 0, R = 0;
+            uint8_t pred = 0;
+            if (size_t len =
+                    matchNarrowedCheck(c, k, blockEnd, t0, R, pred)) {
+                p.op = Opcode::FpChkProbe;
+                p.br = static_cast<uint8_t>(t0);
+                p.r2 = static_cast<uint16_t>(R);
+                p.p1 = pred;
+                p.size = 1; // narrowed groups read one bitmap byte
+                body.push_back(p);
+                ++blockProbes;
+                k = elideRetaint(k + len, p.p1);
+                continue;
+            }
+            if (size_t len =
+                    matchNarrowedUpd(c, k, blockEnd, t0, R, pred)) {
+                p.op = Opcode::FpStProbe;
+                p.br = static_cast<uint8_t>(t0);
+                p.r2 = static_cast<uint16_t>(R);
+                p.p1 = pred;
+                p.size = 1;
+                body.push_back(p);
+                ++blockProbes;
+                k += len;
+                continue;
+            }
+            body.push_back(d);
+            ++k;
+        }
+
+        if (blockProbes == 0) {
+            // Nothing in this twin can deopt, so FpEnter's hit
+            // counting and cold-bail check would be pure dispatch
+            // overhead: chain straight through a plain copy.
+            fast.insert(fast.end(), body.begin(), body.end());
+        } else {
+            // When a probe leads the block AND its deopt pc replays
+            // the whole block — the probed group starts at the block
+            // entry, or only the probe's own elided Tnat precedes it —
+            // the FpEnter merges into the probe (p2 bit 2): entry
+            // counting and the cold bail ride on the probe's dispatch.
+            DecodedInstr &h = body.front();
+            bool merged =
+                (h.op == Opcode::FpChkProbe ||
+                 h.op == Opcode::FpStProbe ||
+                 h.op == Opcode::FpClrProbe) &&
+                (h.target == static_cast<int32_t>(i) ||
+                 (h.target == static_cast<int32_t>(i) + 1 &&
+                  (h.p2 & 2)));
+            if (merged) {
+                h.p2 |= 4;
+            } else {
+                DecodedInstr enter;
+                enter.op = Opcode::FpEnter;
+                enter.callee = blockId;
+                enter.target = static_cast<int32_t>(i); // slow entry
+                enter.origIndex = c[i].origIndex;
+                fast.push_back(enter);
+            }
+            fast.insert(fast.end(), body.begin(), body.end());
+            blocks.push_back({static_cast<int32_t>(funcIdx),
+                              static_cast<int32_t>(i)});
+            probes += blockProbes;
+        }
+        i = blockEnd;
+    }
+
+    if (probes == 0)
+        return; // a probe-free fast tier is pure dispatch overhead
+
+    // Chain fast-stream control flow onto the fast stream itself.
+    // Every Br/Chk target is a leader, so the lookup always hits.
+    for (DecodedInstr &d : fast) {
+        if ((d.op == Opcode::Br || d.op == Opcode::Chk) && d.target >= 0)
+            d.target = fastEntry[static_cast<size_t>(d.target)];
+    }
+
+    df.fast = std::move(fast);
+    df.fastEntry = std::move(fastEntry);
+    prog.fastBlocks.insert(prog.fastBlocks.end(), blocks.begin(),
+                           blocks.end());
+}
+
 } // namespace
 
 bool
@@ -487,6 +1036,7 @@ decodeProgram(const Program &program, DecodedProgram &out, Fault &error,
     out.functions.clear();
     out.functions.resize(program.functions.size());
     out.builtinNames.clear();
+    out.fastBlocks.clear();
 
     // Name tables built once; emplace keeps the first definition, the
     // same one Program::findFunction's linear scan returns.
@@ -597,6 +1147,12 @@ decodeProgram(const Program &program, DecodedProgram &out, Fault &error,
         sentinel.op = Opcode::Label;
         sentinel.origIndex = static_cast<int32_t>(fn.code.size());
         df.code.push_back(sentinel);
+
+        // Pass 4: the dual-version fast tier. Tied to `fuse` for the
+        // same reason fusion is: trace hooks need the one-to-one
+        // stream, and the probes guard idioms the fused stream names.
+        if (fuse)
+            buildFastStream(out, f);
     }
     return true;
 }

@@ -114,6 +114,32 @@ struct DecodedFunction
     const Function *src = nullptr;
     std::vector<DecodedInstr> code;
     uint32_t origCount = 0; ///< src->code.size(), for end-of-function pcs
+
+    /**
+     * The taint-clean fast tier (see docs/FAST-PATH.md): a second,
+     * parallel stream in which every superblock of `code` has a twin
+     * whose bitmap checks/updates and NaT purges are replaced by
+     * Fp* summary probes. Fast-stream Br/Chk targets are retargeted
+     * onto the fast stream itself (block-to-block chaining); a failed
+     * probe deopts to `code` at the elided group's own index. Empty
+     * when the function has nothing to elide (running its fast twin
+     * would be pure dispatch overhead) or when fusion is off.
+     */
+    std::vector<DecodedInstr> fast;
+    /**
+     * Slow index -> fast index of that superblock's entry, -1 for
+     * non-leaders. Sized code.size() exactly when `fast` is nonempty.
+     * Every Br/Chk target and index 0 are leaders, so any slow-stream
+     * control transfer can promote into the fast tier here.
+     */
+    std::vector<int32_t> fastEntry;
+};
+
+/** Where one fast-tier superblock lives, for per-block counters. */
+struct FastBlockInfo
+{
+    int32_t function = 0; ///< index into DecodedProgram::functions
+    int32_t slowPc = 0;   ///< dense slow-stream index of the block head
 };
 
 /** A whole predecoded program. */
@@ -122,6 +148,12 @@ struct DecodedProgram
     std::vector<DecodedFunction> functions;
     /** Slot id -> callee name for BrCalls that are not user functions. */
     std::vector<std::string> builtinNames;
+    /**
+     * Every fast-tier superblock across all functions, indexed by the
+     * global block id carried in Fp* micro-ops (`callee` field). The
+     * Machine sizes its per-block hit/deopt counters from this.
+     */
+    std::vector<FastBlockInfo> fastBlocks;
 };
 
 /**

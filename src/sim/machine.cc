@@ -28,6 +28,13 @@ constexpr uint64_t kHeapGap = 1ULL << 20;
 constexpr uint64_t kHeapMax = 1ULL << 32;
 constexpr size_t kMaxCallDepth = 1 << 16;
 
+// Cold-block demotion: once a fast superblock has deopted this many
+// times AND deopts account for at least half its entries, its guards
+// are evidently failing for good (persistently tainted working set)
+// and the promotion sites stop handing it fast-tier entries instead
+// of paying a probe-and-deopt round trip forever.
+constexpr uint32_t kFpColdDeopts = 8;
+
 } // namespace
 
 Machine::Machine(const Program &program, CpuFeatures features,
@@ -46,6 +53,9 @@ Machine::Machine(const Program &program, CpuFeatures features,
         }
         decoded_ = std::move(decoded);
         builtinSlotFns_.assign(decoded_->builtinNames.size(), nullptr);
+        fpEnters_.assign(decoded_->fastBlocks.size(), 0);
+        fpDeopts_.assign(decoded_->fastBlocks.size(), 0);
+        fpCold_.assign(decoded_->fastBlocks.size(), 0);
     } else {
         resolveLabels();
         // The legacy stepper is the pre-change reference: it keeps
@@ -81,6 +91,9 @@ Machine::Machine(const Program &program, const MachineSnapshot &snap,
                      "legacy-engine machine?)");
         decoded_ = snap.decoded;
         builtinSlotFns_.assign(decoded_->builtinNames.size(), nullptr);
+        fpEnters_.assign(decoded_->fastBlocks.size(), 0);
+        fpDeopts_.assign(decoded_->fastBlocks.size(), 0);
+        fpCold_.assign(decoded_->fastBlocks.size(), 0);
     } else {
         resolveLabels();
         mem_.setTranslationCacheEnabled(false);
@@ -228,8 +241,9 @@ Machine::archPc() const
         static_cast<size_t>(curFunc_) >= decoded_->functions.size())
         return pc_;
     const DecodedFunction &df = decoded_->functions[curFunc_];
-    if (pc_ < df.code.size())
-        return static_cast<uint64_t>(df.code[pc_].origIndex);
+    const std::vector<DecodedInstr> &stream = inFast_ ? df.fast : df.code;
+    if (pc_ < stream.size())
+        return static_cast<uint64_t>(stream[pc_].origIndex);
     return df.origCount; // fell off the end
 }
 
@@ -272,6 +286,11 @@ Machine::setTraceHook(TraceFn fn)
         if (it != builtins_.end())
             builtinSlotFns_[i] = &it->second;
     }
+    // The unfused decode builds no fast streams; the fast tier simply
+    // never engages under a trace hook (fastEntry lookups all miss).
+    fpEnters_.assign(decoded_->fastBlocks.size(), 0);
+    fpDeopts_.assign(decoded_->fastBlocks.size(), 0);
+    fpCold_.assign(decoded_->fastBlocks.size(), 0);
 }
 
 void
@@ -598,9 +617,14 @@ Machine::doCall(int funcIndex)
                  "call stack overflow");
         return;
     }
-    callStack_.push_back(Frame{curFunc_, pc_ + 1});
+    // A builtin may call in from the fast tier: the return pc is then
+    // fast-stream-relative and the frame records which stream it
+    // indexes. The callee itself starts on the instrumented stream
+    // (its first taken branch can promote it back; see runDecoded).
+    callStack_.push_back(Frame{curFunc_, pc_ + 1, inFast_});
     curFunc_ = funcIndex;
     pc_ = 0;
+    inFast_ = false;
 }
 
 void
@@ -948,7 +972,15 @@ Machine::runDecoded(uint64_t maxSteps)
     if (stopped_)
         return; // construction-time decode failure: nothing to run
     const DecodedFunction *df = &decoded_->functions[curFunc_];
-    const DecodedInstr *code = df->code.data();
+    // Which of the function's two streams pc indexes (see
+    // docs/FAST-PATH.md): the instrumented `code` stream, or its
+    // taint-clean `fast` twin in which bitmap checks/updates are
+    // replaced by Fp* summary probes. Runs start on the instrumented
+    // stream; taken branches promote into the fast tier and failed
+    // probes deopt out of it.
+    bool inFast = inFast_;
+    const DecodedInstr *code =
+        inFast ? df->fast.data() : df->code.data();
     const DecodedInstr *dp = code;
     uint64_t pc = pc_;
     uint64_t cycles = 0; // delta not yet in cycles_
@@ -968,6 +1000,7 @@ Machine::runDecoded(uint64_t maxSteps)
 
     auto sync = [&] {
         pc_ = pc;
+        inFast_ = inFast;
         cycles_ += cycles;
         cycles = 0;
         instrs_ += instrs;
@@ -976,8 +1009,9 @@ Machine::runDecoded(uint64_t maxSteps)
     };
     auto resync = [&] {
         pc = pc_;
+        inFast = inFast_;
         df = &decoded_->functions[curFunc_];
-        code = df->code.data();
+        code = inFast ? df->fast.data() : df->code.data();
     };
     auto charge = [&](uint64_t cost) {
         cycles += cost;
@@ -999,6 +1033,18 @@ Machine::runDecoded(uint64_t maxSteps)
     auto shiftAmount = [](uint64_t v) {
         return v > 63 ? 64U : static_cast<unsigned>(v);
     };
+    // A superblock entry instruction is either a standalone FpEnter or
+    // a block-leading probe carrying the merged entry flag (p2 bit 2,
+    // see buildFastStream); cold (demoted) blocks are rejected at
+    // every promotion site.
+    auto coldHead = [&](const DecodedInstr &head) {
+        bool entry = head.op == Opcode::FpEnter ||
+                     ((head.op == Opcode::FpChkProbe ||
+                       head.op == Opcode::FpStProbe ||
+                       head.op == Opcode::FpClrProbe) &&
+                      (head.p2 & 4));
+        return entry && fpCold_[static_cast<uint32_t>(head.callee)];
+    };
     auto enterFunction = [&](int funcIndex) {
         charge(cycleModel_.call);
         if (callStack_.size() >= kMaxCallDepth) {
@@ -1007,11 +1053,52 @@ Machine::runDecoded(uint64_t maxSteps)
                      "call stack overflow");
             return;
         }
-        callStack_.push_back(Frame{curFunc_, pc + 1});
+        callStack_.push_back(Frame{curFunc_, pc + 1, inFast});
         curFunc_ = funcIndex;
         pc = 0;
         df = &decoded_->functions[curFunc_];
+        // Function entry is superblock 0's leader; enter the callee's
+        // fast twin directly when it has one (fastEntry[0] == 0),
+        // unless the entry superblock has been demoted.
+        inFast = fastEnabled_ && !df->fast.empty() &&
+                 !coldHead(df->fast[0]);
+        code = inFast ? df->fast.data() : df->code.data();
+    };
+    // A failed Fp* probe: count the deopt against the probe's
+    // superblock, demote the block to cold once deopts dominate its
+    // entries, and resume the instrumented stream at the elided
+    // group's own index (probes precede their group's side effects,
+    // so re-execution replays nothing).
+    auto probeDeopt = [&] {
+        uint32_t b = static_cast<uint32_t>(dp->callee);
+        ++fpDeoptTotal_;
+        uint32_t d = ++fpDeopts_[b];
+        if (d >= kFpColdDeopts && d * 2 >= fpEnters_[b])
+            fpCold_[b] = 1;
+        inFast = false;
+        pc = static_cast<uint64_t>(dp->target);
         code = df->code.data();
+    };
+    // A slow-stream taken branch whose target opens a fast twin
+    // promotes into the fast tier (every branch target is a leader,
+    // so the mapping always exists when `fast` is nonempty). Demoted
+    // (cold) superblocks are rejected here, at the promotion site, so
+    // a hot loop over tainted data settles in the instrumented stream
+    // instead of bouncing through FpEnter's bail on every back edge.
+    auto maybeFast = [&](uint64_t target) {
+        if (!inFast && fastEnabled_ && !df->fast.empty()) {
+            int32_t fe = df->fastEntry[target];
+            if (fe >= 0) {
+                if (coldHead(df->fast[fe])) {
+                    ++fpColdBails_;
+                    return target;
+                }
+                inFast = true;
+                code = df->fast.data();
+                return static_cast<uint64_t>(fe);
+            }
+        }
+        return target;
     };
 
 #if SHIFT_THREADED_DISPATCH
@@ -1031,6 +1118,7 @@ Machine::runDecoded(uint64_t maxSteps)
         &&L_Syscall, &&L_Halt,
         &&L_FusedTagAddr, &&L_FusedChkByte, &&L_FusedChkWord,
         &&L_FusedClearNat, &&L_FusedStUpdByte, &&L_FusedStUpdWord,
+        &&L_FpEnter, &&L_FpChkProbe, &&L_FpStProbe, &&L_FpClrProbe,
     };
     static_assert(sizeof(kJump) / sizeof(kJump[0]) == kNumOpcodes,
                   "dispatch table must cover every opcode");
@@ -1434,10 +1522,13 @@ nullified:
 
     SHIFT_OP(Chk)
         // Target linked at decode time; unresolved labels were
-        // rejected in the constructor.
+        // rejected in the constructor. Fast-stream targets were
+        // retargeted at decode time, so maybeFast is an identity
+        // there; on the instrumented stream it promotes into the
+        // taken target's fast twin.
         if (gpr_[dp->r2].nat) {
             charge(cycleModel_.branchTaken);
-            pc = static_cast<uint64_t>(dp->target);
+            pc = maybeFast(static_cast<uint64_t>(dp->target));
         } else {
             charge(cycleModel_.branch);
             ++pc;
@@ -1446,7 +1537,7 @@ nullified:
 
     SHIFT_OP(Br)
         charge(cycleModel_.branchTaken);
-        pc = static_cast<uint64_t>(dp->target);
+        pc = maybeFast(static_cast<uint64_t>(dp->target));
         SHIFT_NEXT_FAST();
 
     SHIFT_OP(BrCall)
@@ -1504,7 +1595,8 @@ nullified:
             curFunc_ = frame.function;
             pc = frame.returnPc;
             df = &decoded_->functions[curFunc_];
-            code = df->code.data();
+            inFast = frame.fast;
+            code = inFast ? df->fast.data() : df->code.data();
         }
         SHIFT_NEXT();
 
@@ -2019,19 +2111,173 @@ nullified:
         SHIFT_NEXT_FAST();
     }
 
+    // ----- taint-clean fast-tier micro-ops (see docs/FAST-PATH.md) ----
+    // Probes are free in the simulated cost model: they model the
+    // paper's speculative hardware, which resolves a clean check off
+    // the critical path, so a guarded superblock charges exactly its
+    // surviving (non-taint) instructions. All four ops exist only in
+    // fast streams and never fault; a failed guard deopts to the
+    // instrumented twin, which replays the full architectural
+    // semantics from the elided group's own pc.
+
+    SHIFT_OP(FpEnter) {
+        uint32_t b = static_cast<uint32_t>(dp->callee);
+        if (fpCold_[b]) {
+            ++fpColdBails_;
+            inFast = false;
+            pc = static_cast<uint64_t>(dp->target);
+            code = df->code.data();
+            SHIFT_NEXT_FAST();
+        }
+        ++fpEnters_[b];
+        ++fpEnteredTotal_;
+        ++pc;
+        SHIFT_NEXT_FAST();
+    }
+
+    SHIFT_OP(FpChkProbe) {
+        // Guards an elided bitmap check (FusedChkByte/Word or a
+        // narrowed remnant). Clean means the probed summary line(s)
+        // are clean and neither the tag address nor the checked
+        // register is NaT — then the check's only architectural
+        // effect is pT := false. p2 bit 0 marks a fold-elided probe:
+        // the FusedTagAddr went with the group, so the figure-4 fold
+        // is recomputed host-side from the data address in r2
+        // (size 1 = word fold + line, 2 = byte fold + pair,
+        // 3 = byte fold + line for narrowed one-byte windows).
+        // p2 bit 2: this probe leads its superblock and carries the
+        // merged FpEnter — entry counting and the cold-bail check ride
+        // here instead of costing a separate dispatch.
+        if (dp->p2 & 4) {
+            uint32_t b = static_cast<uint32_t>(dp->callee);
+            if (fpCold_[b]) {
+                ++fpColdBails_;
+                inFast = false;
+                pc = static_cast<uint64_t>(dp->target);
+                code = df->code.data();
+                SHIFT_NEXT_FAST();
+            }
+            ++fpEnters_[b];
+            ++fpEnteredTotal_;
+        }
+        const Gpr &a = gpr_[(dp->p2 & 1) ? dp->r2 : dp->br];
+        uint64_t t0v = a.val;
+        if (dp->p2 & 1) {
+            const unsigned ds = dp->size == 1 ? 6 : 3;
+            t0v = (((a.val >> kRegionShift) & 7)
+                   << (kImplementedBits - ds)) |
+                  ((a.val >> ds) & lowMask(kImplementedBits - ds));
+        } else if (gpr_[dp->r2].nat) {
+            probeDeopt();
+            SHIFT_NEXT_FAST();
+        }
+        if (a.nat ||
+            (dp->size == 2 ? mem_.taintSummary().pairDirty(t0v)
+                           : mem_.taintSummary().lineDirty(t0v))) {
+            probeDeopt();
+            SHIFT_NEXT_FAST();
+        }
+        setPred(dp->p1, false);
+        ++pc;
+        SHIFT_NEXT_FAST();
+    }
+
+    SHIFT_OP(FpStProbe) {
+        // Guards an elided bitmap RMW update. Elidable only when the
+        // store's source is clean (the update would clear
+        // already-zero bits) and the window is summary-clean. p2 bit
+        // 0 as in FpChkProbe: the tag-address fold rides in the
+        // probe. p2 bit 1: the source-NaT test (Tnat) rides in the
+        // probe too — it reads the source's NaT from r3 and performs
+        // the Tnat's own predicate writes up front, so the deopt
+        // target (which sits after the Tnat) replays into correct
+        // predicate state.
+        bool srcTaint;
+        if (dp->p2 & 2) {
+            srcTaint = gpr_[dp->r3].nat;
+            setPred(dp->p1, srcTaint);
+            setPred(dp->pos, !srcTaint);
+        } else {
+            srcTaint = pred_[dp->p1];
+        }
+        // Merged block entry (p2 bit 2), after the Tnat's predicate
+        // writes: a cold bail lands on the deopt pc, which sits after
+        // the elided Tnat, so the predicates must already be correct.
+        if (dp->p2 & 4) {
+            uint32_t b = static_cast<uint32_t>(dp->callee);
+            if (fpCold_[b]) {
+                ++fpColdBails_;
+                inFast = false;
+                pc = static_cast<uint64_t>(dp->target);
+                code = df->code.data();
+                SHIFT_NEXT_FAST();
+            }
+            ++fpEnters_[b];
+            ++fpEnteredTotal_;
+        }
+        const Gpr &a = gpr_[(dp->p2 & 1) ? dp->r2 : dp->br];
+        uint64_t t0v = a.val;
+        if (dp->p2 & 1) {
+            const unsigned ds = dp->size == 1 ? 6 : 3;
+            t0v = (((a.val >> kRegionShift) & 7)
+                   << (kImplementedBits - ds)) |
+                  ((a.val >> ds) & lowMask(kImplementedBits - ds));
+        } else if (gpr_[dp->r2].nat) {
+            probeDeopt();
+            SHIFT_NEXT_FAST();
+        }
+        if (a.nat || srcTaint ||
+            (dp->size == 2 ? mem_.taintSummary().pairDirty(t0v)
+                           : mem_.taintSummary().lineDirty(t0v))) {
+            probeDeopt();
+            SHIFT_NEXT_FAST();
+        }
+        ++pc;
+        SHIFT_NEXT_FAST();
+    }
+
+    SHIFT_OP(FpClrProbe) {
+        // Guards an elided spill/reload NaT purge: a clean register
+        // needs no purge (see docs/FAST-PATH.md for the accepted
+        // stack-scribble divergence). A NaT spill base faults on the
+        // instrumented stream, so it deopts here. p2 bit 2 as in
+        // FpChkProbe: the merged block entry rides on the probe.
+        if (dp->p2 & 4) {
+            uint32_t b = static_cast<uint32_t>(dp->callee);
+            if (fpCold_[b]) {
+                ++fpColdBails_;
+                inFast = false;
+                pc = static_cast<uint64_t>(dp->target);
+                code = df->code.data();
+                SHIFT_NEXT_FAST();
+            }
+            ++fpEnters_[b];
+            ++fpEnteredTotal_;
+        }
+        if (gpr_[dp->r1].nat || gpr_[dp->r2].nat) {
+            probeDeopt();
+            SHIFT_NEXT_FAST();
+        }
+        ++pc;
+        SHIFT_NEXT_FAST();
+    }
+
 #if SHIFT_THREADED_DISPATCH
 stepLimitHit:
     sync();
+    dispatches_ += steps;
     setFault(FaultKind::StepLimit, FaultContext::None, 0,
              "step limit exceeded");
     return;
 
 doneRun:
     sync();
+    dispatches_ += steps;
 #else
         }
     }
     sync();
+    dispatches_ += steps;
 #endif
 #undef SHIFT_OP
 #undef SHIFT_NEXT
@@ -2092,6 +2338,25 @@ Machine::run(uint64_t maxSteps)
             st.add("instrs." + prov, instrsBy_[p][c]);
             st.add("cycles." + prov + "." + cls, cyclesBy_[p][c]);
             st.add("instrs." + prov + "." + cls, instrsBy_[p][c]);
+        }
+    }
+    if (dispatches_)
+        st.add("engine.dispatches", dispatches_);
+    if (fpEnteredTotal_ || fpDeoptTotal_ || fpColdBails_) {
+        st.add("fastpath.entered", fpEnteredTotal_);
+        st.add("fastpath.deopts", fpDeoptTotal_);
+        st.add("fastpath.coldBails", fpColdBails_);
+        // Sparse per-block deopt attribution: only blocks that
+        // actually deopted, keyed function@slowPc so fleet merges
+        // aggregate the same block across clones.
+        for (size_t b = 0; b < fpDeopts_.size(); ++b) {
+            if (!fpDeopts_[b])
+                continue;
+            const FastBlockInfo &fb = decoded_->fastBlocks[b];
+            st.add("fastpath.deopts." +
+                       decoded_->functions[fb.function].src->name + "@" +
+                       std::to_string(fb.slowPc),
+                   fpDeopts_[b]);
         }
     }
     return result;

@@ -240,6 +240,23 @@ class Machine
     int currentFunction() const { return curFunc_; }
     uint64_t currentPc() const { return archPc(); }
 
+    // ----- taint-clean fast path (docs/FAST-PATH.md) --------------------
+
+    /**
+     * Enable the dual-version fast tier: control transfers promote
+     * into per-function fast streams whose taint checks/updates are
+     * elided behind hierarchical-summary probes. Off by default; only
+     * meaningful on the predecoded engine (the legacy engine and
+     * trace-hook re-decodes have no fast streams and silently stay on
+     * the instrumented path).
+     */
+    void setFastPathEnabled(bool enabled) { fastEnabled_ = enabled; }
+    bool fastPathEnabled() const { return fastEnabled_; }
+
+    /** Fast-tier counters (also emitted as fastpath.* stats). */
+    uint64_t fastBlocksEntered() const { return fpEnteredTotal_; }
+    uint64_t fastDeopts() const { return fpDeoptTotal_; }
+
   private:
     struct Gpr
     {
@@ -251,6 +268,12 @@ class Machine
     {
         int function;
         uint64_t returnPc;
+        /**
+         * Which stream returnPc indexes: true = the caller was in its
+         * function's fast tier, so the return lands in `fast`, false =
+         * the instrumented stream. Meaningless under the legacy engine.
+         */
+        bool fast = false;
     };
 
     void layout();
@@ -318,6 +341,12 @@ class Machine
     int curFunc_ = -1;
     uint64_t pc_ = 0;
     /**
+     * Which stream pc_ indexes (predecoded engine only): true = the
+     * current function's fast tier. Synced with runDecoded's local
+     * around every observation point, like pc_.
+     */
+    bool inFast_ = false;
+    /**
      * Architectural pc of the faulting constituent when a fault is
      * raised from inside a fused macro micro-op (whose own origIndex
      * only names its first constituent); -1 otherwise. Set just
@@ -362,6 +391,24 @@ class Machine
     int lastLoadDst_ = -1; ///< destination of the previous instruction
                            ///< when it was a load (for use stalls)
     uint64_t stallCycles_ = 0;
+
+    // Fast-tier state. The per-block vectors are sized from
+    // decoded_->fastBlocks at construction; a block that keeps
+    // deopting is marked cold and bails to the instrumented stream at
+    // entry, so a persistently-tainted block pays one bail instead of
+    // a probe-and-deopt forever.
+    bool fastEnabled_ = false;
+    // Host dispatches retired by runDecoded (micro-ops, probes and
+    // sentinels alike) — the denominator the fast tier shrinks; a
+    // simulated-instruction count can't show that because fused ops
+    // charge many instructions per dispatch and probes charge none.
+    uint64_t dispatches_ = 0;
+    uint64_t fpEnteredTotal_ = 0;
+    uint64_t fpDeoptTotal_ = 0;
+    uint64_t fpColdBails_ = 0;
+    std::vector<uint32_t> fpEnters_;
+    std::vector<uint32_t> fpDeopts_;
+    std::vector<uint8_t> fpCold_;
 };
 
 } // namespace shift

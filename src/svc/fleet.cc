@@ -95,6 +95,8 @@ Fleet::serve(const std::vector<FleetJob> &jobs)
     report.hostSeconds = secondsSince(serveStart);
     report.stats = aggregate.snapshot();
     report.optStats = tmpl_->optStats();
+    report.fastBlocksEntered = report.stats.get("fastpath.entered");
+    report.fastDeopts = report.stats.get("fastpath.deopts");
 
     std::sort(results.begin(), results.end(),
               [](const FleetJobResult &a, const FleetJobResult &b) {

@@ -97,6 +97,16 @@ struct FleetReport
     /** Sum of per-job savedSimCycles (0 without a reference twin). */
     int64_t totalSavedSimCycles = 0;
 
+    /**
+     * Fast-tier aggregates across all clones (see docs/FAST-PATH.md):
+     * superblock entries that ran on the taint-clean stream, and
+     * guard failures that deopted to the instrumented twin. Both zero
+     * when the fleet ran with fastPath off. Per-block attribution
+     * lives in `stats` under "fastpath.deopts.<function>@<pc>".
+     */
+    uint64_t fastBlocksEntered = 0;
+    uint64_t fastDeopts = 0;
+
     /** Counter-wise sum of every clone's detailed stats. */
     StatSet stats;
 

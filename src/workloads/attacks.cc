@@ -561,7 +561,7 @@ attackScenarios()
 AttackRun
 runAttackScenario(const AttackScenario &scenario, bool exploit,
                   Granularity granularity, ExecEngine engine,
-                  OptimizerOptions optimize)
+                  OptimizerOptions optimize, bool fastPath)
 {
     SessionOptions options;
     options.mode = TrackingMode::Shift;
@@ -570,6 +570,7 @@ runAttackScenario(const AttackScenario &scenario, bool exploit,
     options.engine = engine;
     options.instr.relaxLoadFunctions = scenario.relaxLoadFunctions;
     options.optimize = optimize;
+    options.fastPath = fastPath;
 
     Session session(scenario.source, options);
     if (exploit)

@@ -54,13 +54,15 @@ struct AttackRun
 /**
  * Run a scenario under SHIFT at the given granularity. With
  * `exploit` false this is the false-positive check. `optimize`
- * applies the post-instrumentation optimizer (detection must be
- * unchanged; the differential suite leans on this).
+ * applies the post-instrumentation optimizer and `fastPath` the
+ * taint-clean fast tier (detection must be unchanged under both; the
+ * differential suites lean on this).
  */
 AttackRun runAttackScenario(const AttackScenario &scenario, bool exploit,
                             Granularity granularity,
                             ExecEngine engine = ExecEngine::Predecoded,
-                            OptimizerOptions optimize = {});
+                            OptimizerOptions optimize = {},
+                            bool fastPath = false);
 
 /** All eight scenarios, in the paper's table order. */
 const std::vector<AttackScenario> &attackScenarios();

@@ -176,6 +176,8 @@ runHttpd(const HttpdConfig &config)
     SessionOptions options = httpdSessionOptions(
         config.mode, config.granularity, config.features, config.engine);
     options.optimize = config.optimize;
+    options.fastPath = config.fastPath;
+    options.policy.taintNetwork = config.taintRequests;
 
     Session session(kHttpdSource, options);
     provisionHttpdOs(session.os(), config.fileSize);
@@ -217,6 +219,7 @@ makeHttpdTemplate(const HttpdFleetConfig &config)
     SessionOptions options = httpdSessionOptions(
         config.mode, config.granularity, config.features, config.engine);
     options.optimize = config.optimize;
+    options.fastPath = config.fastPath;
     auto tmpl = std::make_unique<SessionTemplate>(
         std::string(kHttpdSource), std::move(options));
     provisionHttpdOs(tmpl->os(), config.fileSize);

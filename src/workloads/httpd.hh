@@ -34,6 +34,14 @@ struct HttpdConfig
     CpuFeatures features;
     ExecEngine engine = ExecEngine::Predecoded;
     OptimizerOptions optimize;     ///< post-instrumentation optimizer
+    bool fastPath = false;         ///< taint-clean fast tier (FAST-PATH.md)
+    /**
+     * Mark request bytes tainted as they arrive (policy.taintNetwork).
+     * Off models the paper's figure-6 regime — a trusted/benign client
+     * mix where the server code never touches tainted data — which is
+     * the scenario the fast tier's floors are measured on.
+     */
+    bool taintRequests = true;
     uint64_t fileSize = 4 * 1024;  ///< served file size in bytes
     int requests = 50;             ///< number of requests to serve
 };
@@ -88,6 +96,7 @@ struct HttpdFleetConfig
     CpuFeatures features;
     ExecEngine engine = ExecEngine::Predecoded;
     OptimizerOptions optimize;     ///< post-instrumentation optimizer
+    bool fastPath = false;         ///< taint-clean fast tier (FAST-PATH.md)
     uint64_t fileSize = 4 * 1024;
     int jobs = 8;            ///< clones forked (one per job)
     int requestsPerJob = 4;  ///< connections each clone serves

@@ -985,6 +985,7 @@ runSpecKernel(const SpecKernel &kernel, const SpecRunConfig &config)
     options.instr.relaxLoadFunctions = kernel.relaxLoadFunctions;
     options.instr.relaxStoreFunctions = kernel.relaxStoreFunctions;
     options.optimize = config.optimize;
+    options.fastPath = config.fastPath;
 
     Session session(kernel.source, options);
     int scale = config.scale > 0 ? config.scale : kernel.defaultScale;

@@ -57,6 +57,7 @@ struct SpecRunConfig
     CpuFeatures features;     ///< architectural enhancements
     ExecEngine engine = ExecEngine::Predecoded;
     OptimizerOptions optimize; ///< post-instrumentation optimizer
+    bool fastPath = false;    ///< taint-clean fast tier (FAST-PATH.md)
     int scale = 0;            ///< 0 = kernel default
 };
 

@@ -1,0 +1,52 @@
+# Tree-hygiene check: assert that no build directory is committed.
+#
+# Build trees (build/, build-tsan/, build-*/) are generated artifacts;
+# committing one bloats the repo and pins host-specific paths. This
+# script greps the git index, so it catches files that are *tracked*
+# regardless of what is currently on disk. Run via ctest (see
+# tests/CMakeLists.txt) or directly:
+#
+#   cmake -DREPO_ROOT=/path/to/repo -P tests/check_tree_hygiene.cmake
+#
+# Degrades gracefully (skips with a notice) when git or the .git
+# directory is unavailable, e.g. in an exported source tarball.
+
+if(NOT DEFINED REPO_ROOT)
+    set(REPO_ROOT "${CMAKE_CURRENT_LIST_DIR}/..")
+endif()
+
+find_program(GIT_EXECUTABLE git)
+if(NOT GIT_EXECUTABLE OR NOT EXISTS "${REPO_ROOT}/.git")
+    message(STATUS "tree_hygiene: no git checkout here; skipping")
+    return()
+endif()
+
+execute_process(
+    COMMAND "${GIT_EXECUTABLE}" -C "${REPO_ROOT}" ls-files
+    OUTPUT_VARIABLE tracked
+    RESULT_VARIABLE status
+    OUTPUT_STRIP_TRAILING_WHITESPACE)
+if(NOT status EQUAL 0)
+    message(STATUS "tree_hygiene: git ls-files failed; skipping")
+    return()
+endif()
+
+string(REPLACE "\n" ";" tracked_list "${tracked}")
+set(offenders "")
+foreach(path IN LISTS tracked_list)
+    if(path MATCHES "^build(-[^/]*)?/")
+        list(APPEND offenders "${path}")
+    endif()
+endforeach()
+
+if(offenders)
+    list(LENGTH offenders count)
+    list(SUBLIST offenders 0 10 sample)
+    string(JOIN "\n  " sample_text ${sample})
+    message(FATAL_ERROR
+        "tree_hygiene: ${count} tracked file(s) under a build "
+        "directory — build trees must never be committed:\n  "
+        "${sample_text}")
+endif()
+
+message(STATUS "tree_hygiene: ok (no build directory tracked)")
