@@ -49,12 +49,12 @@ measure(const SpecKernel &kernel, Granularity g, uint64_t &baseCycles)
     const StatSet &st = run.result.stats;
     Breakdown b;
     // Tag computation = tag-address arithmetic + register tag glue.
-    b.compLoad = double(st.get("cycles.tagaddr.load") +
-                        st.get("cycles.tagreg.load"));
-    b.memLoad = double(st.get("cycles.tagmem.load"));
-    b.compStore = double(st.get("cycles.tagaddr.store") +
-                         st.get("cycles.tagreg.store"));
-    b.memStore = double(st.get("cycles.tagmem.store"));
+    b.compLoad = double(st.get("engine.cycles.tagaddr.load") +
+                        st.get("engine.cycles.tagreg.load"));
+    b.memLoad = double(st.get("engine.cycles.tagmem.load"));
+    b.compStore = double(st.get("engine.cycles.tagaddr.store") +
+                         st.get("engine.cycles.tagreg.store"));
+    b.memStore = double(st.get("engine.cycles.tagmem.store"));
     return b;
 }
 

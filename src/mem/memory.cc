@@ -72,6 +72,8 @@ Memory::pageFor(uint64_t addr, bool allocate, bool forWrite)
             // untouched.
             slot = std::make_shared<Page>(*slot);
             ++cowCopies_;
+            if (cowHook_)
+                cowHook_(addr);
         }
         tlbInsert(key, slot.get(), slot.use_count() == 1);
         return slot.get();

@@ -31,6 +31,7 @@
 #include <array>
 #include <cstdint>
 #include <cstring>
+#include <functional>
 #include <memory>
 #include <string>
 #include <unordered_map>
@@ -260,6 +261,17 @@ class Memory
     uint64_t cowCopies() const { return cowCopies_; }
 
     /**
+     * Observer for write-fault-time COW page copies, called with the
+     * faulting address. Only ever invoked on the (rare) copy itself,
+     * so the hot translation path pays nothing. The machine wires the
+     * flight recorder's CowCopy event through this.
+     */
+    void setCowHook(std::function<void(uint64_t)> hook)
+    {
+        cowHook_ = std::move(hook);
+    }
+
+    /**
      * Hierarchical dirty bits over the tag space, maintained on the
      * store path. The fast-path probes read it; nothing else should.
      */
@@ -412,6 +424,7 @@ class Memory
 
     std::unordered_map<uint64_t, std::shared_ptr<Page>> pages_;
     uint64_t cowCopies_ = 0;
+    std::function<void(uint64_t)> cowHook_;
     TaintSummary summary_;
     // Mutable: a translation cache is transparent state, filled on the
     // const read paths too.

@@ -1,0 +1,269 @@
+#include "exporter.hh"
+
+#include <chrono>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "support/logging.hh"
+
+namespace shift::obs
+{
+
+namespace
+{
+
+/** Prometheus metric-name charset: [a-zA-Z_:][a-zA-Z0-9_:]*. */
+std::string
+promName(const std::string &name)
+{
+    std::string out = "shift_";
+    for (char c : name) {
+        bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                  (c >= '0' && c <= '9') || c == '_';
+        out.push_back(ok ? c : '_');
+    }
+    return out;
+}
+
+std::string
+promLabelEscape(const std::string &s)
+{
+    std::string out;
+    for (char c : s) {
+        if (c == '\\' || c == '"')
+            out.push_back('\\');
+        if (c == '\n') {
+            out += "\\n";
+            continue;
+        }
+        out.push_back(c);
+    }
+    return out;
+}
+
+/**
+ * Split an attribution counter ("fastpath.deopts.main@12") into its
+ * family and site label. Returns false for plain counters.
+ */
+bool
+splitSite(const std::string &name, std::string &family, std::string &site)
+{
+    size_t at = name.find('@');
+    if (at == std::string::npos)
+        return false;
+    size_t dot = name.rfind('.', at);
+    if (dot == std::string::npos)
+        return false;
+    family = name.substr(0, dot);
+    site = name.substr(dot + 1);
+    return true;
+}
+
+std::string
+jsonEscape(const std::string &s)
+{
+    std::string out;
+    for (char c : s) {
+        switch (c) {
+          case '"': out += "\\\""; break;
+          case '\\': out += "\\\\"; break;
+          case '\n': out += "\\n"; break;
+          case '\t': out += "\\t"; break;
+          default:
+            if (static_cast<unsigned char>(c) < 0x20) {
+                char buf[8];
+                std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+                out += buf;
+            } else {
+                out.push_back(c);
+            }
+        }
+    }
+    return out;
+}
+
+} // namespace
+
+std::string
+renderPrometheus(const StatSet &stats)
+{
+    std::ostringstream ss;
+
+    // Counters. Attribution sites become one labelled family; the
+    // sorted map order keeps a family's samples contiguous, so one
+    // TYPE line per family suffices.
+    std::string lastFamily;
+    stats.forEach([&](const std::string &name, uint64_t value) {
+        std::string family;
+        std::string site;
+        bool sited = splitSite(name, family, site);
+        if (!sited)
+            family = name;
+        std::string metric = promName(family);
+        if (metric.size() < 6 ||
+            metric.compare(metric.size() - 6, 6, "_total") != 0)
+            metric += "_total";
+        if (family != lastFamily) {
+            ss << "# TYPE " << metric << " counter\n";
+            lastFamily = family;
+        }
+        ss << metric;
+        if (sited)
+            ss << "{site=\"" << promLabelEscape(site) << "\"}";
+        ss << " " << value << "\n";
+    });
+
+    stats.forEachGauge([&](const std::string &name, uint64_t value) {
+        std::string metric = promName(name);
+        ss << "# TYPE " << metric << " gauge\n";
+        ss << metric << " " << value << "\n";
+    });
+
+    stats.forEachHistogram([&](const std::string &name,
+                               const Histogram &h) {
+        std::string metric = promName(name);
+        ss << "# TYPE " << metric << " histogram\n";
+        unsigned top = 0;
+        for (unsigned i = 0; i < Histogram::kBuckets; ++i)
+            if (h.buckets()[i])
+                top = i;
+        uint64_t cumulative = 0;
+        for (unsigned i = 0; i <= top; ++i) {
+            cumulative += h.buckets()[i];
+            ss << metric << "_bucket{le=\"" << Histogram::bucketHigh(i)
+               << "\"} " << cumulative << "\n";
+        }
+        ss << metric << "_bucket{le=\"+Inf\"} " << h.count() << "\n";
+        ss << metric << "_sum " << h.sum() << "\n";
+        ss << metric << "_count " << h.count() << "\n";
+    });
+
+    return ss.str();
+}
+
+std::string
+renderJsonStats(const StatSet &stats, int indent)
+{
+    std::string pad(static_cast<size_t>(indent), ' ');
+    std::ostringstream ss;
+    ss << pad << "{\n";
+
+    ss << pad << "  \"counters\": {";
+    bool first = true;
+    stats.forEach([&](const std::string &name, uint64_t value) {
+        ss << (first ? "\n" : ",\n") << pad << "    \""
+           << jsonEscape(name) << "\": " << value;
+        first = false;
+    });
+    ss << (first ? "" : "\n" + pad + "  ") << "},\n";
+
+    ss << pad << "  \"gauges\": {";
+    first = true;
+    stats.forEachGauge([&](const std::string &name, uint64_t value) {
+        ss << (first ? "\n" : ",\n") << pad << "    \""
+           << jsonEscape(name) << "\": " << value;
+        first = false;
+    });
+    ss << (first ? "" : "\n" + pad + "  ") << "},\n";
+
+    ss << pad << "  \"histograms\": {";
+    first = true;
+    stats.forEachHistogram([&](const std::string &name,
+                               const Histogram &h) {
+        ss << (first ? "\n" : ",\n") << pad << "    \""
+           << jsonEscape(name) << "\": {\"count\": " << h.count()
+           << ", \"sum\": " << h.sum() << ", \"min\": " << h.min()
+           << ", \"max\": " << h.max()
+           << ", \"p50\": " << h.quantile(0.50)
+           << ", \"p99\": " << h.quantile(0.99) << ", \"buckets\": [";
+        bool fb = true;
+        for (unsigned i = 0; i < Histogram::kBuckets; ++i) {
+            if (!h.buckets()[i])
+                continue;
+            ss << (fb ? "" : ", ") << "[" << Histogram::bucketLow(i)
+               << ", " << h.buckets()[i] << "]";
+            fb = false;
+        }
+        ss << "]}";
+        first = false;
+    });
+    ss << (first ? "" : "\n" + pad + "  ") << "}\n";
+
+    ss << pad << "}";
+    return ss.str();
+}
+
+// ----- PeriodicExporter -------------------------------------------------
+
+void
+PeriodicExporter::start(double intervalSeconds, const std::string &sinkPath,
+                        MetricsFormat format, SnapshotFn snapshot)
+{
+    stop();
+    snapshot_ = std::move(snapshot);
+    sinkPath_ = sinkPath;
+    format_ = format;
+    intervalSeconds_ = intervalSeconds;
+    stopping_ = false;
+    thread_ = std::thread([this] {
+        std::unique_lock<std::mutex> lock(mutex_);
+        auto interval = std::chrono::duration<double>(intervalSeconds_);
+        while (!stopping_) {
+            if (cv_.wait_for(lock, interval, [this] { return stopping_; }))
+                break;
+            lock.unlock();
+            renderOnce();
+            lock.lock();
+        }
+    });
+}
+
+void
+PeriodicExporter::stop()
+{
+    if (!thread_.joinable())
+        return;
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        stopping_ = true;
+    }
+    cv_.notify_all();
+    thread_.join();
+    // One final render so even a sub-interval run leaves metrics
+    // behind.
+    renderOnce();
+}
+
+uint64_t
+PeriodicExporter::ticks() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return ticks_;
+}
+
+void
+PeriodicExporter::renderOnce()
+{
+    if (!snapshot_)
+        return;
+    StatSet snap = snapshot_();
+    std::string body = format_ == MetricsFormat::Prometheus
+                           ? renderPrometheus(snap)
+                           : renderJsonStats(snap) + "\n";
+    if (sinkPath_ == "-") {
+        std::fputs(body.c_str(), stderr);
+    } else {
+        std::ofstream out(sinkPath_, std::ios::trunc);
+        if (!out) {
+            SHIFT_WARN("cannot write metrics sink '%s'",
+                       sinkPath_.c_str());
+            return;
+        }
+        out << body;
+    }
+    std::lock_guard<std::mutex> lock(mutex_);
+    ++ticks_;
+}
+
+} // namespace shift::obs

@@ -1,0 +1,101 @@
+/**
+ * @file
+ * The metrics plane: render a StatSet for the outside world.
+ *
+ * Two formats, both generated from the same aggregate the fleet
+ * already maintains:
+ *
+ *  - Prometheus text exposition (text/plain; version 0.0.4):
+ *    counters become `shift_<name>_total`, gauges `shift_<name>`,
+ *    histograms the conventional `_bucket{le=...}/_sum/_count`
+ *    triple with power-of-two bounds. Attribution counters whose
+ *    last name segment embeds a site ("fastpath.deopts.main@12")
+ *    become a labelled family (`{site="main@12"}`) instead of an
+ *    unbounded metric-name space.
+ *  - JSON: {"counters":{...},"gauges":{...},"histograms":{...}},
+ *    the machine-readable form shiftd --json embeds.
+ *
+ * PeriodicExporter drives either renderer on a timer thread so a
+ * long fleet run is observable *while* it executes: every interval it
+ * snapshots a ConcurrentStatSet and rewrites a file (Prometheus
+ * textfile-collector style) or prints to stderr.
+ */
+
+#ifndef SHIFT_OBS_EXPORTER_HH
+#define SHIFT_OBS_EXPORTER_HH
+
+#include <condition_variable>
+#include <functional>
+#include <mutex>
+#include <string>
+#include <thread>
+
+#include "support/stats.hh"
+
+namespace shift::obs
+{
+
+/** Render the set as Prometheus text exposition format. */
+std::string renderPrometheus(const StatSet &stats);
+
+/**
+ * Render the set as a JSON object (counters/gauges/histograms).
+ * `indent` spaces of leading indentation are applied to every line
+ * so the object embeds cleanly in a larger document.
+ */
+std::string renderJsonStats(const StatSet &stats, int indent = 0);
+
+/** Exporter output format. */
+enum class MetricsFormat
+{
+    Prometheus,
+    Json,
+};
+
+/**
+ * A timer thread that periodically renders a stats snapshot to a
+ * sink. The sink is a path rewritten atomically-enough (truncate +
+ * write) each tick, or "-" for stderr. stop() renders one final
+ * snapshot so short runs still produce output.
+ */
+class PeriodicExporter
+{
+  public:
+    using SnapshotFn = std::function<StatSet()>;
+
+    PeriodicExporter() = default;
+    ~PeriodicExporter() { stop(); }
+
+    PeriodicExporter(const PeriodicExporter &) = delete;
+    PeriodicExporter &operator=(const PeriodicExporter &) = delete;
+
+    /** Begin exporting every `intervalSeconds` (> 0). */
+    void start(double intervalSeconds, const std::string &sinkPath,
+               MetricsFormat format, SnapshotFn snapshot);
+
+    /** Stop the timer, render one final snapshot, join. */
+    void stop();
+
+    bool running() const { return thread_.joinable(); }
+
+    /** How many renders have completed (tests poll this). */
+    uint64_t ticks() const;
+
+  private:
+    void renderOnce();
+
+    SnapshotFn snapshot_;
+    std::string sinkPath_;
+    MetricsFormat format_ = MetricsFormat::Prometheus;
+    double intervalSeconds_ = 0;
+
+    mutable std::mutex mutex_;
+    std::condition_variable cv_;
+    bool stopping_ = false;
+    uint64_t ticks_ = 0;
+    std::thread thread_;
+};
+
+} // namespace shift::obs
+
+#endif // SHIFT_OBS_EXPORTER_HH

@@ -3,6 +3,7 @@
 #include <string>
 #include <vector>
 
+#include "obs/trace.hh"
 #include "support/logging.hh"
 
 namespace shift
@@ -60,6 +61,19 @@ applyAlert(Machine &m, const RuntimeContext &ctx,
         return false;
     m.raiseAlert(std::move(*alert), ctx.policy->config().alertKills);
     return true;
+}
+
+/**
+ * Flight-recorder instant for a policy check crossing the OS
+ * boundary. `id` names the check family run at this call site (the
+ * alert itself carries the precise policy that fired).
+ */
+void
+notePolicyCheck(Machine &m, const char *id, uint64_t addr)
+{
+    if (obs::TraceBuffer *b = m.observer())
+        b->emit(obs::Ev::PolicyCheck, obs::packPolicyId(id),
+                m.currentFunction(), m.currentPc(), addr);
 }
 
 /**
@@ -191,6 +205,7 @@ registerRuntimeBuiltins(Machine &machine, RuntimeContext &ctx)
         uint64_t pathAddr = m.arg(0);
         std::string path = readString(m, pathAddr);
         if (c->tracking()) {
+            notePolicyCheck(m, "H2", pathAddr);
             auto alert = c->policy->checkFileOpen(
                 path, taintOf(*c, pathAddr, path));
             if (applyAlert(m, *c, std::move(alert))) {
@@ -242,6 +257,7 @@ registerRuntimeBuiltins(Machine &machine, RuntimeContext &ctx)
             std::string data(len, '\0');
             if (m.memory().readBytes(buf, data.data(), len) ==
                 MemFault::None) {
+                notePolicyCheck(m, "H5", buf);
                 auto alert = c->policy->checkHtml(
                     data, c->taint->taintOf(buf, len));
                 if (applyAlert(m, *c, std::move(alert))) {
@@ -278,6 +294,7 @@ registerRuntimeBuiltins(Machine &machine, RuntimeContext &ctx)
         uint64_t queryAddr = m.arg(0);
         std::string query = readString(m, queryAddr);
         if (c->tracking()) {
+            notePolicyCheck(m, "H3", queryAddr);
             auto alert = c->policy->checkSql(
                 query, taintOf(*c, queryAddr, query));
             if (applyAlert(m, *c, std::move(alert))) {
@@ -293,6 +310,7 @@ registerRuntimeBuiltins(Machine &machine, RuntimeContext &ctx)
         uint64_t cmdAddr = m.arg(0);
         std::string cmd = readString(m, cmdAddr);
         if (c->tracking()) {
+            notePolicyCheck(m, "H4", cmdAddr);
             auto alert = c->policy->checkSystem(
                 cmd, taintOf(*c, cmdAddr, cmd));
             if (applyAlert(m, *c, std::move(alert))) {
@@ -308,6 +326,7 @@ registerRuntimeBuiltins(Machine &machine, RuntimeContext &ctx)
         uint64_t addr = m.arg(0);
         std::string html = readString(m, addr);
         if (c->tracking()) {
+            notePolicyCheck(m, "H5", addr);
             auto alert = c->policy->checkHtml(
                 html, taintOf(*c, addr, html));
             if (applyAlert(m, *c, std::move(alert))) {

@@ -1,6 +1,7 @@
 #include "session.hh"
 
 #include "lang/compiler.hh"
+#include "obs/trace.hh"
 #include "runtime/minic_stdlib.hh"
 #include "support/logging.hh"
 
@@ -20,14 +21,19 @@ buildProgram(const std::vector<std::string> &sources,
     if (options.includeStdlib)
         modules.push_back(kMiniCStdlib);
     modules.insert(modules.end(), sources.begin(), sources.end());
-    Program program = minic::compileProgram(modules);
+    Program program = [&] {
+        obs::ScopedPhase span(obs::Phase::Compile);
+        return minic::compileProgram(modules);
+    }();
 
     // Optional compiler optimization: control speculation. Runs
     // before instrumentation, exactly as a speculating compiler would
     // emit ld.s/chk.s before SHIFT's GCC phase sees the code.
-    if (options.speculate)
+    if (options.speculate) {
+        obs::ScopedPhase span(obs::Phase::Speculate);
         speculateStats = minic::speculateLoads(program,
                                                options.speculateOptions);
+    }
 
     // 2. Instrument per tracking mode. Granularity follows the policy
     // configuration so instrumented code and native taint summaries
@@ -39,16 +45,23 @@ buildProgram(const std::vector<std::string> &sources,
         options.instr.granularity = options.policy.granularity;
         options.instr.natSetClear = options.features.natSetClear;
         options.instr.natAwareCompare = options.features.natAwareCompare;
-        instrStats = instrumentProgram(program, options.instr);
+        {
+            obs::ScopedPhase span(obs::Phase::Instrument);
+            instrStats = instrumentProgram(program, options.instr);
+        }
         // 3. Post-instrumentation optimizer: deletes redundant taint
         // work the peephole instrumenter emitted (no-op unless
         // options.optimize.enable). SHIFT sequences only; the
         // software baseline keeps its literal instruction stream.
-        optStats = optimizeInstrumentation(program, options.optimize);
+        {
+            obs::ScopedPhase span(obs::Phase::Optimize);
+            optStats = optimizeInstrumentation(program, options.optimize);
+        }
         break;
       }
       case TrackingMode::SoftwareDift: {
         options.baseline.granularity = options.policy.granularity;
+        obs::ScopedPhase span(obs::Phase::Instrument);
         instrStats = instrumentSoftwareDift(program, options.baseline);
         break;
       }
@@ -69,13 +82,21 @@ wireRuntime(Machine &machine, Os &os, TaintMap *taint,
 
     // Taint sources: OS input lands tainted per [sources].
     if (tracking) {
-        os.setInputHook([taint, policy](Machine &, uint64_t addr,
+        os.setInputHook([taint, policy](Machine &m, uint64_t addr,
                                         uint64_t len,
                                         const std::string &channel) {
-            if (policy->taintChannel(channel))
+            if (policy->taintChannel(channel)) {
                 taint->taint(addr, len);
-            else
+                // Provenance chains start here: the syscall that let
+                // tainted bytes into the address space.
+                if (obs::TraceBuffer *b = m.observer())
+                    b->emit(obs::Ev::TaintSource,
+                            obs::packChannel(channel),
+                            m.currentFunction(), m.currentPc(), addr,
+                            len);
+            } else {
                 taint->clear(addr, len);
+            }
         });
     }
 
@@ -133,9 +154,19 @@ Session::build(const std::vector<std::string> &sources)
                                     speculateStats_, optStats_);
 
     // Machine + runtime wiring.
-    machine_ = std::make_unique<Machine>(program_, options_.features,
-                                         options_.engine);
+    {
+        obs::ScopedPhase span(obs::Phase::Decode);
+        machine_ = std::make_unique<Machine>(program_, options_.features,
+                                             options_.engine);
+    }
     machine_->setFastPathEnabled(options_.fastPath);
+    if (obs::Recorder *rec = obs::Recorder::active()) {
+        std::vector<std::string> names;
+        for (const auto &fn : program_.functions)
+            names.push_back(fn.name);
+        rec->setFunctionNames(std::move(names));
+        machine_->setObserver(rec->acquireBuffer(-1));
+    }
     policy_ = std::make_unique<PolicyEngine>(options_.policy);
     bool tracking = options_.mode != TrackingMode::None;
     if (tracking) {
@@ -156,6 +187,7 @@ Session::run()
                     "more than once)");
     }
     ran_ = true;
+    obs::ScopedPhase span(obs::Phase::Run);
     return machine_->run(options_.maxSteps);
 }
 

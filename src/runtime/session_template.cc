@@ -1,5 +1,6 @@
 #include "session_template.hh"
 
+#include "obs/trace.hh"
 #include "support/logging.hh"
 
 namespace shift
@@ -38,6 +39,7 @@ SessionTemplate::freeze()
     std::lock_guard<std::mutex> lock(freezeMutex_);
     if (frozen_.load(std::memory_order_relaxed))
         return;
+    obs::ScopedPhase span(obs::Phase::Freeze);
     snapshot_ = proto_->capture();
     // The prototype machine exists only to be snapshotted; dropping it
     // leaves the snapshot holding the only extra reference to every
@@ -66,10 +68,18 @@ SessionClone::SessionClone(const SessionTemplate &tmpl, int cloneId)
     : tmpl_(&tmpl), cloneId_(cloneId), os_(tmpl.protoOs_)
 {
     SHIFT_ASSERT(tmpl.snapshot_, "template not frozen");
+    obs::ScopedPhase span(obs::Phase::Clone);
     machine_ = std::make_unique<Machine>(tmpl.program_, *tmpl.snapshot_,
                                          tmpl.options_.features,
                                          tmpl.options_.engine);
     machine_->setFastPathEnabled(tmpl.options_.fastPath);
+    if (obs::Recorder *rec = obs::Recorder::active()) {
+        std::vector<std::string> names;
+        for (const auto &fn : tmpl.program_.functions)
+            names.push_back(fn.name);
+        rec->setFunctionNames(std::move(names));
+        machine_->setObserver(rec->acquireBuffer(cloneId));
+    }
     policy_ = std::make_unique<PolicyEngine>(tmpl.options_.policy);
     bool tracking = tmpl.options_.mode != TrackingMode::None;
     if (tracking) {
@@ -91,7 +101,10 @@ SessionClone::run()
     }
     ran_ = true;
     setLogCloneTag(cloneId_);
-    RunResult result = machine_->run(tmpl_->options_.maxSteps);
+    RunResult result = [&] {
+        obs::ScopedPhase span(obs::Phase::Run);
+        return machine_->run(tmpl_->options_.maxSteps);
+    }();
     setLogCloneTag(-1);
     return result;
 }

@@ -1,5 +1,6 @@
 #include "machine.hh"
 
+#include <algorithm>
 #include <bit>
 
 #include "support/bitops.hh"
@@ -294,10 +295,47 @@ Machine::setTraceHook(TraceFn fn)
 }
 
 void
+Machine::setObserver(obs::TraceBuffer *buffer)
+{
+    obs_ = buffer;
+    if (!buffer) {
+        mem_.setCowHook(nullptr);
+        return;
+    }
+    // COW copies are rare (one per page per clone at most), so a
+    // std::function hook on the copy path costs nothing measurable.
+    mem_.setCowHook([this](uint64_t addr) {
+        obs_->emit(obs::Ev::CowCopy, 0, curFunc_, 0, addr);
+    });
+    // Per-PC hot-spot table: one counter per original instruction,
+    // flat across functions. Bounded by static program size; only the
+    // tracing interpreter instantiation increments it.
+    if (hotPc_.empty()) {
+        hotPcBase_.assign(program_->functions.size(), 0);
+        uint32_t base = 0;
+        for (size_t f = 0; f < program_->functions.size(); ++f) {
+            hotPcBase_[f] = base;
+            base += static_cast<uint32_t>(
+                        program_->functions[f].code.size()) +
+                    1;
+        }
+        hotPc_.assign(base, 0);
+    }
+}
+
+void
 Machine::raiseAlert(SecurityAlert alert, bool kill)
 {
     alert.function = curFunc_;
     alert.pc = archPc();
+    if (obs_) {
+        obs_->emit(kill ? obs::Ev::PolicyKill : obs::Ev::PolicyAlert,
+                   obs::packPolicyId(alert.policy), curFunc_, alert.pc);
+        // The verdict carries the chain that led here: source syscall,
+        // propagating tag stores, and (last) this failing check.
+        if (kill)
+            provenance_ = obs_->taintChain(16);
+    }
     alerts_.push_back(std::move(alert));
     if (kill) {
         killedByPolicy_ = true;
@@ -330,6 +368,12 @@ Machine::setFault(FaultKind kind, FaultContext ctx, uint64_t addr,
         if (alert) {
             alert->function = curFunc_;
             alert->pc = fault.pc;
+            if (obs_) {
+                obs_->emit(obs::Ev::PolicyKill,
+                           obs::packPolicyId(alert->policy), curFunc_,
+                           fault.pc, addr);
+                provenance_ = obs_->taintChain(16);
+            }
             alerts_.push_back(std::move(*alert));
             killedByPolicy_ = true;
             stopped_ = true;
@@ -355,6 +399,10 @@ Machine::chargeCycles(const Instr &instr, uint64_t cycles)
     int cls = static_cast<int>(instr.origClass);
     cyclesBy_[prov][cls] += cycles;
     instrsBy_[prov][cls] += 1;
+    // The legacy stepper is never perf-contractual, so its hot-spot
+    // attribution is a plain branch (pc_ is the original index here).
+    if (!hotPc_.empty())
+        ++hotPc_[hotPcBase_[curFunc_] + pc_];
 }
 
 void
@@ -602,6 +650,9 @@ Machine::execSt(const Instr &instr)
                  addr, "store to illegal address");
         return;
     }
+    if (obs_ && !instr.spill && srcReg.val != 0 &&
+        regionOf(addr) == kTagRegion)
+        obs_->emit(obs::Ev::TaintStore, 0, curFunc_, pc_, addr);
 
     ++storeCount_;
     chargeCycles(instr, cycleModel_.storeBase);
@@ -944,6 +995,7 @@ Machine::stepLegacy()
     }
 }
 
+template <bool kObs, bool kHotPc>
 void
 Machine::runDecoded(uint64_t maxSteps)
 {
@@ -1013,11 +1065,22 @@ Machine::runDecoded(uint64_t maxSteps)
         df = &decoded_->functions[curFunc_];
         code = inFast ? df->fast.data() : df->code.data();
     };
+    // Per-PC hot-spot attribution is its own instantiation axis:
+    // run() selects kHotPc only when setObserver allocated the table,
+    // so the increment needs no null test — and the kHotPc = false
+    // loops (production and the forced-dispatch bench mode) compile
+    // none of this, keeping charge() free of per-instruction
+    // observability work.
+    uint32_t *const hotData = kHotPc ? hotPc_.data() : nullptr;
     auto charge = [&](uint64_t cost) {
         cycles += cost;
         ++instrs;
         cyFlat[statIdx] += cost;
         inFlat[statIdx] += 1;
+        if constexpr (kHotPc) {
+            ++hotData[hotPcBase_[curFunc_] +
+                      static_cast<uint32_t>(dp->origIndex)];
+        }
     };
     auto src2v = [&] {
         return dp->useImm ? static_cast<uint64_t>(dp->imm)
@@ -1064,20 +1127,43 @@ Machine::runDecoded(uint64_t maxSteps)
                  !coldHead(df->fast[0]);
         code = inFast ? df->fast.data() : df->code.data();
     };
-    // A failed Fp* probe: count the deopt against the probe's
-    // superblock, demote the block to cold once deopts dominate its
-    // entries, and resume the instrumented stream at the elided
-    // group's own index (probes precede their group's side effects,
-    // so re-execution replays nothing).
-    auto probeDeopt = [&] {
+    // A failed Fp* probe: count the deopt (and its cause) against the
+    // probe's superblock, demote the block to cold once deopts
+    // dominate its entries, and resume the instrumented stream at the
+    // elided group's own index (probes precede their group's side
+    // effects, so re-execution replays nothing).
+    auto probeDeopt = [&](obs::DeoptCause cause) {
         uint32_t b = static_cast<uint32_t>(dp->callee);
         ++fpDeoptTotal_;
+        ++fpDeoptCause_[static_cast<size_t>(cause)];
         uint32_t d = ++fpDeopts_[b];
         if (d >= kFpColdDeopts && d * 2 >= fpEnters_[b])
             fpCold_[b] = 1;
         inFast = false;
         pc = static_cast<uint64_t>(dp->target);
         code = df->code.data();
+        if constexpr (kObs) {
+            if (obs_) [[unlikely]]
+                obs_->emitCold(obs::Ev::FastDeopt,
+                               static_cast<uint16_t>(cause), curFunc_,
+                               code[pc].origIndex);
+        }
+    };
+    // Flight-recorder instants for the fast tier's other transitions;
+    // compiled out of the production instantiation entirely.
+    auto obsFastEnter = [&] {
+        if constexpr (kObs) {
+            if (obs_) [[unlikely]]
+                obs_->emitCold(obs::Ev::FastEnter, 0, curFunc_,
+                               dp->origIndex);
+        }
+    };
+    auto obsColdBail = [&](uint64_t slowPc) {
+        if constexpr (kObs) {
+            if (obs_) [[unlikely]]
+                obs_->emitCold(obs::Ev::FastColdBail, 0, curFunc_,
+                               df->code[slowPc].origIndex);
+        }
     };
     // A slow-stream taken branch whose target opens a fast twin
     // promotes into the fast tier (every branch target is a leader,
@@ -1091,6 +1177,7 @@ Machine::runDecoded(uint64_t maxSteps)
             if (fe >= 0) {
                 if (coldHead(df->fast[fe])) {
                     ++fpColdBails_;
+                    obsColdBail(target);
                     return target;
                 }
                 inFast = true;
@@ -1510,6 +1597,14 @@ nullified:
                      FaultContext::StoreAddress, addr,
                      "store to illegal address");
             SHIFT_STOPPED();
+        }
+        if constexpr (kObs) {
+            // A nonzero write into the tag region spreads taint: the
+            // provenance chain wants it.
+            if (obs_ && !dp->spill && srcReg.val != 0 &&
+                regionOf(addr) == kTagRegion) [[unlikely]]
+                obs_->emitCold(obs::Ev::TaintStore, 0, curFunc_,
+                               dp->origIndex, addr);
         }
         ++storeCount_;
         charge(cycleModel_.storeBase);
@@ -2026,6 +2121,11 @@ nullified:
                      "store to illegal address");
             SHIFT_STOPPED();
         }
+        if constexpr (kObs) {
+            if (obs_ && t1v != 0) [[unlikely]]
+                obs_->emitCold(obs::Ev::TaintStore, 0, curFunc_,
+                               dp->origIndex + 6, a.val);
+        }
         ++storeCount_;
         statIdx = idxMem;
         charge(cycleModel_.storeBase);
@@ -2124,6 +2224,7 @@ nullified:
         uint32_t b = static_cast<uint32_t>(dp->callee);
         if (fpCold_[b]) {
             ++fpColdBails_;
+            obsColdBail(static_cast<uint64_t>(dp->target));
             inFast = false;
             pc = static_cast<uint64_t>(dp->target);
             code = df->code.data();
@@ -2131,6 +2232,7 @@ nullified:
         }
         ++fpEnters_[b];
         ++fpEnteredTotal_;
+        obsFastEnter();
         ++pc;
         SHIFT_NEXT_FAST();
     }
@@ -2152,6 +2254,7 @@ nullified:
             uint32_t b = static_cast<uint32_t>(dp->callee);
             if (fpCold_[b]) {
                 ++fpColdBails_;
+                obsColdBail(static_cast<uint64_t>(dp->target));
                 inFast = false;
                 pc = static_cast<uint64_t>(dp->target);
                 code = df->code.data();
@@ -2159,6 +2262,7 @@ nullified:
             }
             ++fpEnters_[b];
             ++fpEnteredTotal_;
+            obsFastEnter();
         }
         const Gpr &a = gpr_[(dp->p2 & 1) ? dp->r2 : dp->br];
         uint64_t t0v = a.val;
@@ -2168,13 +2272,14 @@ nullified:
                    << (kImplementedBits - ds)) |
                   ((a.val >> ds) & lowMask(kImplementedBits - ds));
         } else if (gpr_[dp->r2].nat) {
-            probeDeopt();
+            probeDeopt(obs::DeoptCause::ChkAddrNat);
             SHIFT_NEXT_FAST();
         }
         if (a.nat ||
             (dp->size == 2 ? mem_.taintSummary().pairDirty(t0v)
                            : mem_.taintSummary().lineDirty(t0v))) {
-            probeDeopt();
+            probeDeopt(a.nat ? obs::DeoptCause::ChkAddrNat
+                             : obs::DeoptCause::ChkSummary);
             SHIFT_NEXT_FAST();
         }
         setPred(dp->p1, false);
@@ -2207,6 +2312,7 @@ nullified:
             uint32_t b = static_cast<uint32_t>(dp->callee);
             if (fpCold_[b]) {
                 ++fpColdBails_;
+                obsColdBail(static_cast<uint64_t>(dp->target));
                 inFast = false;
                 pc = static_cast<uint64_t>(dp->target);
                 code = df->code.data();
@@ -2214,6 +2320,7 @@ nullified:
             }
             ++fpEnters_[b];
             ++fpEnteredTotal_;
+            obsFastEnter();
         }
         const Gpr &a = gpr_[(dp->p2 & 1) ? dp->r2 : dp->br];
         uint64_t t0v = a.val;
@@ -2223,13 +2330,15 @@ nullified:
                    << (kImplementedBits - ds)) |
                   ((a.val >> ds) & lowMask(kImplementedBits - ds));
         } else if (gpr_[dp->r2].nat) {
-            probeDeopt();
+            probeDeopt(obs::DeoptCause::StAddrNat);
             SHIFT_NEXT_FAST();
         }
         if (a.nat || srcTaint ||
             (dp->size == 2 ? mem_.taintSummary().pairDirty(t0v)
                            : mem_.taintSummary().lineDirty(t0v))) {
-            probeDeopt();
+            probeDeopt(a.nat ? obs::DeoptCause::StAddrNat
+                       : srcTaint ? obs::DeoptCause::StSrcTaint
+                                  : obs::DeoptCause::StSummary);
             SHIFT_NEXT_FAST();
         }
         ++pc;
@@ -2246,6 +2355,7 @@ nullified:
             uint32_t b = static_cast<uint32_t>(dp->callee);
             if (fpCold_[b]) {
                 ++fpColdBails_;
+                obsColdBail(static_cast<uint64_t>(dp->target));
                 inFast = false;
                 pc = static_cast<uint64_t>(dp->target);
                 code = df->code.data();
@@ -2253,9 +2363,10 @@ nullified:
             }
             ++fpEnters_[b];
             ++fpEnteredTotal_;
+            obsFastEnter();
         }
         if (gpr_[dp->r1].nat || gpr_[dp->r2].nat) {
-            probeDeopt();
+            probeDeopt(obs::DeoptCause::ClrRegNat);
             SHIFT_NEXT_FAST();
         }
         ++pc;
@@ -2285,6 +2396,16 @@ doneRun:
 #undef SHIFT_STOPPED
 }
 
+// Production runs the <false, false> instantiation: every
+// flight-recorder emit site above vanishes under `if constexpr`, so a
+// disabled recorder costs one pointer test per run() call
+// (perf-smoke-obs enforces this). <true, false> adds the emit-site
+// branches without per-instruction hot-pc counting; <true, true> is
+// the full tracing loop used when an observer is attached.
+template void Machine::runDecoded<false, false>(uint64_t maxSteps);
+template void Machine::runDecoded<true, false>(uint64_t maxSteps);
+template void Machine::runDecoded<true, true>(uint64_t maxSteps);
+
 RunResult
 Machine::run(uint64_t maxSteps)
 {
@@ -2296,7 +2417,12 @@ Machine::run(uint64_t maxSteps)
     // none, so step counts (but nothing else) differ between engines;
     // only runs that exhaust maxSteps can observe this.
     if (engine_ == ExecEngine::Predecoded) {
-        runDecoded(maxSteps);
+        if (obs_ && !hotPc_.empty())
+            runDecoded<true, true>(maxSteps);
+        else if (obs_ || obsForce_)
+            runDecoded<true, false>(maxSteps);
+        else
+            runDecoded<false, false>(maxSteps);
     } else {
         uint64_t steps = 0;
         while (!stopped_) {
@@ -2318,26 +2444,29 @@ Machine::run(uint64_t maxSteps)
     result.instructions = instrs_;
     result.cycles = cycles_ + osCycles_;
 
+    // Machine-level counters live under the documented `engine.*`
+    // namespace (docs/OBSERVABILITY.md); fastpath.* keeps its own
+    // top-level family because the fast tier is a distinct subsystem.
     StatSet &st = result.stats;
-    st.add("cycles.total", result.cycles);
-    st.add("cycles.cpu", cycles_);
-    st.add("cycles.os", osCycles_);
-    st.add("instrs.total", instrs_);
-    st.add("mem.loads", loadCount_);
-    st.add("mem.stores", storeCount_);
-    st.add("cycles.loadUseStall", stallCycles_);
-    st.add("cache.hits", dcache_.hits());
-    st.add("cache.misses", dcache_.misses());
+    st.add("engine.cycles.total", result.cycles);
+    st.add("engine.cycles.cpu", cycles_);
+    st.add("engine.cycles.os", osCycles_);
+    st.add("engine.instrs.total", instrs_);
+    st.add("engine.mem.loads", loadCount_);
+    st.add("engine.mem.stores", storeCount_);
+    st.add("engine.cycles.loadUseStall", stallCycles_);
+    st.add("engine.cache.hits", dcache_.hits());
+    st.add("engine.cache.misses", dcache_.misses());
     for (int p = 0; p < kNumProv; ++p) {
         for (int c = 0; c < kNumClass; ++c) {
             if (!instrsBy_[p][c] && !cyclesBy_[p][c])
                 continue;
             std::string prov = provenanceName(static_cast<Provenance>(p));
             std::string cls = origClassName(static_cast<OrigClass>(c));
-            st.add("cycles." + prov, cyclesBy_[p][c]);
-            st.add("instrs." + prov, instrsBy_[p][c]);
-            st.add("cycles." + prov + "." + cls, cyclesBy_[p][c]);
-            st.add("instrs." + prov + "." + cls, instrsBy_[p][c]);
+            st.add("engine.cycles." + prov, cyclesBy_[p][c]);
+            st.add("engine.instrs." + prov, instrsBy_[p][c]);
+            st.add("engine.cycles." + prov + "." + cls, cyclesBy_[p][c]);
+            st.add("engine.instrs." + prov + "." + cls, instrsBy_[p][c]);
         }
     }
     if (dispatches_)
@@ -2346,6 +2475,13 @@ Machine::run(uint64_t maxSteps)
         st.add("fastpath.entered", fpEnteredTotal_);
         st.add("fastpath.deopts", fpDeoptTotal_);
         st.add("fastpath.coldBails", fpColdBails_);
+        for (size_t c = 0; c < std::size(fpDeoptCause_); ++c) {
+            if (fpDeoptCause_[c])
+                st.add(std::string("fastpath.deoptcause.") +
+                           obs::deoptCauseName(
+                               static_cast<obs::DeoptCause>(c)),
+                       fpDeoptCause_[c]);
+        }
         // Sparse per-block deopt attribution: only blocks that
         // actually deopted, keyed function@slowPc so fleet merges
         // aggregate the same block across clones.
@@ -2359,6 +2495,36 @@ Machine::run(uint64_t maxSteps)
                    fpDeopts_[b]);
         }
     }
+    if (!hotPc_.empty()) {
+        // Per-PC hot spots: top-K flat-table entries, keyed
+        // function@pc like the deopt attribution so fleet merges
+        // aggregate the same site. K bounds both stat-set size and
+        // exporter output.
+        constexpr size_t kTopHotPcs = 16;
+        std::vector<uint32_t> top;
+        for (uint32_t i = 0; i < hotPc_.size(); ++i)
+            if (hotPc_[i])
+                top.push_back(i);
+        size_t keep = std::min(kTopHotPcs, top.size());
+        std::partial_sort(top.begin(), top.begin() + keep, top.end(),
+                          [&](uint32_t x, uint32_t y) {
+                              return hotPc_[x] > hotPc_[y];
+                          });
+        top.resize(keep);
+        for (uint32_t flat : top) {
+            size_t f = program_->functions.size() - 1;
+            while (f > 0 && hotPcBase_[f] > flat)
+                --f;
+            st.add("engine.hotpc." + program_->functions[f].name + "@" +
+                       std::to_string(flat - hotPcBase_[f]),
+                   hotPc_[flat]);
+        }
+    }
+    if (obs_) {
+        st.add("obs.events", obs_->emitted());
+        st.add("obs.dropped", obs_->dropped());
+    }
+    result.provenance = provenance_;
     return result;
 }
 

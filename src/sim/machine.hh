@@ -36,6 +36,7 @@
 #include "isa/program.hh"
 #include "mem/cache.hh"
 #include "mem/memory.hh"
+#include "obs/trace.hh"
 #include "sim/cycle_model.hh"
 #include "sim/decoded.hh"
 #include "sim/faults.hh"
@@ -83,6 +84,15 @@ struct RunResult
     uint64_t instructions = 0;   ///< dynamic instruction count
     uint64_t cycles = 0;         ///< total simulated cycles (incl. OS)
     StatSet stats;               ///< detailed breakdown counters
+
+    /**
+     * The taint-provenance chain behind a policy detection: the
+     * last-N taint-relevant flight-recorder events (source syscall →
+     * propagating tag stores → the failing check) ending at the
+     * killing alert's pc. Empty unless a recorder was attached (see
+     * Machine::setObserver) and an alert fired.
+     */
+    std::vector<obs::TraceEvent> provenance;
 
     /** True when the run ended without fault or policy kill. */
     bool ok() const { return exited && !fault && !killedByPolicy; }
@@ -257,6 +267,27 @@ class Machine
     uint64_t fastBlocksEntered() const { return fpEnteredTotal_; }
     uint64_t fastDeopts() const { return fpDeoptTotal_; }
 
+    // ----- observability (docs/OBSERVABILITY.md) ------------------------
+
+    /**
+     * Attach a flight-recorder ring: the engine emits structured
+     * trace events (fast-tier enter/deopt/cold-bail with pc and
+     * cause, tainted tag stores, COW page copies, policy verdicts)
+     * and maintains the per-PC hot-spot table. Null detaches. With no
+     * buffer attached the whole subsystem costs one branch at run()
+     * (the tracing-enabled interpreter loop is a separate template
+     * instantiation), which perf-smoke-obs enforces.
+     */
+    void setObserver(obs::TraceBuffer *buffer);
+    obs::TraceBuffer *observer() const { return obs_; }
+
+    /**
+     * Bench/test knob: force run() through the tracing-capable
+     * interpreter instantiation even with no buffer attached, so the
+     * cost of its disabled branches is measurable (bench_obs).
+     */
+    void setObsDispatchForced(bool forced) { obsForce_ = forced; }
+
   private:
     struct Gpr
     {
@@ -290,8 +321,13 @@ class Machine
      * pc and the hot counters held in locals that are written back to
      * the architectural members around every observation point (trace
      * hooks, built-ins, system calls, faults, alerts).
+     *
+     * kObs selects the tracing-capable instantiation: flight-recorder
+     * emit sites and the per-PC hot-spot counter compile in behind
+     * `if constexpr`, so the production (kObs=false) loop carries
+     * literally zero disabled-tracing instructions.
      */
-    void runDecoded(uint64_t maxSteps);
+    template <bool kObs, bool kHotPc> void runDecoded(uint64_t maxSteps);
 
     /**
      * The architectural (original-program) pc: the legacy engine runs
@@ -409,6 +445,19 @@ class Machine
     std::vector<uint32_t> fpEnters_;
     std::vector<uint32_t> fpDeopts_;
     std::vector<uint8_t> fpCold_;
+    /** Deopt-cause attribution (always on; deopts are off the hot path). */
+    uint64_t fpDeoptCause_[static_cast<size_t>(obs::DeoptCause::kCount)] = {};
+
+    // Observability state (see setObserver). The hot-spot table is a
+    // flat per-original-instruction counter array indexed by
+    // hotPcBase_[function] + origIndex; bounded by program size and
+    // only allocated (and only incremented — kObs instantiation) when
+    // a recorder is attached.
+    obs::TraceBuffer *obs_ = nullptr;
+    bool obsForce_ = false;
+    std::vector<uint32_t> hotPc_;
+    std::vector<uint32_t> hotPcBase_;
+    std::vector<obs::TraceEvent> provenance_;
 };
 
 } // namespace shift

@@ -72,6 +72,15 @@ panicImpl(const char *file, int line, const std::string &msg)
 void
 fatalImpl(const char *file, int line, const std::string &msg)
 {
+    // fatal() reports by throwing rather than printing, so the clone
+    // tag is embedded in the message itself — whoever catches and
+    // prints the FatalError (the fleet worker's crash report, a test
+    // harness) still sees which clone raised it.
+    int clone = logCloneTag();
+    if (clone >= 0)
+        throw FatalError(detail::formatMessage("[clone %d] %s (%s:%d)",
+                                               clone, msg.c_str(), file,
+                                               line));
     throw FatalError(detail::formatMessage("%s (%s:%d)", msg.c_str(),
                                            file, line));
 }
@@ -100,6 +109,12 @@ void
 setLogCloneTag(int cloneId)
 {
     logCloneId = cloneId;
+}
+
+int
+logCloneTag()
+{
+    return logCloneId;
 }
 
 } // namespace shift

@@ -59,6 +59,13 @@ void setVerbose(bool verbose);
  */
 void setLogCloneTag(int cloneId);
 
+/**
+ * This thread's clone tag (negative when untagged). fatal() embeds it
+ * in the thrown message and the flight recorder stamps events with
+ * it, so every diagnostic channel agrees on attribution.
+ */
+int logCloneTag();
+
 #define SHIFT_PANIC(...) \
     ::shift::panicImpl(__FILE__, __LINE__, \
                        ::shift::detail::formatMessage(__VA_ARGS__))

@@ -1,9 +1,98 @@
 #include "stats.hh"
 
+#include <algorithm>
+#include <bit>
 #include <sstream>
 
 namespace shift
 {
+
+// ----- Histogram --------------------------------------------------------
+
+unsigned
+Histogram::bucketOf(uint64_t value)
+{
+    if (value == 0)
+        return 0;
+    // The top bucket absorbs [2^62, UINT64_MAX] so every value maps
+    // in range.
+    return std::min(64u - static_cast<unsigned>(std::countl_zero(value)),
+                    kBuckets - 1);
+}
+
+uint64_t
+Histogram::bucketLow(unsigned bucket)
+{
+    if (bucket == 0)
+        return 0;
+    return uint64_t(1) << (bucket - 1);
+}
+
+uint64_t
+Histogram::bucketHigh(unsigned bucket)
+{
+    if (bucket == 0)
+        return 0;
+    if (bucket == kBuckets - 1)
+        return UINT64_MAX;
+    return (uint64_t(1) << bucket) - 1;
+}
+
+void
+Histogram::record(uint64_t value, uint64_t weight)
+{
+    if (weight == 0)
+        return;
+    buckets_[bucketOf(value)] += weight;
+    count_ += weight;
+    sum_ += value * weight;
+    min_ = std::min(min_, value);
+    max_ = std::max(max_, value);
+}
+
+void
+Histogram::merge(const Histogram &other)
+{
+    if (other.count_ == 0)
+        return;
+    for (unsigned i = 0; i < kBuckets; ++i)
+        buckets_[i] += other.buckets_[i];
+    count_ += other.count_;
+    sum_ += other.sum_;
+    min_ = std::min(min_, other.min_);
+    max_ = std::max(max_, other.max_);
+}
+
+uint64_t
+Histogram::quantile(double q) const
+{
+    if (count_ == 0)
+        return 0;
+    q = std::clamp(q, 0.0, 1.0);
+    // Rank of the requested sample among count_ samples.
+    double rank = q * double(count_ - 1);
+    uint64_t below = 0;
+    for (unsigned i = 0; i < kBuckets; ++i) {
+        uint64_t n = buckets_[i];
+        if (n == 0)
+            continue;
+        if (rank < double(below + n)) {
+            // Interpolate inside this bucket, clamped to what was
+            // actually observed so single-bucket histograms report
+            // exact values.
+            uint64_t lo = std::max(bucketLow(i), min_);
+            uint64_t hi = std::min(bucketHigh(i), max_);
+            if (hi <= lo || n == 1)
+                return lo;
+            double frac = (rank - double(below)) / double(n - 1);
+            return lo + uint64_t(frac * double(hi - lo) + 0.5);
+        }
+        below += n;
+    }
+    return max_;
+}
+
+// ----- StatSet ----------------------------------------------------------
 
 void
 StatSet::add(const std::string &name, uint64_t delta)
@@ -19,9 +108,37 @@ StatSet::get(const std::string &name) const
 }
 
 void
+StatSet::setGauge(const std::string &name, uint64_t value)
+{
+    gauges_[name] = value;
+}
+
+uint64_t
+StatSet::gauge(const std::string &name) const
+{
+    auto it = gauges_.find(name);
+    return it == gauges_.end() ? 0 : it->second;
+}
+
+void
+StatSet::record(const std::string &name, uint64_t value, uint64_t weight)
+{
+    histograms_[name].record(value, weight);
+}
+
+const Histogram *
+StatSet::histogram(const std::string &name) const
+{
+    auto it = histograms_.find(name);
+    return it == histograms_.end() ? nullptr : &it->second;
+}
+
+void
 StatSet::clear()
 {
     counters_.clear();
+    gauges_.clear();
+    histograms_.clear();
 }
 
 std::vector<std::string>
@@ -34,12 +151,46 @@ StatSet::names() const
     return out;
 }
 
+void
+StatSet::forEach(
+    const std::function<void(const std::string &, uint64_t)> &fn) const
+{
+    for (const auto &kv : counters_)
+        fn(kv.first, kv.second);
+}
+
+void
+StatSet::forEachGauge(
+    const std::function<void(const std::string &, uint64_t)> &fn) const
+{
+    for (const auto &kv : gauges_)
+        fn(kv.first, kv.second);
+}
+
+void
+StatSet::forEachHistogram(
+    const std::function<void(const std::string &, const Histogram &)> &fn)
+    const
+{
+    for (const auto &kv : histograms_)
+        fn(kv.first, kv.second);
+}
+
 std::string
 StatSet::dump() const
 {
     std::ostringstream ss;
     for (const auto &kv : counters_)
-        ss << kv.first << " = " << kv.second << "\n";
+        ss << "counter " << kv.first << " = " << kv.second << "\n";
+    for (const auto &kv : gauges_)
+        ss << "gauge " << kv.first << " = " << kv.second << "\n";
+    for (const auto &kv : histograms_) {
+        const Histogram &h = kv.second;
+        ss << "hist " << kv.first << " count=" << h.count()
+           << " sum=" << h.sum() << " min=" << h.min()
+           << " max=" << h.max() << " p50=" << h.quantile(0.50)
+           << " p99=" << h.quantile(0.99) << "\n";
+    }
     return ss.str();
 }
 
@@ -48,6 +199,12 @@ StatSet::merge(const StatSet &other)
 {
     for (const auto &kv : other.counters_)
         counters_[kv.first] += kv.second;
+    for (const auto &kv : other.gauges_) {
+        uint64_t &g = gauges_[kv.first];
+        g = std::max(g, kv.second);
+    }
+    for (const auto &kv : other.histograms_)
+        histograms_[kv.first].merge(kv.second);
 }
 
 } // namespace shift

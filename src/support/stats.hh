@@ -4,13 +4,29 @@
  *
  * Simulator components register scalar counters here; benchmark
  * harnesses read them back by name to compute slowdowns and overhead
- * breakdowns (paper figures 7-9).
+ * breakdowns (paper figures 7-9). On top of the original flat
+ * counters the set now carries two more shapes the observability
+ * plane needs (docs/OBSERVABILITY.md):
+ *
+ *  - Histogram: a fixed-bucket log2 value distribution. Merging two
+ *    histograms is a bucket-wise sum, so fleet workers record
+ *    per-request latencies locally and the report folds them together
+ *    without ever shipping the raw samples.
+ *  - gauges: point-in-time values ("fleet.workers", queue depth).
+ *    Merging keeps the maximum, which is the only composition that
+ *    makes sense for a level sampled on independent threads.
+ *
+ * Counter names are dot-namespaced and stable; see
+ * docs/OBSERVABILITY.md for the schema (`engine.*`, `fastpath.*`,
+ * `fleet.*`, `obs.*`).
  */
 
 #ifndef SHIFT_SUPPORT_STATS_HH
 #define SHIFT_SUPPORT_STATS_HH
 
+#include <array>
 #include <cstdint>
+#include <functional>
 #include <map>
 #include <mutex>
 #include <string>
@@ -19,7 +35,62 @@
 namespace shift
 {
 
-/** A bag of named 64-bit counters. */
+/**
+ * A fixed-bucket log2 histogram of non-negative 64-bit samples.
+ *
+ * Bucket 0 holds the value 0; bucket i (1..63) holds values in
+ * [2^(i-1), 2^i). 64 buckets cover the whole uint64_t range in
+ * constant memory, so a histogram is safe to keep per worker and
+ * merge per job. Quantiles interpolate linearly inside the winning
+ * bucket (clamped by the observed min/max), which is exact enough for
+ * p50/p99 reporting and — unlike the sorted-vector percentiles it
+ * replaces — needs no O(samples) storage.
+ */
+class Histogram
+{
+  public:
+    static constexpr unsigned kBuckets = 64;
+
+    /** Bucket index for a value: 0 for 0, else floor(log2(v)) + 1. */
+    static unsigned bucketOf(uint64_t value);
+
+    /** Inclusive lower bound of a bucket (0, 1, 2, 4, 8, ...). */
+    static uint64_t bucketLow(unsigned bucket);
+
+    /** Inclusive upper bound of a bucket (0, 1, 3, 7, 15, ...). */
+    static uint64_t bucketHigh(unsigned bucket);
+
+    /** Record `weight` samples of `value`. */
+    void record(uint64_t value, uint64_t weight = 1);
+
+    /** Bucket-wise sum (associative and commutative). */
+    void merge(const Histogram &other);
+
+    uint64_t count() const { return count_; }
+    uint64_t sum() const { return sum_; }
+    uint64_t min() const { return count_ ? min_ : 0; }
+    uint64_t max() const { return max_; }
+    double mean() const { return count_ ? double(sum_) / double(count_) : 0; }
+
+    /**
+     * Approximate quantile (q in [0,1]) by linear interpolation
+     * within the bucket holding rank q*(count-1). Returns 0 on an
+     * empty histogram.
+     */
+    uint64_t quantile(double q) const;
+
+    const std::array<uint64_t, kBuckets> &buckets() const { return buckets_; }
+    bool empty() const { return count_ == 0; }
+
+  private:
+    std::array<uint64_t, kBuckets> buckets_{};
+    uint64_t count_ = 0;
+    uint64_t sum_ = 0;
+    uint64_t min_ = UINT64_MAX;
+    uint64_t max_ = 0;
+};
+
+/** A bag of named 64-bit counters, gauges, and histograms. */
 class StatSet
 {
   public:
@@ -29,26 +100,67 @@ class StatSet
     /** Read a counter; absent counters read as zero. */
     uint64_t get(const std::string &name) const;
 
-    /** Reset every counter to zero. */
+    /** Set a point-in-time gauge. */
+    void setGauge(const std::string &name, uint64_t value);
+
+    /** Read a gauge; absent gauges read as zero. */
+    uint64_t gauge(const std::string &name) const;
+
+    /** Record a sample into the named histogram. */
+    void record(const std::string &name, uint64_t value,
+                uint64_t weight = 1);
+
+    /** The named histogram, or nullptr when nothing was recorded. */
+    const Histogram *histogram(const std::string &name) const;
+
+    /** Reset every counter, gauge, and histogram. */
     void clear();
 
-    /** Names in sorted order, for dumping. */
+    /** Counter names in sorted order, for dumping. */
     std::vector<std::string> names() const;
 
-    /** Render "name = value" lines. */
+    /**
+     * Visit counters/gauges/histograms in sorted-name order without
+     * copying the maps — the accessor exporters render from.
+     */
+    void forEach(
+        const std::function<void(const std::string &, uint64_t)> &fn) const;
+    void forEachGauge(
+        const std::function<void(const std::string &, uint64_t)> &fn) const;
+    void forEachHistogram(
+        const std::function<void(const std::string &, const Histogram &)> &fn)
+        const;
+
+    /**
+     * Render the set as stable plain text, one entry per line:
+     *
+     *   counter <name> = <value>
+     *   gauge <name> = <value>
+     *   hist <name> count=<n> sum=<s> min=<lo> max=<hi> p50=<a> p99=<b>
+     *
+     * Entries are grouped by shape and sorted by name within each
+     * group; the format is part of the documented schema
+     * (docs/OBSERVABILITY.md).
+     */
     std::string dump() const;
 
-    /** Merge another set into this one (counter-wise sum). */
+    /**
+     * Merge another set into this one: counters sum, gauges keep the
+     * max, histograms merge bucket-wise.
+     */
     void merge(const StatSet &other);
 
   private:
     std::map<std::string, uint64_t> counters_;
+    std::map<std::string, uint64_t> gauges_;
+    std::map<std::string, Histogram> histograms_;
 };
 
 /**
  * A mutex-guarded StatSet for aggregation across fleet workers: each
  * clone accumulates into its own (single-threaded) StatSet while
- * running, then folds it in here with one merge() per job.
+ * running, then folds it in here with one merge() per job. A live
+ * metrics exporter snapshots it mid-run from its own thread.
  */
 class ConcurrentStatSet
 {
@@ -66,6 +178,20 @@ class ConcurrentStatSet
     {
         std::lock_guard<std::mutex> lock(mutex_);
         stats_.add(name, delta);
+    }
+
+    void
+    setGauge(const std::string &name, uint64_t value)
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        stats_.setGauge(name, value);
+    }
+
+    void
+    record(const std::string &name, uint64_t value, uint64_t weight = 1)
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        stats_.record(name, value, weight);
     }
 
     /** Copy out the aggregate (a consistent point-in-time view). */

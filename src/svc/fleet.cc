@@ -5,6 +5,7 @@
 #include <mutex>
 #include <thread>
 
+#include "obs/trace.hh"
 #include "svc/mpmc_queue.hh"
 
 namespace shift::svc
@@ -47,17 +48,22 @@ Fleet::serve(const std::vector<FleetJob> &jobs)
         while (std::optional<FleetJob> job = queue.pop()) {
             FleetJobResult jr;
             jr.id = job->id;
+            uint64_t jobId = static_cast<uint64_t>(job->id);
 
             auto forkStart = std::chrono::steady_clock::now();
             std::unique_ptr<SessionClone> clone = tmpl_->instantiate();
             jr.forkSeconds = secondsSince(forkStart);
+            obs::note(obs::Ev::JobFork, 0, -1, 0, jobId);
 
             for (const std::string &request : job->requests)
                 clone->os().queueConnection(request);
 
+            obs::note(obs::Ev::JobRunBegin, 0, -1, 0, jobId);
             auto runStart = std::chrono::steady_clock::now();
             jr.result = clone->run();
             jr.runSeconds = secondsSince(runStart);
+            obs::note(obs::Ev::JobRunEnd, 0, -1, 0, jobId,
+                      jr.result.cycles);
 
             jr.responses = clone->os().responses();
             jr.cowPages = clone->machine().memory().cowCopies();
@@ -73,11 +79,33 @@ Fleet::serve(const std::vector<FleetJob> &jobs)
                     static_cast<int64_t>(jr.result.cycles);
             }
 
+            // Fleet-plane distributions ride in the job's own StatSet
+            // so one merge carries them into the aggregate (and any
+            // live exporter target) together with the engine counters.
+            size_t nReq = std::max<size_t>(jr.responses.size(), 1);
+            jr.result.stats.record("fleet.latency.cycles",
+                                   jr.result.cycles / nReq, nReq);
+            jr.result.stats.record(
+                "fleet.fork.micros",
+                static_cast<uint64_t>(jr.forkSeconds * 1e6));
+            jr.result.stats.record("fleet.cow.pages", jr.cowPages);
+            jr.result.stats.add("fleet.jobs");
+            jr.result.stats.add("fleet.requests", jr.responses.size());
+            jr.result.stats.add("fleet.detections",
+                                jr.result.alerts.size());
+
             aggregate.merge(jr.result.stats);
+            if (options_.live)
+                options_.live->merge(jr.result.stats);
+            obs::note(obs::Ev::JobMerge, 0, -1, 0, jobId);
             std::lock_guard<std::mutex> lock(resultsMutex);
             results.push_back(std::move(jr));
         }
     };
+
+    aggregate.setGauge("fleet.workers", options_.workers);
+    if (options_.live)
+        options_.live->setGauge("fleet.workers", options_.workers);
 
     auto serveStart = std::chrono::steady_clock::now();
     std::vector<std::thread> threads;
@@ -103,27 +131,23 @@ Fleet::serve(const std::vector<FleetJob> &jobs)
                   return a.id < b.id;
               });
 
-    // Per-request simulated latency: a job's cycle total spread over
-    // its requests (requests within one clone run are not separately
-    // timestamped by the machine).
-    std::vector<uint64_t> latencies;
     for (const FleetJobResult &jr : results) {
         report.requests += jr.responses.size();
         report.detections += jr.result.alerts.size();
         report.allOk = report.allOk && jr.result.ok();
         report.totalSimCycles += jr.result.cycles;
         report.totalSavedSimCycles += jr.savedSimCycles;
-        size_t n = std::max<size_t>(jr.responses.size(), 1);
-        for (size_t i = 0; i < n; ++i)
-            latencies.push_back(jr.result.cycles / n);
     }
     report.jobs = results.size();
-    if (!latencies.empty()) {
-        std::sort(latencies.begin(), latencies.end());
-        report.p50LatencyCycles = latencies[latencies.size() / 2];
-        report.p99LatencyCycles =
-            latencies[std::min(latencies.size() - 1,
-                               latencies.size() * 99 / 100)];
+    // Per-request simulated latency: a job's cycle total spread over
+    // its requests (requests within one clone run are not separately
+    // timestamped by the machine). Workers recorded these into the
+    // merged fleet.latency.cycles histogram — constant memory per
+    // worker instead of the O(requests) sorted vector this replaces.
+    if (const Histogram *lat =
+            report.stats.histogram("fleet.latency.cycles")) {
+        report.p50LatencyCycles = lat->quantile(0.50);
+        report.p99LatencyCycles = lat->quantile(0.99);
     }
     if (report.hostSeconds > 0) {
         report.requestsPerHostSecond =

@@ -69,6 +69,14 @@ struct FleetOptions
      * identically or the deltas are meaningless.
      */
     SessionTemplate *reference = nullptr;
+
+    /**
+     * Optional live aggregation target: every job's stats (counters,
+     * gauges, and the fleet.* histograms) are merged here as the job
+     * completes, so a metrics exporter on another thread can snapshot
+     * a consistent mid-run view. Leave null to skip the extra merge.
+     */
+    ConcurrentStatSet *live = nullptr;
 };
 
 /** Aggregate over every job the fleet served. */

@@ -37,6 +37,11 @@ foreach(path IN LISTS tracked_list)
     if(path MATCHES "^build(-[^/]*)?/")
         list(APPEND offenders "${path}")
     endif()
+    # Observability droppings: flight-recorder traces and metrics
+    # sink files are run artifacts, never sources.
+    if(path MATCHES "\\.trace\\.json$" OR path MATCHES "(^|/)metrics\\.prom$")
+        list(APPEND offenders "${path}")
+    endif()
 endforeach()
 
 if(offenders)
@@ -44,9 +49,9 @@ if(offenders)
     list(SUBLIST offenders 0 10 sample)
     string(JOIN "\n  " sample_text ${sample})
     message(FATAL_ERROR
-        "tree_hygiene: ${count} tracked file(s) under a build "
-        "directory — build trees must never be committed:\n  "
-        "${sample_text}")
+        "tree_hygiene: ${count} tracked build/run artifact(s) — build "
+        "trees, *.trace.json, and metrics.prom must never be "
+        "committed:\n  ${sample_text}")
 endif()
 
 message(STATUS "tree_hygiene: ok (no build directory tracked)")

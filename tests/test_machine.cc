@@ -646,9 +646,9 @@ TEST(MachineStats, ProvenanceBucketsAreCharged)
     code.push_back(orig);
     RunHarness h(code);
     h.run();
-    EXPECT_EQ(h.result.stats.get("instrs.tagaddr.load"), 1u);
-    EXPECT_GE(h.result.stats.get("instrs.original"), 1u);
-    EXPECT_GT(h.result.stats.get("cycles.total"), 0u);
+    EXPECT_EQ(h.result.stats.get("engine.instrs.tagaddr.load"), 1u);
+    EXPECT_GE(h.result.stats.get("engine.instrs.original"), 1u);
+    EXPECT_GT(h.result.stats.get("engine.cycles.total"), 0u);
     EXPECT_EQ(h.result.instructions, 3u); // 2 movi + ret
 }
 

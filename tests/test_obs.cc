@@ -1,0 +1,537 @@
+/**
+ * @file
+ * The observability plane: flight-recorder rings, Chrome-JSON drains,
+ * histogram algebra, metrics exporters, and taint provenance chains.
+ *
+ * The provenance suite runs every table-2 attack with the recorder on
+ * and requires each policy kill to carry a non-empty chain ending at
+ * the failing check; the trace-format suite validates the drained
+ * JSON with a real parser rather than string probes, since "loads in
+ * Perfetto" is the contract.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cctype>
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <thread>
+
+#include "obs/exporter.hh"
+#include "obs/trace.hh"
+#include "session_helpers.hh"
+#include "support/logging.hh"
+#include "support/stats.hh"
+#include "workloads/attacks.hh"
+
+namespace shift
+{
+namespace
+{
+
+/**
+ * A minimal JSON well-formedness checker (recursive descent over the
+ * full grammar, values discarded). Returns false instead of throwing
+ * so EXPECT output stays readable.
+ */
+class JsonChecker
+{
+  public:
+    explicit JsonChecker(const std::string &text) : s_(text) {}
+
+    bool
+    valid()
+    {
+        skipWs();
+        if (!value())
+            return false;
+        skipWs();
+        return pos_ == s_.size();
+    }
+
+  private:
+    bool
+    value()
+    {
+        if (pos_ >= s_.size())
+            return false;
+        switch (s_[pos_]) {
+          case '{': return object();
+          case '[': return array();
+          case '"': return string();
+          case 't': return literal("true");
+          case 'f': return literal("false");
+          case 'n': return literal("null");
+          default: return number();
+        }
+    }
+
+    bool
+    object()
+    {
+        ++pos_; // '{'
+        skipWs();
+        if (peek() == '}') { ++pos_; return true; }
+        while (true) {
+            skipWs();
+            if (!string())
+                return false;
+            skipWs();
+            if (peek() != ':')
+                return false;
+            ++pos_;
+            skipWs();
+            if (!value())
+                return false;
+            skipWs();
+            if (peek() == ',') { ++pos_; continue; }
+            if (peek() == '}') { ++pos_; return true; }
+            return false;
+        }
+    }
+
+    bool
+    array()
+    {
+        ++pos_; // '['
+        skipWs();
+        if (peek() == ']') { ++pos_; return true; }
+        while (true) {
+            skipWs();
+            if (!value())
+                return false;
+            skipWs();
+            if (peek() == ',') { ++pos_; continue; }
+            if (peek() == ']') { ++pos_; return true; }
+            return false;
+        }
+    }
+
+    bool
+    string()
+    {
+        if (peek() != '"')
+            return false;
+        ++pos_;
+        while (pos_ < s_.size() && s_[pos_] != '"') {
+            if (s_[pos_] == '\\') {
+                ++pos_;
+                if (pos_ >= s_.size())
+                    return false;
+            }
+            ++pos_;
+        }
+        if (pos_ >= s_.size())
+            return false;
+        ++pos_;
+        return true;
+    }
+
+    bool
+    number()
+    {
+        size_t start = pos_;
+        if (peek() == '-')
+            ++pos_;
+        while (pos_ < s_.size() &&
+               (std::isdigit(static_cast<unsigned char>(s_[pos_])) ||
+                s_[pos_] == '.' || s_[pos_] == 'e' || s_[pos_] == 'E' ||
+                s_[pos_] == '+' || s_[pos_] == '-'))
+            ++pos_;
+        return pos_ > start;
+    }
+
+    bool
+    literal(const char *word)
+    {
+        size_t len = std::strlen(word);
+        if (s_.compare(pos_, len, word) != 0)
+            return false;
+        pos_ += len;
+        return true;
+    }
+
+    char peek() const { return pos_ < s_.size() ? s_[pos_] : '\0'; }
+
+    void
+    skipWs()
+    {
+        while (pos_ < s_.size() &&
+               std::isspace(static_cast<unsigned char>(s_[pos_])))
+            ++pos_;
+    }
+
+    const std::string &s_;
+    size_t pos_ = 0;
+};
+
+/** RAII recorder so a failing test never leaks an active recorder. */
+struct ScopedRecorder
+{
+    explicit ScopedRecorder(obs::RecorderOptions options = {})
+    {
+        rec = obs::Recorder::enable(options);
+    }
+    ~ScopedRecorder() { obs::Recorder::disable(); }
+    obs::Recorder *rec;
+};
+
+// ----- TraceBuffer ------------------------------------------------------
+
+TEST(TraceBuffer, WrapOverwritesOldestAndCountsDrops)
+{
+    obs::TraceBuffer buf(64, -1);
+    EXPECT_EQ(buf.capacity(), 64u);
+    for (uint64_t i = 0; i < 100; ++i)
+        buf.emit(obs::Ev::TaintStore, 0, -1, i, i);
+    EXPECT_EQ(buf.emitted(), 100u);
+    EXPECT_EQ(buf.dropped(), 36u);
+    EXPECT_EQ(buf.size(), 64u);
+
+    // Retained events are the newest 64, oldest-first.
+    std::vector<uint64_t> pcs;
+    buf.forEach([&](const obs::TraceEvent &e) { pcs.push_back(e.pc); });
+    ASSERT_EQ(pcs.size(), 64u);
+    EXPECT_EQ(pcs.front(), 36u);
+    EXPECT_EQ(pcs.back(), 99u);
+}
+
+TEST(TraceBuffer, CapacityRoundsUpToPowerOfTwo)
+{
+    obs::TraceBuffer buf(100, 0);
+    EXPECT_EQ(buf.capacity(), 128u);
+    obs::TraceBuffer tiny(1, 0);
+    EXPECT_EQ(tiny.capacity(), 64u); // floor
+}
+
+TEST(TraceBuffer, TaintChainKeepsSourceAcrossEviction)
+{
+    obs::TraceBuffer buf(256, -1);
+    buf.emit(obs::Ev::TaintSource, obs::packChannel("network"), -1, 5,
+             0x1000, 32);
+    for (uint64_t i = 0; i < 40; ++i)
+        buf.emit(obs::Ev::TaintStore, 0, -1, 10 + i, 0x2000 + i);
+    buf.emit(obs::Ev::PolicyKill, obs::packPolicyId("H2"), -1, 99);
+    std::vector<obs::TraceEvent> chain = buf.taintChain(8);
+    ASSERT_FALSE(chain.empty());
+    // The source survives the last-8 window; the kill closes the chain.
+    EXPECT_EQ(chain.front().kind,
+              static_cast<uint16_t>(obs::Ev::TaintSource));
+    EXPECT_EQ(chain.back().kind,
+              static_cast<uint16_t>(obs::Ev::PolicyKill));
+    EXPECT_EQ(chain.back().pc, 99u);
+}
+
+TEST(TraceBuffer, NonTaintEventsStayOutOfChains)
+{
+    obs::TraceBuffer buf(64, -1);
+    buf.emit(obs::Ev::FastEnter, 0, 0, 1);
+    buf.emit(obs::Ev::CowCopy, 0, 0, 2);
+    buf.emit(obs::Ev::JobFork, 0, -1, 0, 7);
+    EXPECT_TRUE(buf.taintChain(16).empty());
+}
+
+// ----- Histogram --------------------------------------------------------
+
+TEST(Histogram, BucketBoundaries)
+{
+    EXPECT_EQ(Histogram::bucketOf(0), 0u);
+    EXPECT_EQ(Histogram::bucketOf(1), 1u);
+    EXPECT_EQ(Histogram::bucketOf(2), 2u);
+    EXPECT_EQ(Histogram::bucketOf(3), 2u);
+    EXPECT_EQ(Histogram::bucketOf(4), 3u);
+    EXPECT_EQ(Histogram::bucketOf(UINT64_MAX), 63u);
+    EXPECT_EQ(Histogram::bucketLow(0), 0u);
+    EXPECT_EQ(Histogram::bucketHigh(0), 0u);
+    EXPECT_EQ(Histogram::bucketLow(3), 4u);
+    EXPECT_EQ(Histogram::bucketHigh(3), 7u);
+}
+
+TEST(Histogram, QuantilesBracketedByMinMax)
+{
+    Histogram h;
+    for (uint64_t v : {10, 20, 30, 40, 50, 1000})
+        h.record(v);
+    EXPECT_EQ(h.count(), 6u);
+    EXPECT_EQ(h.min(), 10u);
+    EXPECT_EQ(h.max(), 1000u);
+    EXPECT_GE(h.quantile(0.0), 10u);
+    EXPECT_LE(h.quantile(1.0), 1000u);
+    EXPECT_LE(h.quantile(0.5), h.quantile(0.99));
+    Histogram empty;
+    EXPECT_EQ(empty.quantile(0.5), 0u);
+}
+
+TEST(Histogram, MergeIsAssociative)
+{
+    auto fill = [](Histogram &h, uint64_t seed, int n) {
+        uint64_t x = seed;
+        for (int i = 0; i < n; ++i) {
+            x = x * 6364136223846793005ULL + 1442695040888963407ULL;
+            h.record(x >> 40);
+        }
+    };
+    Histogram a, b, c;
+    fill(a, 1, 100);
+    fill(b, 2, 257);
+    fill(c, 3, 33);
+
+    Histogram leftFirst = a;   // (a + b) + c
+    leftFirst.merge(b);
+    leftFirst.merge(c);
+    Histogram rightFirst = b;  // a + (b + c)
+    rightFirst.merge(c);
+    Histogram result = a;
+    result.merge(rightFirst);
+
+    EXPECT_EQ(leftFirst.count(), result.count());
+    EXPECT_EQ(leftFirst.sum(), result.sum());
+    EXPECT_EQ(leftFirst.min(), result.min());
+    EXPECT_EQ(leftFirst.max(), result.max());
+    EXPECT_EQ(leftFirst.buckets(), result.buckets());
+    EXPECT_EQ(leftFirst.quantile(0.5), result.quantile(0.5));
+    EXPECT_EQ(leftFirst.quantile(0.99), result.quantile(0.99));
+}
+
+TEST(StatSet, DumpFormatAndMergeShapes)
+{
+    StatSet a;
+    a.add("engine.instrs.total", 10);
+    a.setGauge("fleet.workers", 4);
+    a.record("fleet.latency.cycles", 100);
+    StatSet b;
+    b.add("engine.instrs.total", 5);
+    b.setGauge("fleet.workers", 2);
+    b.record("fleet.latency.cycles", 300);
+    a.merge(b);
+    EXPECT_EQ(a.get("engine.instrs.total"), 15u);
+    EXPECT_EQ(a.gauge("fleet.workers"), 4u); // gauges keep the max
+    const Histogram *h = a.histogram("fleet.latency.cycles");
+    ASSERT_NE(h, nullptr);
+    EXPECT_EQ(h->count(), 2u);
+
+    std::string dump = a.dump();
+    EXPECT_NE(dump.find("counter engine.instrs.total = 15"),
+              std::string::npos);
+    EXPECT_NE(dump.find("gauge fleet.workers = 4"), std::string::npos);
+    EXPECT_NE(dump.find("hist fleet.latency.cycles count=2"),
+              std::string::npos);
+}
+
+// ----- exporters --------------------------------------------------------
+
+TEST(Exporter, PrometheusShapes)
+{
+    StatSet stats;
+    stats.add("engine.instrs.total", 42);
+    stats.add("fastpath.deopts.main@12", 3);
+    stats.add("fastpath.deopts.handle@7", 1);
+    stats.setGauge("fleet.workers", 4);
+    stats.record("fleet.latency.cycles", 100);
+    stats.record("fleet.latency.cycles", 5000);
+
+    std::string text = obs::renderPrometheus(stats);
+    EXPECT_NE(text.find("shift_engine_instrs_total 42"),
+              std::string::npos);
+    EXPECT_NE(text.find("# TYPE shift_fleet_workers gauge"),
+              std::string::npos);
+    EXPECT_NE(text.find("shift_fleet_workers 4"), std::string::npos);
+    // '@'-attributed counters become one labelled family.
+    EXPECT_NE(text.find("shift_fastpath_deopts_total"
+                        "{site=\"main@12\"} 3"),
+              std::string::npos);
+    EXPECT_NE(text.find("{site=\"handle@7\"} 1"), std::string::npos);
+    // Histogram triple with cumulative buckets and +Inf.
+    EXPECT_NE(text.find("shift_fleet_latency_cycles_bucket{le=\"+Inf\"} 2"),
+              std::string::npos);
+    EXPECT_NE(text.find("shift_fleet_latency_cycles_sum 5100"),
+              std::string::npos);
+    EXPECT_NE(text.find("shift_fleet_latency_cycles_count 2"),
+              std::string::npos);
+}
+
+TEST(Exporter, JsonStatsParse)
+{
+    StatSet stats;
+    stats.add("engine.instrs.total", 7);
+    stats.setGauge("fleet.workers", 2);
+    stats.record("fleet.cow.pages", 12);
+    std::string text = obs::renderJsonStats(stats);
+    EXPECT_TRUE(JsonChecker(text).valid()) << text;
+    EXPECT_NE(text.find("\"engine.instrs.total\": 7"), std::string::npos);
+}
+
+TEST(Exporter, PeriodicExporterWritesSink)
+{
+    ConcurrentStatSet live;
+    live.add("engine.instrs.total", 9);
+    std::string path = ::testing::TempDir() + "obs_metrics_test.txt";
+
+    obs::PeriodicExporter exporter;
+    exporter.start(0.01, path, obs::MetricsFormat::Prometheus,
+                   [&live] { return live.snapshot(); });
+    while (exporter.ticks() < 2)
+        std::this_thread::sleep_for(std::chrono::milliseconds(2));
+    exporter.stop();
+    EXPECT_GE(exporter.ticks(), 2u);
+
+    std::ifstream in(path);
+    ASSERT_TRUE(in.good());
+    std::stringstream ss;
+    ss << in.rdbuf();
+    EXPECT_NE(ss.str().find("shift_engine_instrs_total 9"),
+              std::string::npos);
+    std::remove(path.c_str());
+}
+
+// ----- recorder + session integration -----------------------------------
+
+/**
+ * Reads 48 tainted bytes and copies them repeatedly: every tainted
+ * byte store writes its tag, so one run emits a few hundred
+ * TaintStore events — enough to wrap a 64-event ring.
+ */
+constexpr const char *kTaintyProgram = R"MC(
+char buf[64];
+char out[64];
+int main() {
+    int fd = open("/in.txt", 0);
+    int n = read(fd, buf, 48);
+    int pass = 0;
+    while (pass < 4) {
+        int i = 0;
+        while (i < n) {
+            out[i] = buf[i];
+            i = i + 1;
+        }
+        pass = pass + 1;
+    }
+    return n;
+}
+)MC";
+
+RunResult
+runTainty(uint32_t ringEvents)
+{
+    obs::RecorderOptions options;
+    options.ringEvents = ringEvents;
+    ScopedRecorder recorder(options);
+    return testutil::runShift(kTaintyProgram, Granularity::Byte,
+                              [](Session &s) {
+                                  s.os().addFile(
+                                      "/in.txt",
+                                      std::string(48, 'A'));
+                              });
+}
+
+TEST(Recorder, SessionEmitsEventsIntoStats)
+{
+    RunResult result = runTainty(1 << 14);
+    EXPECT_TRUE(result.exited);
+    EXPECT_GT(result.stats.get("obs.events"), 0u);
+    EXPECT_EQ(result.stats.get("obs.dropped"), 0u);
+}
+
+TEST(Recorder, TinyRingReportsDrops)
+{
+    RunResult result = runTainty(64);
+    EXPECT_TRUE(result.exited);
+    // 48 tainted bytes copied through out[] emit > 64 taint stores:
+    // the ring wraps and the drop count surfaces as obs.dropped.
+    EXPECT_GT(result.stats.get("obs.dropped"), 0u);
+}
+
+TEST(Recorder, ChromeJsonIsWellFormed)
+{
+    ScopedRecorder recorder;
+    RunResult result = testutil::runShift(
+        kTaintyProgram, Granularity::Byte, [](Session &s) {
+            s.os().addFile("/in.txt", std::string(48, 'A'));
+        });
+    EXPECT_TRUE(result.exited);
+
+    std::ostringstream os;
+    recorder.rec->writeChromeJson(os);
+    std::string json = os.str();
+    EXPECT_TRUE(JsonChecker(json).valid())
+        << json.substr(0, 400) << "...";
+    // trace_event envelope + the spans/instants we expect.
+    EXPECT_NE(json.find("\"traceEvents\""), std::string::npos);
+    EXPECT_NE(json.find("\"compile\""), std::string::npos);
+    EXPECT_NE(json.find("\"taint.source\""), std::string::npos);
+    EXPECT_NE(json.find("\"ph\":\"B\""), std::string::npos);
+    EXPECT_NE(json.find("\"ph\":\"E\""), std::string::npos);
+}
+
+TEST(Recorder, StatIntoCountsBuffers)
+{
+    ScopedRecorder recorder;
+    obs::TraceBuffer *a = recorder.rec->acquireBuffer(0);
+    obs::TraceBuffer *b = recorder.rec->acquireBuffer(1);
+    a->emit(obs::Ev::JobFork);
+    b->emit(obs::Ev::JobFork);
+    b->emit(obs::Ev::JobMerge);
+    StatSet stats;
+    recorder.rec->statInto(stats);
+    EXPECT_EQ(stats.gauge("obs.buffers"), 2u);
+    EXPECT_EQ(stats.get("obs.events"), 3u);
+    EXPECT_EQ(stats.get("obs.dropped"), 0u);
+}
+
+// ----- provenance on the table-2 attacks --------------------------------
+
+TEST(Provenance, EveryAttackKillCarriesAChain)
+{
+    for (const workloads::AttackScenario &scenario :
+         workloads::attackScenarios()) {
+        SCOPED_TRACE(scenario.name);
+        ScopedRecorder recorder;
+        workloads::AttackRun run = workloads::runAttackScenario(
+            scenario, /*exploit=*/true, Granularity::Byte);
+        ASSERT_TRUE(run.detected) << scenario.expectedPolicy;
+        ASSERT_FALSE(run.result.provenance.empty());
+        // The chain ends at the failing check: a policy kill whose pc
+        // matches the alert the run reported.
+        const obs::TraceEvent &last = run.result.provenance.back();
+        EXPECT_EQ(last.kind, static_cast<uint16_t>(obs::Ev::PolicyKill));
+        ASSERT_FALSE(run.result.alerts.empty());
+        EXPECT_EQ(last.pc, run.result.alerts.back().pc);
+        EXPECT_EQ(obs::unpackPolicyId(last.aux),
+                  run.result.alerts.back().policy);
+        // And renders as one line per event.
+        std::string text = recorder.rec->renderChain(run.result.provenance);
+        EXPECT_NE(text.find("policy.kill"), std::string::npos);
+    }
+}
+
+// ----- clone-tagged fatal sink ------------------------------------------
+
+TEST(Logging, FatalEmbedsCloneTag)
+{
+    setLogCloneTag(3);
+    EXPECT_EQ(logCloneTag(), 3);
+    try {
+        SHIFT_FATAL("boom %d", 42);
+        FAIL() << "SHIFT_FATAL returned";
+    } catch (const FatalError &e) {
+        EXPECT_NE(std::string(e.what()).find("[clone 3]"),
+                  std::string::npos)
+            << e.what();
+        EXPECT_NE(std::string(e.what()).find("boom 42"),
+                  std::string::npos);
+    }
+    setLogCloneTag(-1);
+    try {
+        SHIFT_FATAL("quiet");
+        FAIL() << "SHIFT_FATAL returned";
+    } catch (const FatalError &e) {
+        EXPECT_EQ(std::string(e.what()).find("[clone"),
+                  std::string::npos);
+    }
+}
+
+} // namespace
+} // namespace shift

@@ -154,11 +154,11 @@ TEST(SpecSuite, ProvenanceCyclesSumToCpuCycles)
     uint64_t sum = 0;
     for (const char *prov : {"original", "natgen", "tagaddr", "tagmem",
                              "tagreg", "relax", "check", "baseline"}) {
-        sum += st.get(std::string("cycles.") + prov);
+        sum += st.get(std::string("engine.cycles.") + prov);
     }
-    EXPECT_EQ(sum, st.get("cycles.cpu"));
-    EXPECT_EQ(st.get("cycles.cpu") + st.get("cycles.os"),
-              st.get("cycles.total"));
+    EXPECT_EQ(sum, st.get("engine.cycles.cpu"));
+    EXPECT_EQ(st.get("engine.cycles.cpu") + st.get("engine.cycles.os"),
+              st.get("engine.cycles.total"));
 }
 
 } // namespace

@@ -21,6 +21,7 @@
 #include <string>
 #include <vector>
 
+#include "obs/trace.hh"
 #include "runtime/session.hh"
 #include "support/logging.hh"
 
@@ -48,7 +49,10 @@ usage()
         "  --conn TEXT              queue a network connection\n"
         "  --disasm                 print the final code and exit\n"
         "  --stats                  dump cycle counters after the run\n"
-        "  --trace N                trace the first N instructions\n"
+        "  --itrace N               print the first N instructions "
+        "executed\n"
+        "  --trace FILE             record a flight-recorder trace "
+        "(Chrome JSON, Perfetto-loadable)\n"
         "  --max-steps N            execution budget\n");
 }
 
@@ -86,6 +90,7 @@ main(int argc, char **argv)
     bool disasm = false;
     bool dumpStats = false;
     uint64_t traceLimit = 0;
+    std::string tracePath;
 
     try {
         for (int i = 1; i < argc; ++i) {
@@ -141,8 +146,10 @@ main(int argc, char **argv)
                 disasm = true;
             } else if (arg == "--stats") {
                 dumpStats = true;
-            } else if (arg == "--trace") {
+            } else if (arg == "--itrace") {
                 traceLimit = static_cast<uint64_t>(std::stoull(next()));
+            } else if (arg == "--trace") {
+                tracePath = next();
             } else if (arg == "--max-steps") {
                 options.maxSteps =
                     static_cast<uint64_t>(std::stoull(next()));
@@ -158,6 +165,11 @@ main(int argc, char **argv)
             usage();
             return 103;
         }
+
+        // Enable the flight recorder before the session build so the
+        // compile/instrument/decode phases land in the trace too.
+        if (!tracePath.empty())
+            obs::Recorder::enable();
 
         Session session(readHostFile(sourcePath), options);
 
@@ -210,6 +222,15 @@ main(int argc, char **argv)
         if (dumpStats) {
             std::fprintf(stderr, "--- stats ---\n%s",
                          result.stats.dump().c_str());
+        }
+        if (obs::Recorder *rec = obs::Recorder::active()) {
+            if (!result.provenance.empty()) {
+                std::fprintf(
+                    stderr, "taint provenance:\n%s",
+                    rec->renderChain(result.provenance).c_str());
+            }
+            rec->writeChromeJsonFile(tracePath);
+            obs::Recorder::disable();
         }
 
         if (result.killedByPolicy) {

@@ -23,6 +23,8 @@
 #include <string>
 #include <vector>
 
+#include "obs/exporter.hh"
+#include "obs/trace.hh"
 #include "runtime/session_template.hh"
 #include "support/logging.hh"
 #include "svc/fleet.hh"
@@ -50,7 +52,14 @@ usage()
         "  --requests N             connections per clone (default 4)\n"
         "  --workers N              worker threads (default 4)\n"
         "  --max-steps N            execution budget per clone\n"
-        "  --json                   print the report as JSON\n"
+        "  --json                   print the report as JSON "
+        "(includes the stats schema)\n"
+        "  --trace FILE             record a flight-recorder trace "
+        "(Chrome JSON, Perfetto-loadable)\n"
+        "  --metrics-interval N     export live metrics every N "
+        "seconds while serving\n"
+        "  --metrics-out PATH       metrics sink: a file rewritten "
+        "each tick, or '-' for stderr (default)\n"
         "With no program, serves the built-in httpd workload.\n");
 }
 
@@ -89,6 +98,9 @@ main(int argc, char **argv)
     int requestsPerJob = 4;
     unsigned workers = 4;
     bool json = false;
+    std::string tracePath;
+    double metricsInterval = 0;
+    std::string metricsOut = "-";
 
     try {
         for (int i = 1; i < argc; ++i) {
@@ -143,6 +155,12 @@ main(int argc, char **argv)
                     static_cast<uint64_t>(std::stoull(next()));
             } else if (arg == "--json") {
                 json = true;
+            } else if (arg == "--trace") {
+                tracePath = next();
+            } else if (arg == "--metrics-interval") {
+                metricsInterval = std::stod(next());
+            } else if (arg == "--metrics-out") {
+                metricsOut = next();
             } else if (!arg.empty() && arg[0] == '-') {
                 SHIFT_FATAL("unknown option '%s'", arg.c_str());
             } else if (sourcePath.empty()) {
@@ -153,6 +171,11 @@ main(int argc, char **argv)
         }
         if (jobs <= 0 || requestsPerJob <= 0)
             SHIFT_FATAL("--jobs and --requests must be positive");
+
+        // Enable the flight recorder before the template build so the
+        // compile/instrument/freeze phases land in the trace too.
+        if (!tracePath.empty())
+            obs::Recorder::enable();
 
         // Build the template: a user program, or the built-in httpd
         // workload (its policy/request defaults) when none is given.
@@ -189,8 +212,22 @@ main(int argc, char **argv)
 
         svc::FleetOptions fleetOptions;
         fleetOptions.workers = workers;
+
+        // Live metrics: workers fold each finished job into `live`,
+        // the exporter snapshots it on a timer — so a long run is
+        // observable while it executes, not only at the end.
+        ConcurrentStatSet live;
+        obs::PeriodicExporter exporter;
+        if (metricsInterval > 0) {
+            fleetOptions.live = &live;
+            exporter.start(metricsInterval, metricsOut,
+                           obs::MetricsFormat::Prometheus,
+                           [&live] { return live.snapshot(); });
+        }
+
         svc::Fleet fleet(*tmpl, fleetOptions);
         svc::FleetReport report = fleet.serve(jobList);
+        exporter.stop();
 
         if (json) {
             std::printf(
@@ -201,14 +238,16 @@ main(int argc, char **argv)
                 "\"p99_latency_cycles\": %llu,\n"
                 " \"host_seconds\": %.6f, "
                 "\"requests_per_host_second\": %.1f,\n"
-                " \"snapshot_pages\": %zu}\n",
+                " \"snapshot_pages\": %zu,\n"
+                " \"stats\":\n%s}\n",
                 report.jobs, report.requests, workers, report.detections,
                 report.allOk ? "true" : "false",
                 static_cast<unsigned long long>(report.totalSimCycles),
                 static_cast<unsigned long long>(report.p50LatencyCycles),
                 static_cast<unsigned long long>(report.p99LatencyCycles),
                 report.hostSeconds, report.requestsPerHostSecond,
-                tmpl->snapshotPages());
+                tmpl->snapshotPages(),
+                obs::renderJsonStats(report.stats, 1).c_str());
         } else {
             std::printf("fleet: %zu jobs, %zu requests, %u workers\n",
                         report.jobs, report.requests, workers);
@@ -229,6 +268,7 @@ main(int argc, char **argv)
 
         bool killed = false;
         bool faulted = false;
+        obs::Recorder *rec = obs::Recorder::active();
         for (const svc::FleetJobResult &jr : report.jobResults) {
             killed = killed || jr.result.killedByPolicy;
             faulted = faulted || static_cast<bool>(jr.result.fault);
@@ -236,6 +276,15 @@ main(int argc, char **argv)
                 std::fprintf(stderr, "job %d ALERT %s: %s\n", jr.id,
                              alert.policy.c_str(), alert.message.c_str());
             }
+            if (rec && !jr.result.provenance.empty()) {
+                std::fprintf(
+                    stderr, "job %d taint provenance:\n%s", jr.id,
+                    rec->renderChain(jr.result.provenance).c_str());
+            }
+        }
+        if (rec) {
+            rec->writeChromeJsonFile(tracePath);
+            obs::Recorder::disable();
         }
         if (killed)
             return 101;
