@@ -13,10 +13,28 @@ file(GLOB bench_files "${BENCH_DIR}/BENCH_*.json")
 list(FILTER bench_files EXCLUDE REGEX "BENCH_trajectory\\.json$")
 list(SORT bench_files)
 
+# The full artifact set the bench binaries can emit. Missing entries
+# are normal — only the benches actually run in this tree have files —
+# so they are reported and skipped, never an error.
+set(known_benches
+    interp fleet overhead fastpath obs async)
+foreach(name IN LISTS known_benches)
+    if(NOT EXISTS "${BENCH_DIR}/BENCH_${name}.json")
+        message(STATUS
+            "bench-trajectory: BENCH_${name}.json not present "
+            "(bench_${name} not run) — skipping")
+    endif()
+endforeach()
+
 if(NOT bench_files)
-    message(FATAL_ERROR
-        "bench-trajectory: no BENCH_*.json in ${BENCH_DIR} — run at "
-        "least one bench binary first (e.g. ./bench/bench_interp)")
+    message(STATUS
+        "bench-trajectory: no BENCH_*.json in ${BENCH_DIR} — writing "
+        "an empty trajectory (run a bench binary to populate it, e.g. "
+        "./bench/bench_interp)")
+    string(TIMESTAMP now "%s" UTC)
+    file(WRITE "${BENCH_DIR}/BENCH_trajectory.json"
+        "{\n  \"generated\": ${now},\n  \"benches\": {}\n}\n")
+    return()
 endif()
 
 string(TIMESTAMP now "%s" UTC)

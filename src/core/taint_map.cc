@@ -17,6 +17,8 @@ TaintMap::setBit(uint64_t addr, bool value)
     byte = insertBit(byte, bitIdx, value);
     fault = mem_->write(tagAddr, 1, byte);
     SHIFT_ASSERT(fault == MemFault::None);
+    if (mirror_)
+        mirror_(tagAddr, bitIdx, value);
 }
 
 void

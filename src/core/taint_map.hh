@@ -14,6 +14,7 @@
 #define SHIFT_CORE_TAINT_MAP_HH
 
 #include <cstdint>
+#include <functional>
 #include <vector>
 
 #include "mem/address_space.hh"
@@ -50,11 +51,27 @@ class TaintMap
     /** Number of tainted tracking units in [addr, addr+len). */
     uint64_t countTainted(uint64_t addr, uint64_t len) const;
 
+    /**
+     * Mirror hook: fires after every bitmap bit this map writes, with
+     * the tag byte address, the bit index within that byte, and the
+     * value written. The async taint tier installs one so host-side
+     * taint sources (input hooks, wrap functions) reach its shadow as
+     * well as simulated memory. Callers must only write through the
+     * map while the consumer is quiesced (machine construction or a
+     * fence).
+     */
+    void
+    setMirror(std::function<void(uint64_t, unsigned, bool)> mirror)
+    {
+        mirror_ = std::move(mirror);
+    }
+
   private:
     void setBit(uint64_t addr, bool value);
 
     Memory *mem_;
     Granularity granularity_;
+    std::function<void(uint64_t, unsigned, bool)> mirror_;
 };
 
 } // namespace shift

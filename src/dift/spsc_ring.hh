@@ -1,0 +1,146 @@
+/**
+ * @file
+ * A bounded single-producer/single-consumer ring for trace events.
+ *
+ * Same power-of-two mask-indexed layout as the flight recorder's
+ * TraceBuffer (obs/trace.hh), but where the recorder overwrites its
+ * oldest event, this ring is *lossless*: when full, the producer
+ * blocks (spin + yield) until the consumer frees a slot, and every
+ * blocked spin is counted — that backpressure number is a first-class
+ * statistic of the async tier (dift.ring.stallSpins), because a
+ * saturated ring is exactly the regime where the decoupled model
+ * stops being free.
+ *
+ * Synchronization contract (TSan-verified by tests/test_dift.cc):
+ *  - exactly one producer thread calls push()/publish(),
+ *  - exactly one consumer thread calls consume(),
+ *  - head_ is published with release stores and read by the consumer
+ *    with acquire loads (slot contents ride that edge); tail_ the
+ *    mirror image. Both sides keep a cached copy of the other index
+ *    so the hot path touches no shared cache line until it must.
+ *
+ * The producer batches head publication (publish() every K events or
+ * at a fence) so the common case is two plain stores per event.
+ */
+
+#ifndef SHIFT_DIFT_SPSC_RING_HH
+#define SHIFT_DIFT_SPSC_RING_HH
+
+#include <atomic>
+#include <cstdint>
+#include <thread>
+#include <vector>
+
+namespace shift::dift
+{
+
+template <typename T>
+class SpscRing
+{
+  public:
+    /** Capacity is rounded up to a power of two (min 64). */
+    explicit SpscRing(size_t capacity)
+    {
+        size_t cap = 64;
+        while (cap < capacity)
+            cap <<= 1;
+        ring_.resize(cap);
+        mask_ = cap - 1;
+    }
+
+    size_t capacity() const { return mask_ + 1; }
+
+    // ----- producer side ------------------------------------------------
+
+    /**
+     * Append one event, blocking while the ring is full. Returns the
+     * number of blocked spin iterations (0 on the fast path).
+     */
+    uint64_t
+    push(const T &item)
+    {
+        uint64_t spins = 0;
+        if (localHead_ - cachedTail_ > mask_) {
+            cachedTail_ = tail_.load(std::memory_order_acquire);
+            while (localHead_ - cachedTail_ > mask_) {
+                // Full: the consumer is behind. Publish what we have
+                // so it can make progress, then wait.
+                publish();
+                ++spins;
+                if ((spins & 0x3f) == 0)
+                    std::this_thread::yield();
+                cachedTail_ = tail_.load(std::memory_order_acquire);
+            }
+        }
+        ring_[localHead_ & mask_] = item;
+        ++localHead_;
+        return spins;
+    }
+
+    /** Make every pushed event visible to the consumer. */
+    void publish() { head_.store(localHead_, std::memory_order_release); }
+
+    /** Events pushed so far (producer-local, exact). */
+    uint64_t pushed() const { return localHead_; }
+
+    /**
+     * Producer-side view of the ring depth (events in flight). Uses
+     * the cached tail, refreshed at most once: a sampling statistic,
+     * not a synchronization primitive.
+     */
+    uint64_t
+    depth()
+    {
+        cachedTail_ = tail_.load(std::memory_order_acquire);
+        return localHead_ - cachedTail_;
+    }
+
+    /** Consumer progress as the producer sees it (acquire). */
+    uint64_t
+    consumed() const
+    {
+        return tail_.load(std::memory_order_acquire);
+    }
+
+    // ----- consumer side ------------------------------------------------
+
+    /**
+     * Drain everything currently published through `fn(const T &)`.
+     * Returns the number of events consumed. The tail is published
+     * once per batch.
+     */
+    template <typename Fn>
+    uint64_t
+    consume(Fn &&fn)
+    {
+        uint64_t avail = head_.load(std::memory_order_acquire);
+        uint64_t tail = localTail_;
+        while (tail < avail) {
+            fn(ring_[tail & mask_]);
+            ++tail;
+        }
+        uint64_t n = tail - localTail_;
+        if (n) {
+            localTail_ = tail;
+            tail_.store(tail, std::memory_order_release);
+        }
+        return n;
+    }
+
+  private:
+    std::vector<T> ring_;
+    uint64_t mask_ = 0;
+
+    // Producer-owned.
+    alignas(64) uint64_t localHead_ = 0;
+    uint64_t cachedTail_ = 0;
+    // Consumer-owned.
+    alignas(64) uint64_t localTail_ = 0;
+    // Shared.
+    alignas(64) std::atomic<uint64_t> head_{0};
+    alignas(64) std::atomic<uint64_t> tail_{0};
+};
+
+} // namespace shift::dift
+
+#endif // SHIFT_DIFT_SPSC_RING_HH

@@ -1,0 +1,252 @@
+#include "tier.hh"
+
+#include <chrono>
+
+#include "support/logging.hh"
+
+namespace shift::dift
+{
+
+namespace
+{
+
+uint64_t
+nanosSince(std::chrono::steady_clock::time_point t0)
+{
+    return static_cast<uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(
+            std::chrono::steady_clock::now() - t0)
+            .count());
+}
+
+} // namespace
+
+std::string
+validateAsyncOptions(const AsyncTaintOptions &options)
+{
+    uint32_t ring = options.ringEvents;
+    if (ring < (1u << 10) || ring > (1u << 24))
+        return "async-taint ring size must be in [1024, 16777216]";
+    if ((ring & (ring - 1)) != 0)
+        return "async-taint ring size must be a power of two";
+    if (options.publishBatch == 0 || options.publishBatch > ring / 2)
+        return "async-taint publish batch must be in [1, ring/2]";
+    return "";
+}
+
+AsyncTaintTier::AsyncTaintTier(Memory &memory, Granularity granularity,
+                               const AsyncTaintOptions &options)
+    : mem_(&memory), gran_(granularity),
+      publishBatch_(options.publishBatch), ring_(options.ringEvents)
+{
+    std::string problem = validateAsyncOptions(options);
+    if (!problem.empty())
+        SHIFT_FATAL("%s", problem.c_str());
+    // On a single-hart host a consumer thread can only serialize with
+    // the engine, so Auto folds the replay into push() instead.
+    inlineMode_ =
+        options.consumer == AsyncConsumer::Inline ||
+        (options.consumer == AsyncConsumer::Auto &&
+         std::thread::hardware_concurrency() <= 1);
+}
+
+AsyncTaintTier::~AsyncTaintTier()
+{
+    shutdown();
+}
+
+void
+AsyncTaintTier::start()
+{
+    SHIFT_ASSERT(!running_);
+    // Bootstrap the shadow from any taint already in the bitmap
+    // (pre-run TaintMap writes, tag pages inherited from a template
+    // snapshot). Clean bytes stay demand-absent.
+    mem_->forEachPage(kTagRegion,
+                      [this](uint64_t base, const uint8_t *data) {
+                          ShadowPage &page = shadowPage(base);
+                          for (size_t i = 0; i < 4096; ++i)
+                              page.bytes[i] = data[i];
+                      });
+    stop_.store(false, std::memory_order_release);
+    if (!inlineMode_)
+        consumer_ = std::thread([this] { consumerLoop(); });
+    running_ = true;
+}
+
+// ----- consumer ---------------------------------------------------------
+
+void
+AsyncTaintTier::consumerLoop()
+{
+    auto handler = [this](const Event &ev) { process(ev); };
+    unsigned idle = 0;
+    for (;;) {
+        if (ring_.consume(handler)) {
+            idle = 0;
+            continue;
+        }
+        if (stop_.load(std::memory_order_acquire)) {
+            // One last drain for events published with the stop flag.
+            if (ring_.consume(handler) == 0)
+                return;
+            continue;
+        }
+        if (++idle > 64)
+            std::this_thread::yield();
+    }
+}
+
+void
+AsyncTaintTier::violate(ViolationKind kind, uint64_t addr, int32_t pc,
+                        int16_t func, const char *detail)
+{
+    violation_.kind = kind;
+    violation_.addr = addr;
+    violation_.pc = pc;
+    violation_.func = func;
+    violation_.seq = seq_;
+    violation_.detail = detail;
+    violationAt_ = std::chrono::steady_clock::now();
+    violated_.store(true, std::memory_order_release);
+}
+
+// ----- fences (engine thread) -------------------------------------------
+
+const Violation *
+AsyncTaintTier::fence()
+{
+    SHIFT_ASSERT(running_);
+    if (inlineMode_) {
+        // Every event was replayed inside push(): the shadow is
+        // always caught up, only the bitmap materialization remains.
+        ++fences_;
+        fenceLagHist_.record(0);
+        materializeDirty();
+        return pendingViolation();
+    }
+    sincePublish_ = 0;
+    ring_.publish();
+    ++fences_;
+    uint64_t target = ring_.pushed();
+    uint64_t consumed = ring_.consumed();
+    fenceLagHist_.record(target - consumed);
+    if (consumed < target) {
+        uint64_t lag = target - consumed;
+        auto t0 = std::chrono::steady_clock::now();
+        uint64_t spins = 0;
+        while (ring_.consumed() < target) {
+            ++spins;
+            if ((spins & 0x3f) == 0)
+                std::this_thread::yield();
+        }
+        fenceWaitSpins_ += spins;
+        uint64_t ns = nanosSince(t0);
+        fenceWaitNs_ += ns;
+        if (obs_)
+            obs_->emitCold(obs::Ev::FenceWait, 0, -1, 0, lag, ns);
+    }
+    materializeDirty();
+    return pendingViolation();
+}
+
+const Violation *
+AsyncTaintTier::pendingViolation() const
+{
+    if (!violated_.load(std::memory_order_acquire))
+        return nullptr;
+    if (!detectLatencyValid_) {
+        // First observation on the engine side: the lag-bounded
+        // detection latency this run actually paid.
+        auto *self = const_cast<AsyncTaintTier *>(this);
+        self->detectLatencyNs_ = nanosSince(violationAt_);
+        self->detectLatencyValid_ = true;
+    }
+    return &violation_;
+}
+
+void
+AsyncTaintTier::setRegTaint(int r, bool tainted)
+{
+    if (r <= 0 || r >= 64)
+        return;
+    if (tainted)
+        regTaint_ |= 1ull << r;
+    else
+        regTaint_ &= ~(1ull << r);
+}
+
+void
+AsyncTaintTier::mirrorTagWrite(uint64_t tagAddr, unsigned bitIndex,
+                               bool value)
+{
+    // TaintMap already wrote simulated memory itself (engine thread,
+    // consumer quiesced); mirror the byte so later consumer window
+    // reads agree. Not marked dirty: memory is already current.
+    rmwShadowByte(tagAddr, uint8_t(1u << bitIndex), value, false);
+}
+
+void
+AsyncTaintTier::materializeDirty()
+{
+    for (auto &entry : tagPages_) {
+        ShadowPage &page = *entry.second;
+        uint64_t base = entry.first << 12;
+        for (unsigned w = 0; w < 8; ++w) {
+            uint64_t dirty = page.dirty[w];
+            if (!dirty)
+                continue;
+            page.dirty[w] = 0;
+            while (dirty) {
+                unsigned bit = __builtin_ctzll(dirty);
+                dirty &= dirty - 1;
+                unsigned word = (w << 6) | bit;
+                uint64_t value = 0;
+                for (unsigned i = 0; i < 8; ++i) {
+                    value |= uint64_t(page.bytes[word * 8 + i])
+                             << (8 * i);
+                }
+                MemFault fault = mem_->write(base + word * 8, 8, value);
+                SHIFT_ASSERT(fault == MemFault::None);
+                ++materializedWords_;
+            }
+        }
+    }
+}
+
+const Violation *
+AsyncTaintTier::shutdown()
+{
+    if (!running_)
+        return violated_.load(std::memory_order_acquire)
+                   ? pendingViolation()
+                   : nullptr;
+    const Violation *v = fence();
+    stop_.store(true, std::memory_order_release);
+    if (!inlineMode_)
+        consumer_.join();
+    running_ = false;
+    return v;
+}
+
+void
+AsyncTaintTier::statInto(StatSet &stats) const
+{
+    stats.add("dift.events", eventsPushed());
+    stats.setGauge("dift.consumer.inline", inlineMode_ ? 1 : 0);
+    stats.add("dift.fences", fences_);
+    stats.add("dift.fence.waitSpins", fenceWaitSpins_);
+    stats.add("dift.fence.waitNs", fenceWaitNs_);
+    stats.add("dift.ring.stalls", stalls_);
+    stats.add("dift.ring.stallSpins", stallSpins_);
+    stats.add("dift.materialized.words", materializedWords_);
+    stats.setGauge("dift.ring.capacity", ring_.capacity());
+    if (violated_.load(std::memory_order_acquire))
+        stats.add("dift.violations");
+    if (detectLatencyValid_)
+        stats.record("dift.lag.detect.ns", detectLatencyNs_);
+    stats.mergeHistogram("dift.ring.depth", depthHist_);
+    stats.mergeHistogram("dift.fence.lag.events", fenceLagHist_);
+}
+
+} // namespace shift::dift

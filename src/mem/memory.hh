@@ -200,6 +200,23 @@ class Memory
     uint64_t contentHash(int region = -1) const;
 
     /**
+     * Visit every mapped page whose base address falls in `region`:
+     * fn(baseAddr, data) with `data` the page's 4 KiB byte array.
+     * Unspecified order. For bulk bootstrap copies (e.g. the async
+     * taint tier shadowing the tag space), not hot paths.
+     */
+    template <typename Fn>
+    void
+    forEachPage(unsigned region, Fn &&fn) const
+    {
+        for (const auto &entry : pages_) {
+            uint64_t base = entry.first << kPageShift;
+            if (regionOf(base) == region)
+                fn(base, entry.second->data.data());
+        }
+    }
+
+    /**
      * Enable or disable the page-translation cache (enabled by
      * default). The legacy execution engine disables it so it stays a
      * faithful pre-change baseline — every access pays the hash-map

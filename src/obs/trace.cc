@@ -32,6 +32,8 @@ evName(Ev kind)
       case Ev::PolicyKill: return "policy.kill";
       case Ev::TaintSource: return "taint.source";
       case Ev::TaintStore: return "taint.store";
+      case Ev::RingStall: return "dift.ring.stall";
+      case Ev::FenceWait: return "dift.fence.wait";
       case Ev::kCount: break;
     }
     return "unknown";
@@ -396,6 +398,12 @@ summarize(const TraceEvent &e, const FuncNameFn &funcName)
         break;
       case Ev::TaintStore:
         ss << " addr=0x" << std::hex << e.a << std::dec;
+        break;
+      case Ev::RingStall:
+        ss << " capacity=" << e.a << " spins=" << e.b;
+        break;
+      case Ev::FenceWait:
+        ss << " lag=" << e.a << " waitNs=" << e.b;
         break;
       default:
         break;

@@ -1,5 +1,6 @@
 #include "session.hh"
 
+#include "dift/annotate.hh"
 #include "lang/compiler.hh"
 #include "obs/trace.hh"
 #include "runtime/minic_stdlib.hh"
@@ -35,6 +36,27 @@ buildProgram(const std::vector<std::string> &sources,
                                                options.speculateOptions);
     }
 
+    // Async-tier option screening happens here so Session and
+    // SessionTemplate reject bad combinations identically.
+    if (options.async.enabled) {
+        std::string problem = dift::validateAsyncOptions(options.async);
+        if (!problem.empty())
+            SHIFT_FATAL("async taint: %s", problem.c_str());
+        if (options.mode != TrackingMode::Shift)
+            SHIFT_FATAL("async taint requires TrackingMode::Shift");
+        if (options.engine != ExecEngine::Predecoded)
+            SHIFT_FATAL("async taint requires the predecoded engine");
+        if (options.fastPath) {
+            SHIFT_FATAL("async taint is incompatible with the fast "
+                        "path (both replace the inline taint tier)");
+        }
+        if (options.speculate) {
+            SHIFT_FATAL("async taint is incompatible with control "
+                        "speculation (ld.s defers faults into NaT "
+                        "bits the event stream does not model)");
+        }
+    }
+
     // 2. Instrument per tracking mode. Granularity follows the policy
     // configuration so instrumented code and native taint summaries
     // always agree on the bitmap layout.
@@ -45,6 +67,30 @@ buildProgram(const std::vector<std::string> &sources,
         options.instr.granularity = options.policy.granularity;
         options.instr.natSetClear = options.features.natSetClear;
         options.instr.natAwareCompare = options.features.natAwareCompare;
+        if (options.async.enabled) {
+            // Async tier: no inline instrumentation at all. The
+            // program is only annotated (load/store/compare scoping
+            // recorded in Instr::p1, compare markers inserted) and the
+            // consumer thread replays the instrumenter's semantics.
+            dift::AnnotateOptions ann;
+            ann.instrumentLoads = options.instr.instrumentLoads;
+            ann.instrumentStores = options.instr.instrumentStores;
+            ann.instrumentCompares = options.instr.instrumentCompares;
+            ann.relaxLoadAddress = options.instr.relaxLoadAddress;
+            ann.relaxLoadFunctions = options.instr.relaxLoadFunctions;
+            ann.relaxStoreFunctions = options.instr.relaxStoreFunctions;
+            ann.cmpTaintAlert = options.instr.cmpTaintAlert;
+            ann.cmpTaintAlertFunctions =
+                options.instr.cmpTaintAlertFunctions;
+            obs::ScopedPhase span(obs::Phase::Instrument);
+            dift::AnnotateStats astats = annotateForAsync(program, ann);
+            instrStats.loads = astats.checkedLoads + astats.relaxedLoads;
+            instrStats.stores = astats.trackedStores + astats.relaxedStores;
+            instrStats.compares = astats.cmpMarkers;
+            instrStats.purifies = astats.zeroIdioms;
+            instrStats.added = astats.cmpMarkers;
+            break;
+        }
         {
             obs::ScopedPhase span(obs::Phase::Instrument);
             instrStats = instrumentProgram(program, options.instr);
@@ -159,6 +205,12 @@ Session::build(const std::vector<std::string> &sources)
         machine_ = std::make_unique<Machine>(program_, options_.features,
                                              options_.engine);
     }
+    if (options_.async.enabled) {
+        asyncTier_ = std::make_unique<dift::AsyncTaintTier>(
+            machine_->memory(), options_.policy.granularity,
+            options_.async);
+        machine_->setAsyncTier(asyncTier_.get());
+    }
     machine_->setFastPathEnabled(options_.fastPath);
     if (obs::Recorder *rec = obs::Recorder::active()) {
         std::vector<std::string> names;
@@ -172,6 +224,16 @@ Session::build(const std::vector<std::string> &sources)
     if (tracking) {
         taint_ = std::make_unique<TaintMap>(machine_->memory(),
                                             options_.policy.granularity);
+        if (asyncTier_) {
+            // Host-side taint writes (input hooks, wrap functions)
+            // must reach the consumer's shadow too; they only happen
+            // while it is quiesced (builtin/syscall fences).
+            taint_->setMirror([tier = asyncTier_.get()](
+                                  uint64_t tagAddr, unsigned bitIdx,
+                                  bool value) {
+                tier->mirrorTagWrite(tagAddr, bitIdx, value);
+            });
+        }
     }
     detail::wireRuntime(*machine_, os_, tracking ? taint_.get() : nullptr,
                         tracking ? policy_.get() : nullptr, options_.mode,

@@ -26,6 +26,7 @@
 
 #include "baseline/software_dift.hh"
 #include "core/instrument.hh"
+#include "dift/tier.hh"
 #include "lang/speculate.hh"
 #include "opt/instr_opt.hh"
 #include "core/policy.hh"
@@ -72,6 +73,15 @@ struct SessionOptions
     /** Apply the control-speculation optimizer before tracking. */
     bool speculate = false;
     minic::SpeculateOptions speculateOptions;
+
+    /**
+     * Decouple taint propagation onto the async tier: the engine
+     * streams events into a bounded ring and a consumer thread replays
+     * them against a shadow bitmap, synchronizing only at policy-check
+     * points (see docs/ASYNC-TAINT.md). Shift mode + predecoded engine
+     * only; mutually exclusive with fastPath and speculate.
+     */
+    dift::AsyncTaintOptions async;
 };
 
 namespace detail
@@ -136,6 +146,9 @@ class Session
     const OptStats &optStats() const { return optStats_; }
     const SessionOptions &options() const { return options_; }
 
+    /** Async tier, or null when options.async.enabled is false. */
+    dift::AsyncTaintTier *asyncTier() { return asyncTier_.get(); }
+
   private:
     void build(const std::vector<std::string> &sources);
 
@@ -146,6 +159,7 @@ class Session
     OptStats optStats_;
     Os os_;
     std::unique_ptr<Machine> machine_;
+    std::unique_ptr<dift::AsyncTaintTier> asyncTier_;
     std::unique_ptr<TaintMap> taint_;
     std::unique_ptr<PolicyEngine> policy_;
     RuntimeContext runtimeCtx_;

@@ -72,6 +72,15 @@ SessionClone::SessionClone(const SessionTemplate &tmpl, int cloneId)
     machine_ = std::make_unique<Machine>(tmpl.program_, *tmpl.snapshot_,
                                          tmpl.options_.features,
                                          tmpl.options_.engine);
+    if (tmpl.options_.async.enabled) {
+        // One ring + consumer thread per clone: each clone's event
+        // stream is private, so a fleet runs N decoupled pairs whose
+        // dift.* stats merge in the fleet report.
+        asyncTier_ = std::make_unique<dift::AsyncTaintTier>(
+            machine_->memory(), tmpl.options_.policy.granularity,
+            tmpl.options_.async);
+        machine_->setAsyncTier(asyncTier_.get());
+    }
     machine_->setFastPathEnabled(tmpl.options_.fastPath);
     if (obs::Recorder *rec = obs::Recorder::active()) {
         std::vector<std::string> names;
@@ -85,6 +94,13 @@ SessionClone::SessionClone(const SessionTemplate &tmpl, int cloneId)
     if (tracking) {
         taint_ = std::make_unique<TaintMap>(
             machine_->memory(), tmpl.options_.policy.granularity);
+        if (asyncTier_) {
+            taint_->setMirror([tier = asyncTier_.get()](
+                                  uint64_t tagAddr, unsigned bitIdx,
+                                  bool value) {
+                tier->mirrorTagWrite(tagAddr, bitIdx, value);
+            });
+        }
     }
     detail::wireRuntime(*machine_, os_, tracking ? taint_.get() : nullptr,
                         tracking ? policy_.get() : nullptr,

@@ -75,6 +75,8 @@ class SessionClone
     int cloneId_;
     Os os_;
     std::unique_ptr<Machine> machine_;
+    /** Per-clone ring + consumer thread (null unless options.async). */
+    std::unique_ptr<dift::AsyncTaintTier> asyncTier_;
     std::unique_ptr<TaintMap> taint_;
     std::unique_ptr<PolicyEngine> policy_;
     RuntimeContext runtimeCtx_;

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <bit>
 
+#include "dift/annotate.hh"
+#include "dift/tier.hh"
 #include "support/bitops.hh"
 #include "support/logging.hh"
 
@@ -208,6 +210,24 @@ void
 Machine::setRetval(uint64_t val, bool nat)
 {
     setGpr(reg::rv, val, nat);
+    // Under the async tier the caller (a builtin or syscall handler)
+    // runs at a fence, so the consumer's shadow is quiesced: mirror
+    // the retval's taint there, exactly as the NaT write above would
+    // have carried it in the synchronous engine.
+    if (asyncTier_)
+        asyncTier_->setRegTaint(reg::rv, nat);
+}
+
+bool
+Machine::argNat(int i) const
+{
+    // Under the async tier the engine's NaT bits are conservative
+    // "maybe tainted" summaries (see runDecoded's aluDone), so only
+    // the consumer's shadow — quiesced at the builtin fence — is the
+    // exact taint the synchronous engine's NaT bit would carry.
+    if (asyncTier_)
+        return asyncTier_->regTaint(reg::arg0 + i);
+    return gpr_[reg::arg0 + i].nat;
 }
 
 uint64_t
@@ -388,6 +408,41 @@ void
 Machine::natConsumptionFault(FaultContext ctx, const std::string &detail)
 {
     setFault(FaultKind::NatConsumption, ctx, 0, detail);
+}
+
+void
+Machine::applyAsyncViolation(const dift::Violation &v)
+{
+    if (asyncViolationApplied_)
+        return;
+    asyncViolationApplied_ = true;
+    // The violating instruction precedes, in program order, anything
+    // the lag-bounded engine did afterwards — including stopping for
+    // its own reasons (exit, a later fault, the step limit). The
+    // synchronous engine would have faulted there first, so its
+    // verdict replaces whatever this run reached. Alerts that fired
+    // at earlier fences are kept: they precede the violation.
+    exited_ = false;
+    exitCode_ = 0;
+    fault_ = Fault{};
+    curFunc_ = v.func;
+    archPcOverride_ = v.pc;
+    FaultContext ctx = FaultContext::None;
+    switch (v.kind) {
+      case dift::ViolationKind::LoadAddress:
+        ctx = FaultContext::LoadAddress;
+        break;
+      case dift::ViolationKind::StoreAddress:
+        ctx = FaultContext::StoreAddress;
+        break;
+      case dift::ViolationKind::StoreValue:
+        ctx = FaultContext::StoreValue;
+        break;
+      case dift::ViolationKind::ControlFlow:
+        ctx = FaultContext::ControlFlow;
+        break;
+    }
+    setFault(FaultKind::NatConsumption, ctx, v.addr, v.detail);
 }
 
 void
@@ -995,7 +1050,7 @@ Machine::stepLegacy()
     }
 }
 
-template <bool kObs, bool kHotPc>
+template <bool kObs, bool kHotPc, bool kAsync>
 void
 Machine::runDecoded(uint64_t maxSteps)
 {
@@ -1087,8 +1142,87 @@ Machine::runDecoded(uint64_t maxSteps)
                           : gpr_[dp->r3].val;
     };
     auto src2n = [&] { return dp->useImm ? false : gpr_[dp->r3].nat; };
-    // Common ALU tail: write the destination, charge, advance.
+    // Async-tier event emission (docs/ASYNC-TAINT.md): one
+    // fixed-width event per taint-relevant micro-op, pushed before the
+    // op's own side effects so the consumer replays in program order.
+    // A true return means the consumer has flagged a violation
+    // (sampled once per publish batch): the call site must sync(),
+    // asyncStop() and SHIFT_STOPPED().
+    [[maybe_unused]] auto pushEv =
+        [&](dift::EvKind kind, uint8_t a, uint8_t b, uint8_t c,
+            uint8_t flags, uint64_t addr, uint8_t size) {
+            dift::Event ev;
+            ev.addr = addr;
+            ev.pc = dp->origIndex;
+            ev.func = static_cast<int16_t>(curFunc_);
+            ev.kind = static_cast<uint8_t>(kind);
+            ev.flags = flags;
+            ev.a = a;
+            ev.b = b;
+            ev.c = c;
+            ev.size = size;
+            return asyncTier_->push(ev);
+        };
+    // Raise the consumer's pending violation (call after sync()).
+    [[maybe_unused]] auto asyncStop = [&] {
+        applyAsyncViolation(*asyncTier_->pendingViolation());
+    };
+    // With the inline consumer the shadow is synchronously caught up
+    // after every push, so load destinations can read back their
+    // exact taint instead of a conservative maybe — which keeps the
+    // maybe bits equal to the consumer's taint and lets the event
+    // filter drop every clean downstream RegWrite.
+    [[maybe_unused]] bool asyncInline = false;
+    if constexpr (kAsync)
+        asyncInline = asyncTier_->inlineConsumer();
+    // Policy fence: publish, block until the consumer has replayed
+    // everything, materialize the shadow bitmap into memory so
+    // TaintMap readers (H1-H5 checks inside builtins and syscalls)
+    // see what the synchronous engine's bitmap would hold. True when
+    // a violation surfaced — the engine must stop. Call after sync().
+    [[maybe_unused]] auto asyncFence = [&]() -> bool {
+        const dift::Violation *v = asyncTier_->fence();
+        if (v) {
+            applyAsyncViolation(*v);
+            return true;
+        }
+        return false;
+    };
+    // Common ALU tail: write the destination, charge, advance. Under
+    // the async tier the otherwise-dormant NaT bit is repurposed as a
+    // conservative "maybe tainted" summary of the consumer's register
+    // taint (taint(r) implies maybe(r), docs/ASYNC-TAINT.md): the
+    // RegWrite event is emitted only when it could set consumer taint
+    // (a maybe source) or clear it (a maybe destination) — anything
+    // else is provably a consumer no-op. Violation sampling is
+    // skipped here (no fault can depend on an ALU op); the flag is
+    // caught at the next load/store/branch-move or fence.
     auto aluDone = [&](uint64_t result, bool nat, uint64_t cost) {
+        if constexpr (kAsync) {
+            bool zero = dp->p1 & dift::kAnnZeroIdiom;
+            bool maybe = !zero && nat;
+            if (maybe || gpr_[dp->r1].nat) {
+                if (asyncInline)
+                    asyncTier_->inlineRegWrite(
+                        static_cast<uint8_t>(dp->r1),
+                        static_cast<uint8_t>(dp->r2),
+                        dp->useImm ? uint8_t{0}
+                                   : static_cast<uint8_t>(dp->r3),
+                        zero);
+                else
+                    pushEv(dift::EvKind::RegWrite,
+                           static_cast<uint8_t>(dp->r1),
+                           static_cast<uint8_t>(dp->r2),
+                           dp->useImm ? uint8_t{0}
+                                      : static_cast<uint8_t>(dp->r3),
+                           zero ? dift::kEvZeroIdiom : uint8_t{0}, 0,
+                           0);
+            }
+            setGpr(dp->r1, result, maybe);
+            charge(cost);
+            ++pc;
+            return;
+        }
         setGpr(dp->r1, result, nat);
         charge(cost);
         ++pc;
@@ -1377,7 +1511,24 @@ nullified:
         bool nat = gpr_[dp->r2].nat || src2n();
         uint64_t result = 0;
         if (b == 0) {
-            if (!nat) {
+            bool taintedDivisor = nat;
+            if constexpr (kAsync) {
+                // The maybe bit prunes the fence: a clean maybe means
+                // the consumer's taint is certainly clean too, so the
+                // fault fires without quiescing. Otherwise ask the
+                // consumer's shadow whether an operand is really
+                // tainted — the sync engine's NaT divisor suppresses
+                // the fault (result 0, taint propagates via aluDone).
+                if (nat) {
+                    sync();
+                    if (asyncFence())
+                        SHIFT_STOPPED();
+                    taintedDivisor =
+                        asyncTier_->regTaint(dp->r2) ||
+                        (!dp->useImm && asyncTier_->regTaint(dp->r3));
+                }
+            }
+            if (!taintedDivisor) {
                 sync();
                 setFault(FaultKind::DivByZero, FaultContext::None, 0,
                          "division by zero");
@@ -1480,8 +1631,12 @@ nullified:
           case CmpRel::GtU: taken = a > b; break;
           case CmpRel::GeU: taken = a >= b; break;
         }
-        if (dp->op == Opcode::Cmp && nat) {
-            // NaT operand clears both predicates (see execCmp).
+        if (!kAsync && dp->op == Opcode::Cmp && nat) {
+            // NaT operand clears both predicates (see execCmp). Under
+            // the async tier the NaT bit is a maybe-taint summary,
+            // not an architectural NaT, so predicates compute
+            // normally (tainted compares are the instrumenter's
+            // compare-alert markers, replayed by the consumer).
             setPred(dp->p1, false);
             setPred(dp->p2, false);
         } else {
@@ -1493,15 +1648,20 @@ nullified:
         SHIFT_NEXT_FAST();
     }
 
-    SHIFT_OP(Tnat)
-        setPred(dp->p1, gpr_[dp->r2].nat);
-        setPred(dp->p2, !gpr_[dp->r2].nat);
+    SHIFT_OP(Tnat) {
+        // Maybe bits are not architectural NaTs: under the async tier
+        // tnat reads as clean, matching the uninstrumented stream the
+        // engine is replaying (see docs/ASYNC-TAINT.md limitations).
+        bool n = !kAsync && gpr_[dp->r2].nat;
+        setPred(dp->p1, n);
+        setPred(dp->p2, !n);
         charge(cycleModel_.alu);
         ++pc;
         SHIFT_NEXT_FAST();
+    }
 
     SHIFT_OP(Tbit) {
-        if (gpr_[dp->r2].nat) {
+        if (!kAsync && gpr_[dp->r2].nat) {
             setPred(dp->p1, false);
             setPred(dp->p2, false);
         } else {
@@ -1518,6 +1678,41 @@ nullified:
     SHIFT_OP(Ld) {
         const Gpr &addrReg = gpr_[dp->r2];
         uint64_t addr = addrReg.val;
+        if constexpr (kAsync) {
+            // Emitted before the access: a violation replayed from
+            // this event (tainted pointer) overrides whatever the
+            // engine-side access does next, exactly where the sync
+            // engine's NaT check would have fired. A plain load —
+            // untracked, unrelaxed, not a fill — with a clean-maybe
+            // address and a clean-maybe destination is provably a
+            // consumer no-op (no taint to clear, no L1 possible) and
+            // is filtered out.
+            uint8_t fl = 0;
+            if (dp->p1 & dift::kAnnChecked)
+                fl |= dift::kEvChecked;
+            if (dp->p1 & dift::kAnnRelaxed)
+                fl |= dift::kEvRelaxed;
+            if (dp->fill)
+                fl |= dift::kEvFill;
+            if (fl != 0 || addrReg.nat || gpr_[dp->r1].nat) {
+                bool viol =
+                    asyncInline
+                        ? asyncTier_->inlineLoad(
+                              static_cast<uint8_t>(dp->r1),
+                              static_cast<uint8_t>(dp->r2), fl, addr,
+                              dp->size, dp->origIndex,
+                              static_cast<int16_t>(curFunc_))
+                        : pushEv(dift::EvKind::Load,
+                                 static_cast<uint8_t>(dp->r1),
+                                 static_cast<uint8_t>(dp->r2), 0, fl,
+                                 addr, dp->size);
+                if (viol) {
+                    sync();
+                    asyncStop();
+                    SHIFT_STOPPED();
+                }
+            }
+        }
         if (dp->spec) {
             // Speculative load: failures defer into the NaT bit.
             if (addrReg.nat ||
@@ -1527,7 +1722,9 @@ nullified:
                 ++pc;
                 SHIFT_NEXT_FAST();
             }
-        } else if (addrReg.nat) {
+        } else if (!kAsync && addrReg.nat) {
+            // Maybe bits never fault: under the async tier the
+            // consumer replays this check from the Load event.
             sync();
             // statIdx % kNumOrigClass is the OrigClass (the flat
             // index is prov * kNumOrigClass + cls).
@@ -1551,6 +1748,22 @@ nullified:
                      "load from illegal address");
             SHIFT_STOPPED();
         }
+        if constexpr (kAsync) {
+            // Maybe-out for the destination. Inline consumer: the
+            // replay already ran inside push(), so the exact taint is
+            // one shadow read away. Threaded consumer: a tracked
+            // (checked or relaxed) load may pull taint out of memory
+            // the engine can't see, so conservatively maybe. Either
+            // way a fill keeps the spill-time maybe bit readFill
+            // recovered from the NaT sidecar, and a plain load never
+            // propagates memory taint under the instrumenter's rules.
+            if (!dp->fill) {
+                nat = asyncInline
+                          ? asyncTier_->regTaint(dp->r1)
+                          : (dp->p1 & (dift::kAnnChecked |
+                                       dift::kAnnRelaxed)) != 0;
+            }
+        }
         setGpr(dp->r1, value, nat);
         ++loadCount_;
         charge(cycleModel_.loadBase);
@@ -1566,14 +1779,47 @@ nullified:
         const Gpr &addrReg = gpr_[dp->r1];
         const Gpr &srcReg = gpr_[dp->r2];
         uint64_t addr = addrReg.val;
-        if (addrReg.nat) {
+        if constexpr (kAsync) {
+            // Tracked stores and spills always emit (their bitmap RMW
+            // / spill-shadow update clears stale taint even when the
+            // source is clean); a plain store with clean-maybe source
+            // and address is provably a consumer no-op (no shadow
+            // write, no L2/StoreValue possible) and is filtered out.
+            uint8_t fl = 0;
+            if (dp->p1 & dift::kAnnChecked)
+                fl |= dift::kEvChecked;
+            if (dp->p1 & dift::kAnnRelaxed)
+                fl |= dift::kEvRelaxed;
+            if (dp->spill)
+                fl |= dift::kEvSpill;
+            if ((fl & (dift::kEvChecked | dift::kEvSpill)) != 0 ||
+                srcReg.nat || addrReg.nat) {
+                bool viol =
+                    asyncInline
+                        ? asyncTier_->inlineStore(
+                              static_cast<uint8_t>(dp->r2),
+                              static_cast<uint8_t>(dp->r1), fl, addr,
+                              dp->size, dp->origIndex,
+                              static_cast<int16_t>(curFunc_))
+                        : pushEv(dift::EvKind::Store,
+                                 static_cast<uint8_t>(dp->r2),
+                                 static_cast<uint8_t>(dp->r1), 0, fl,
+                                 addr, dp->size);
+                if (viol) {
+                    sync();
+                    asyncStop();
+                    SHIFT_STOPPED();
+                }
+            }
+        }
+        if (!kAsync && addrReg.nat) {
             sync();
             setFault(FaultKind::NatConsumption,
                      FaultContext::StoreAddress, addr,
                      "store through a NaT (tainted) address");
             SHIFT_STOPPED();
         }
-        if (srcReg.nat && !dp->spill) {
+        if (!kAsync && srcReg.nat && !dp->spill) {
             sync();
             setFault(FaultKind::NatConsumption,
                      FaultContext::StoreValue, addr,
@@ -1620,8 +1866,10 @@ nullified:
         // rejected in the constructor. Fast-stream targets were
         // retargeted at decode time, so maybeFast is an identity
         // there; on the instrumented stream it promotes into the
-        // taken target's fast twin.
-        if (gpr_[dp->r2].nat) {
+        // taken target's fast twin. Maybe bits are not architectural
+        // NaTs: chk never recovers under the async tier (explicit
+        // speculation is outside its envelope, docs/ASYNC-TAINT.md).
+        if (!kAsync && gpr_[dp->r2].nat) {
             charge(cycleModel_.branchTaken);
             pc = maybeFast(static_cast<uint64_t>(dp->target));
         } else {
@@ -1651,6 +1899,13 @@ nullified:
             }
             charge(cycleModel_.call);
             sync();
+            if constexpr (kAsync) {
+                // Built-ins are policy-check points (H1-H5, taint
+                // sources, alert syscalls): fence so their TaintMap
+                // and argNat reads see the caught-up shadow.
+                if (asyncFence())
+                    SHIFT_STOPPED();
+            }
             // See runBuiltin: advance past the call site only when the
             // built-in neither stopped the machine nor moved control
             // (pc, function and stack depth all unchanged).
@@ -1696,7 +1951,24 @@ nullified:
         SHIFT_NEXT();
 
     SHIFT_OP(MovToBr)
-        if (gpr_[dp->r2].nat) {
+        if constexpr (kAsync) {
+            // Both real branch-register moves and the annotation
+            // pass's compare-alert markers land here: the consumer
+            // raises the L3 verdict when the source is tainted. The
+            // event carries the register's VALUE (the sync fault
+            // reports it as the faulting address). A clean-maybe
+            // source can't be consumer-tainted, so the check event is
+            // filtered out.
+            if (gpr_[dp->r2].nat &&
+                pushEv(dift::EvKind::BranchCheck,
+                       static_cast<uint8_t>(dp->r2), 0, 0, 0,
+                       gpr_[dp->r2].val, 0)) {
+                sync();
+                asyncStop();
+                SHIFT_STOPPED();
+            }
+        }
+        if (!kAsync && gpr_[dp->r2].nat) {
             sync();
             setFault(FaultKind::NatConsumption, FaultContext::ControlFlow,
                      gpr_[dp->r2].val,
@@ -1709,13 +1981,22 @@ nullified:
         SHIFT_NEXT_FAST();
 
     SHIFT_OP(MovFromBr)
+        if constexpr (kAsync) {
+            // Branch registers never hold taint (a tainted move into
+            // one is an L3 kill), so the destination comes out clean:
+            // a RegWrite sourced from r0, emitted only when there is
+            // maybe-taint on the destination to clear.
+            if (gpr_[dp->r1].nat)
+                pushEv(dift::EvKind::RegWrite,
+                       static_cast<uint8_t>(dp->r1), 0, 0, 0, 0, 0);
+        }
         setGpr(dp->r1, br_[dp->br], false);
         charge(cycleModel_.alu);
         ++pc;
         SHIFT_NEXT_FAST();
 
     SHIFT_OP(MovToUnat)
-        if (gpr_[dp->r2].nat) {
+        if (!kAsync && gpr_[dp->r2].nat) {
             sync();
             setFault(FaultKind::NatConsumption, FaultContext::AppRegister,
                      0, "NaT value moved into ar.unat");
@@ -1727,6 +2008,11 @@ nullified:
         SHIFT_NEXT_FAST();
 
     SHIFT_OP(MovFromUnat)
+        if constexpr (kAsync) {
+            if (gpr_[dp->r1].nat)
+                pushEv(dift::EvKind::RegWrite,
+                       static_cast<uint8_t>(dp->r1), 0, 0, 0, 0, 0);
+        }
         setGpr(dp->r1, unat_, false);
         charge(cycleModel_.alu);
         ++pc;
@@ -1751,6 +2037,16 @@ nullified:
                      "clrnat requires the natSetClear feature");
             SHIFT_STOPPED();
         }
+        if constexpr (kAsync) {
+            // Keep the maybe-bit superset sound: clear the consumer's
+            // taint along with the engine's bit (a zero-idiom
+            // RegWrite), otherwise later filtered events could assume
+            // a clean register the consumer still sees tainted.
+            if (gpr_[dp->r1].nat)
+                pushEv(dift::EvKind::RegWrite,
+                       static_cast<uint8_t>(dp->r1), 0, 0,
+                       dift::kEvZeroIdiom, 0, 0);
+        }
         gpr_[dp->r1].nat = false;
         charge(cycleModel_.alu);
         ++pc;
@@ -1759,6 +2055,10 @@ nullified:
     SHIFT_OP(Syscall)
         charge(cycleModel_.syscallBase);
         sync();
+        if constexpr (kAsync) {
+            if (asyncFence())
+                SHIFT_STOPPED();
+        }
         if (!syscall_) {
             setFault(FaultKind::UnknownFunction, FaultContext::None, 0,
                      "no system-call handler installed");
@@ -2396,15 +2696,20 @@ doneRun:
 #undef SHIFT_STOPPED
 }
 
-// Production runs the <false, false> instantiation: every
+// Production runs the <false, false, false> instantiation: every
 // flight-recorder emit site above vanishes under `if constexpr`, so a
 // disabled recorder costs one pointer test per run() call
-// (perf-smoke-obs enforces this). <true, false> adds the emit-site
-// branches without per-instruction hot-pc counting; <true, true> is
-// the full tracing loop used when an observer is attached.
-template void Machine::runDecoded<false, false>(uint64_t maxSteps);
-template void Machine::runDecoded<true, false>(uint64_t maxSteps);
-template void Machine::runDecoded<true, true>(uint64_t maxSteps);
+// (perf-smoke-obs enforces this). <true, false, false> adds the
+// emit-site branches without per-instruction hot-pc counting;
+// <true, true, false> is the full tracing loop used when an observer
+// is attached. The kAsync instantiations are the decoupled-taint
+// engines (docs/ASYNC-TAINT.md): event emission compiles in, and the
+// synchronous loops carry zero async instructions.
+template void Machine::runDecoded<false, false, false>(uint64_t);
+template void Machine::runDecoded<true, false, false>(uint64_t);
+template void Machine::runDecoded<true, true, false>(uint64_t);
+template void Machine::runDecoded<false, false, true>(uint64_t);
+template void Machine::runDecoded<true, false, true>(uint64_t);
 
 RunResult
 Machine::run(uint64_t maxSteps)
@@ -2417,13 +2722,34 @@ Machine::run(uint64_t maxSteps)
     // none, so step counts (but nothing else) differ between engines;
     // only runs that exhaust maxSteps can observe this.
     if (engine_ == ExecEngine::Predecoded) {
-        if (obs_ && !hotPc_.empty())
-            runDecoded<true, true>(maxSteps);
-        else if (obs_ || obsForce_)
-            runDecoded<true, false>(maxSteps);
-        else
-            runDecoded<false, false>(maxSteps);
+        if (asyncTier_) {
+            // Decoupled taint tier: the machine owns the tier's
+            // lifecycle around the run. Per-PC hot-spot attribution
+            // is not wired through the async instantiations (the
+            // table stays zero and emits nothing).
+            asyncTier_->setObserver(obs_);
+            asyncTier_->start();
+            if (obs_ || obsForce_)
+                runDecoded<true, false, true>(maxSteps);
+            else
+                runDecoded<false, false, true>(maxSteps);
+            // Final fence: any violation the consumer replays out of
+            // the remaining events precedes, in program order, the
+            // point where the engine stopped — the synchronous
+            // engine's verdict.
+            const dift::Violation *v = asyncTier_->shutdown();
+            if (v)
+                applyAsyncViolation(*v);
+        } else if (obs_ && !hotPc_.empty()) {
+            runDecoded<true, true, false>(maxSteps);
+        } else if (obs_ || obsForce_) {
+            runDecoded<true, false, false>(maxSteps);
+        } else {
+            runDecoded<false, false, false>(maxSteps);
+        }
     } else {
+        SHIFT_ASSERT(!asyncTier_,
+                     "async taint tier requires the predecoded engine");
         uint64_t steps = 0;
         while (!stopped_) {
             if (++steps > maxSteps) {
@@ -2524,6 +2850,8 @@ Machine::run(uint64_t maxSteps)
         st.add("obs.events", obs_->emitted());
         st.add("obs.dropped", obs_->dropped());
     }
+    if (asyncTier_)
+        asyncTier_->statInto(st);
     result.provenance = provenance_;
     return result;
 }

@@ -42,6 +42,12 @@
 #include "sim/faults.hh"
 #include "support/stats.hh"
 
+namespace shift::dift
+{
+class AsyncTaintTier;
+struct Violation;
+} // namespace shift::dift
+
 namespace shift
 {
 
@@ -220,7 +226,13 @@ class Machine
 
     /** Built-in helpers: i-th argument register (r16+i). */
     uint64_t arg(int i) const { return gpr_[reg::arg0 + i].val; }
-    bool argNat(int i) const { return gpr_[reg::arg0 + i].nat; }
+    /**
+     * Argument-register taint: the NaT bit, or — under the async
+     * taint tier, where the engine's NaT machinery is dormant — the
+     * consumer's shadow register taint (callers run at a fence, so
+     * the shadow is quiesced and exact).
+     */
+    bool argNat(int i) const;
     void setRetval(uint64_t val, bool nat = false);
 
     // ----- memory & layout ----------------------------------------------
@@ -288,6 +300,21 @@ class Machine
      */
     void setObsDispatchForced(bool forced) { obsForce_ = forced; }
 
+    // ----- async taint tier (docs/ASYNC-TAINT.md) -----------------------
+
+    /**
+     * Attach the decoupled taint tier: run() selects the async
+     * interpreter instantiation, which emits trace events instead of
+     * executing inline instrumentation, fences at policy boundaries,
+     * and applies the consumer's verdicts. The machine must run an
+     * async-annotated program (dift::annotateForAsync) — never an
+     * instrumented one. The tier must outlive the machine's run().
+     * Predecoded engine only. The machine starts and shuts the tier
+     * down around the run.
+     */
+    void setAsyncTier(dift::AsyncTaintTier *tier) { asyncTier_ = tier; }
+    dift::AsyncTaintTier *asyncTier() const { return asyncTier_; }
+
   private:
     struct Gpr
     {
@@ -327,7 +354,16 @@ class Machine
      * `if constexpr`, so the production (kObs=false) loop carries
      * literally zero disabled-tracing instructions.
      */
-    template <bool kObs, bool kHotPc> void runDecoded(uint64_t maxSteps);
+    template <bool kObs, bool kHotPc, bool kAsync>
+    void runDecoded(uint64_t maxSteps);
+
+    /**
+     * Raise the consumer's recorded violation as the synchronous
+     * engine's NaT-consumption fault: same context, detail, address,
+     * function and architectural pc. Clears any engine verdict the
+     * (lag-bounded) run produced after the violating instruction.
+     */
+    void applyAsyncViolation(const dift::Violation &v);
 
     /**
      * The architectural (original-program) pc: the legacy engine runs
@@ -455,6 +491,8 @@ class Machine
     // a recorder is attached.
     obs::TraceBuffer *obs_ = nullptr;
     bool obsForce_ = false;
+    dift::AsyncTaintTier *asyncTier_ = nullptr;
+    bool asyncViolationApplied_ = false;
     std::vector<uint32_t> hotPc_;
     std::vector<uint32_t> hotPcBase_;
     std::vector<obs::TraceEvent> provenance_;

@@ -207,4 +207,11 @@ StatSet::merge(const StatSet &other)
         histograms_[kv.first].merge(kv.second);
 }
 
+void
+StatSet::mergeHistogram(const std::string &name, const Histogram &hist)
+{
+    if (hist.count())
+        histograms_[name].merge(hist);
+}
+
 } // namespace shift

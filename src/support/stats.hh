@@ -150,6 +150,13 @@ class StatSet
      */
     void merge(const StatSet &other);
 
+    /**
+     * Merge an externally-maintained histogram into the named one —
+     * for subsystems that keep a local Histogram on their hot path
+     * (no name lookup per sample) and fold it in at end of run.
+     */
+    void mergeHistogram(const std::string &name, const Histogram &hist);
+
   private:
     std::map<std::string, uint64_t> counters_;
     std::map<std::string, uint64_t> gauges_;

@@ -561,7 +561,8 @@ attackScenarios()
 AttackRun
 runAttackScenario(const AttackScenario &scenario, bool exploit,
                   Granularity granularity, ExecEngine engine,
-                  OptimizerOptions optimize, bool fastPath)
+                  OptimizerOptions optimize, bool fastPath,
+                  dift::AsyncTaintOptions async)
 {
     SessionOptions options;
     options.mode = TrackingMode::Shift;
@@ -571,6 +572,7 @@ runAttackScenario(const AttackScenario &scenario, bool exploit,
     options.instr.relaxLoadFunctions = scenario.relaxLoadFunctions;
     options.optimize = optimize;
     options.fastPath = fastPath;
+    options.async = async;
 
     Session session(scenario.source, options);
     if (exploit)

@@ -62,7 +62,8 @@ AttackRun runAttackScenario(const AttackScenario &scenario, bool exploit,
                             Granularity granularity,
                             ExecEngine engine = ExecEngine::Predecoded,
                             OptimizerOptions optimize = {},
-                            bool fastPath = false);
+                            bool fastPath = false,
+                            dift::AsyncTaintOptions async = {});
 
 /** All eight scenarios, in the paper's table order. */
 const std::vector<AttackScenario> &attackScenarios();

@@ -177,6 +177,7 @@ runHttpd(const HttpdConfig &config)
         config.mode, config.granularity, config.features, config.engine);
     options.optimize = config.optimize;
     options.fastPath = config.fastPath;
+    options.async = config.async;
     options.policy.taintNetwork = config.taintRequests;
 
     Session session(kHttpdSource, options);
@@ -220,6 +221,7 @@ makeHttpdTemplate(const HttpdFleetConfig &config)
         config.mode, config.granularity, config.features, config.engine);
     options.optimize = config.optimize;
     options.fastPath = config.fastPath;
+    options.async = config.async;
     auto tmpl = std::make_unique<SessionTemplate>(
         std::string(kHttpdSource), std::move(options));
     provisionHttpdOs(tmpl->os(), config.fileSize);

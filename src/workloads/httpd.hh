@@ -35,6 +35,7 @@ struct HttpdConfig
     ExecEngine engine = ExecEngine::Predecoded;
     OptimizerOptions optimize;     ///< post-instrumentation optimizer
     bool fastPath = false;         ///< taint-clean fast tier (FAST-PATH.md)
+    dift::AsyncTaintOptions async; ///< decoupled tier (ASYNC-TAINT.md)
     /**
      * Mark request bytes tainted as they arrive (policy.taintNetwork).
      * Off models the paper's figure-6 regime — a trusted/benign client
@@ -97,6 +98,7 @@ struct HttpdFleetConfig
     ExecEngine engine = ExecEngine::Predecoded;
     OptimizerOptions optimize;     ///< post-instrumentation optimizer
     bool fastPath = false;         ///< taint-clean fast tier (FAST-PATH.md)
+    dift::AsyncTaintOptions async; ///< per-clone rings (ASYNC-TAINT.md)
     uint64_t fileSize = 4 * 1024;
     int jobs = 8;            ///< clones forked (one per job)
     int requestsPerJob = 4;  ///< connections each clone serves

@@ -986,6 +986,7 @@ runSpecKernel(const SpecKernel &kernel, const SpecRunConfig &config)
     options.instr.relaxStoreFunctions = kernel.relaxStoreFunctions;
     options.optimize = config.optimize;
     options.fastPath = config.fastPath;
+    options.async = config.async;
 
     Session session(kernel.source, options);
     int scale = config.scale > 0 ? config.scale : kernel.defaultScale;

@@ -58,6 +58,7 @@ struct SpecRunConfig
     ExecEngine engine = ExecEngine::Predecoded;
     OptimizerOptions optimize; ///< post-instrumentation optimizer
     bool fastPath = false;    ///< taint-clean fast tier (FAST-PATH.md)
+    dift::AsyncTaintOptions async; ///< decoupled tier (ASYNC-TAINT.md)
     int scale = 0;            ///< 0 = kernel default
 };
 

@@ -1,0 +1,90 @@
+# CLI flag validation for shiftc / shiftd: every malformed value must
+# produce exit status 103 and a clear one-line error on stderr — never
+# an uncaught std::invalid_argument, never a silent fallback. Invoked
+# by ctest with -DSHIFTC=<path> -DSHIFTD=<path>.
+
+if(NOT DEFINED SHIFTC OR NOT DEFINED SHIFTD)
+    message(FATAL_ERROR "pass -DSHIFTC=... and -DSHIFTD=...")
+endif()
+
+set(failures 0)
+
+# expect_usage_error(<regex> <binary> <args...>): the run must exit
+# 103 with stderr matching <regex>.
+function(expect_usage_error regex bin)
+    execute_process(
+        COMMAND ${bin} ${ARGN}
+        RESULT_VARIABLE rc
+        OUTPUT_VARIABLE out
+        ERROR_VARIABLE err
+        TIMEOUT 30)
+    get_filename_component(name ${bin} NAME)
+    if(NOT rc EQUAL 103)
+        message(SEND_ERROR
+            "${name} ${ARGN}: expected exit 103, got '${rc}'\n"
+            "stderr: ${err}")
+        math(EXPR failures "${failures}+1")
+        set(failures ${failures} PARENT_SCOPE)
+        return()
+    endif()
+    if(NOT err MATCHES "${regex}")
+        message(SEND_ERROR
+            "${name} ${ARGN}: stderr does not match '${regex}'\n"
+            "stderr: ${err}")
+        math(EXPR failures "${failures}+1")
+        set(failures ${failures} PARENT_SCOPE)
+    endif()
+endfunction()
+
+# --- shiftd: worker/clone counts, intervals, ring sizes ---------------
+expect_usage_error("jobs and --requests must be positive"
+    ${SHIFTD} --jobs 0)
+expect_usage_error("jobs and --requests must be positive"
+    ${SHIFTD} --requests -3)
+expect_usage_error("expected an integer"
+    ${SHIFTD} --jobs banana)
+expect_usage_error("workers must be positive"
+    ${SHIFTD} --workers 0)
+expect_usage_error("expected a number of seconds"
+    ${SHIFTD} --metrics-interval often)
+expect_usage_error("metrics-interval must not be negative"
+    ${SHIFTD} --metrics-interval -1)
+expect_usage_error("max-steps must be positive"
+    ${SHIFTD} --max-steps 0)
+expect_usage_error("power of two"
+    ${SHIFTD} --async-taint=5000)
+expect_usage_error("ring size"
+    ${SHIFTD} --async-taint=1000)
+expect_usage_error("ring size"
+    ${SHIFTD} --async-taint=0)
+expect_usage_error("expected an integer"
+    ${SHIFTD} --async-taint=big)
+expect_usage_error("async-batch must be positive"
+    ${SHIFTD} --async-batch 0)
+expect_usage_error("publish batch"
+    ${SHIFTD} --async-taint --async-batch 999999999)
+expect_usage_error("expected thread, inline, or auto"
+    ${SHIFTD} --async-consumer sidecar)
+expect_usage_error("missing value after --async-consumer"
+    ${SHIFTD} --async-consumer)
+
+# --- shiftc -----------------------------------------------------------
+expect_usage_error("max-steps must be positive"
+    ${SHIFTC} --max-steps -5 prog.mc)
+expect_usage_error("expected an integer"
+    ${SHIFTC} --itrace xyz prog.mc)
+expect_usage_error("itrace must not be negative"
+    ${SHIFTC} --itrace -1 prog.mc)
+expect_usage_error("power of two"
+    ${SHIFTC} --async-taint=12345 prog.mc)
+expect_usage_error("async-batch must be positive"
+    ${SHIFTC} --async-batch -1 prog.mc)
+expect_usage_error("unknown option"
+    ${SHIFTC} --async prog.mc)
+expect_usage_error("expected thread, inline, or auto"
+    ${SHIFTC} --async-consumer coprocessor prog.mc)
+
+if(failures GREATER 0)
+    message(FATAL_ERROR "${failures} CLI validation case(s) failed")
+endif()
+message(STATUS "CLI validation: all cases rejected with clear errors")

@@ -18,6 +18,7 @@
 #include <cstring>
 #include <fstream>
 #include <sstream>
+#include <stdexcept>
 #include <string>
 #include <vector>
 
@@ -53,7 +54,15 @@ usage()
         "executed\n"
         "  --trace FILE             record a flight-recorder trace "
         "(Chrome JSON, Perfetto-loadable)\n"
-        "  --max-steps N            execution budget\n");
+        "  --max-steps N            execution budget\n"
+        "  --async-taint[=RING]     decoupled taint tier: stream "
+        "events to a consumer thread (power-of-two RING size, "
+        "default 65536)\n"
+        "  --async-batch N          events per sequence publish "
+        "(default 32)\n"
+        "  --async-consumer MODE    consumer placement: thread, "
+        "inline, or auto (default auto: inline on single-hart "
+        "hosts)\n");
 }
 
 std::string
@@ -74,6 +83,23 @@ splitKeyValue(const std::string &arg)
     if (eq == std::string::npos)
         SHIFT_FATAL("expected KEY=VALUE, got '%s'", arg.c_str());
     return {arg.substr(0, eq), arg.substr(eq + 1)};
+}
+
+/** Whole-string integer parse; a clear one-line error beats an
+ * uncaught std::invalid_argument from a bare std::stoull. */
+long long
+parseInteger(const std::string &flag, const std::string &text)
+{
+    try {
+        size_t pos = 0;
+        long long v = std::stoll(text, &pos);
+        if (pos != text.size())
+            throw std::invalid_argument(text);
+        return v;
+    } catch (const std::exception &) {
+        SHIFT_FATAL("%s: expected an integer, got '%s'", flag.c_str(),
+                    text.c_str());
+    }
 }
 
 } // namespace
@@ -147,12 +173,47 @@ main(int argc, char **argv)
             } else if (arg == "--stats") {
                 dumpStats = true;
             } else if (arg == "--itrace") {
-                traceLimit = static_cast<uint64_t>(std::stoull(next()));
+                long long n = parseInteger(arg, next());
+                if (n < 0)
+                    SHIFT_FATAL("--itrace must not be negative");
+                traceLimit = static_cast<uint64_t>(n);
             } else if (arg == "--trace") {
                 tracePath = next();
             } else if (arg == "--max-steps") {
-                options.maxSteps =
-                    static_cast<uint64_t>(std::stoull(next()));
+                long long n = parseInteger(arg, next());
+                if (n <= 0)
+                    SHIFT_FATAL("--max-steps must be positive");
+                options.maxSteps = static_cast<uint64_t>(n);
+            } else if (arg == "--async-taint" ||
+                       arg.rfind("--async-taint=", 0) == 0) {
+                options.async.enabled = true;
+                if (arg.size() > 13) {
+                    long long ring =
+                        parseInteger("--async-taint", arg.substr(14));
+                    if (ring <= 0 || ring > (1 << 24))
+                        SHIFT_FATAL("--async-taint: ring size %lld out "
+                                    "of range", ring);
+                    options.async.ringEvents =
+                        static_cast<uint32_t>(ring);
+                }
+            } else if (arg == "--async-batch") {
+                long long batch = parseInteger(arg, next());
+                if (batch <= 0)
+                    SHIFT_FATAL("--async-batch must be positive");
+                options.async.publishBatch =
+                    static_cast<uint32_t>(batch);
+            } else if (arg == "--async-consumer") {
+                std::string mode = next();
+                if (mode == "thread")
+                    options.async.consumer = dift::AsyncConsumer::Thread;
+                else if (mode == "inline")
+                    options.async.consumer = dift::AsyncConsumer::Inline;
+                else if (mode == "auto")
+                    options.async.consumer = dift::AsyncConsumer::Auto;
+                else
+                    SHIFT_FATAL("--async-consumer: expected thread, "
+                                "inline, or auto, got '%s'",
+                                mode.c_str());
             } else if (!arg.empty() && arg[0] == '-') {
                 SHIFT_FATAL("unknown option '%s'", arg.c_str());
             } else if (sourcePath.empty()) {
@@ -160,6 +221,12 @@ main(int argc, char **argv)
             } else {
                 SHIFT_FATAL("more than one program given");
             }
+        }
+        if (options.async.enabled) {
+            std::string problem =
+                dift::validateAsyncOptions(options.async);
+            if (!problem.empty())
+                SHIFT_FATAL("--async-taint: %s", problem.c_str());
         }
         if (sourcePath.empty()) {
             usage();

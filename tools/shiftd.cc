@@ -20,6 +20,7 @@
 #include <cstdio>
 #include <fstream>
 #include <sstream>
+#include <stdexcept>
 #include <string>
 #include <vector>
 
@@ -52,6 +53,13 @@ usage()
         "  --requests N             connections per clone (default 4)\n"
         "  --workers N              worker threads (default 4)\n"
         "  --max-steps N            execution budget per clone\n"
+        "  --async-taint[=RING]     decoupled taint tier, one event "
+        "ring + consumer thread per clone (power-of-two RING size, "
+        "default 65536)\n"
+        "  --async-batch N          events per sequence publish "
+        "(default 32)\n"
+        "  --async-consumer MODE    consumer placement: thread, "
+        "inline, or auto (default auto: inline on single-hart hosts)\n"
         "  --json                   print the report as JSON "
         "(includes the stats schema)\n"
         "  --trace FILE             record a flight-recorder trace "
@@ -81,6 +89,38 @@ splitKeyValue(const std::string &arg)
     if (eq == std::string::npos)
         SHIFT_FATAL("expected KEY=VALUE, got '%s'", arg.c_str());
     return {arg.substr(0, eq), arg.substr(eq + 1)};
+}
+
+/** Whole-string integer parse; a clear one-line error beats an
+ * uncaught std::invalid_argument from a bare std::stoi. */
+long long
+parseInteger(const std::string &flag, const std::string &text)
+{
+    try {
+        size_t pos = 0;
+        long long v = std::stoll(text, &pos);
+        if (pos != text.size())
+            throw std::invalid_argument(text);
+        return v;
+    } catch (const std::exception &) {
+        SHIFT_FATAL("%s: expected an integer, got '%s'", flag.c_str(),
+                    text.c_str());
+    }
+}
+
+double
+parseSeconds(const std::string &flag, const std::string &text)
+{
+    try {
+        size_t pos = 0;
+        double v = std::stod(text, &pos);
+        if (pos != text.size())
+            throw std::invalid_argument(text);
+        return v;
+    } catch (const std::exception &) {
+        SHIFT_FATAL("%s: expected a number of seconds, got '%s'",
+                    flag.c_str(), text.c_str());
+    }
 }
 
 } // namespace
@@ -145,20 +185,59 @@ main(int argc, char **argv)
             } else if (arg == "--conn") {
                 request = next();
             } else if (arg == "--jobs") {
-                jobs = std::stoi(next());
+                jobs = static_cast<int>(parseInteger(arg, next()));
             } else if (arg == "--requests") {
-                requestsPerJob = std::stoi(next());
+                requestsPerJob =
+                    static_cast<int>(parseInteger(arg, next()));
             } else if (arg == "--workers") {
-                workers = static_cast<unsigned>(std::stoul(next()));
+                long long n = parseInteger(arg, next());
+                if (n <= 0)
+                    SHIFT_FATAL("--workers must be positive");
+                workers = static_cast<unsigned>(n);
             } else if (arg == "--max-steps") {
-                options.maxSteps =
-                    static_cast<uint64_t>(std::stoull(next()));
+                long long n = parseInteger(arg, next());
+                if (n <= 0)
+                    SHIFT_FATAL("--max-steps must be positive");
+                options.maxSteps = static_cast<uint64_t>(n);
+            } else if (arg == "--async-taint" ||
+                       arg.rfind("--async-taint=", 0) == 0) {
+                options.async.enabled = true;
+                if (arg.size() > 13) {
+                    long long ring =
+                        parseInteger("--async-taint", arg.substr(14));
+                    if (ring <= 0 || ring > (1 << 24))
+                        SHIFT_FATAL("--async-taint: ring size %lld out "
+                                    "of range", ring);
+                    options.async.ringEvents =
+                        static_cast<uint32_t>(ring);
+                }
+            } else if (arg == "--async-batch") {
+                long long batch = parseInteger(arg, next());
+                if (batch <= 0)
+                    SHIFT_FATAL("--async-batch must be positive");
+                options.async.publishBatch =
+                    static_cast<uint32_t>(batch);
+            } else if (arg == "--async-consumer") {
+                std::string mode = next();
+                if (mode == "thread")
+                    options.async.consumer = dift::AsyncConsumer::Thread;
+                else if (mode == "inline")
+                    options.async.consumer = dift::AsyncConsumer::Inline;
+                else if (mode == "auto")
+                    options.async.consumer = dift::AsyncConsumer::Auto;
+                else
+                    SHIFT_FATAL("--async-consumer: expected thread, "
+                                "inline, or auto, got '%s'",
+                                mode.c_str());
             } else if (arg == "--json") {
                 json = true;
             } else if (arg == "--trace") {
                 tracePath = next();
             } else if (arg == "--metrics-interval") {
-                metricsInterval = std::stod(next());
+                metricsInterval = parseSeconds(arg, next());
+                if (metricsInterval < 0)
+                    SHIFT_FATAL("--metrics-interval must not be "
+                                "negative");
             } else if (arg == "--metrics-out") {
                 metricsOut = next();
             } else if (!arg.empty() && arg[0] == '-') {
@@ -171,6 +250,12 @@ main(int argc, char **argv)
         }
         if (jobs <= 0 || requestsPerJob <= 0)
             SHIFT_FATAL("--jobs and --requests must be positive");
+        if (options.async.enabled) {
+            std::string problem =
+                dift::validateAsyncOptions(options.async);
+            if (!problem.empty())
+                SHIFT_FATAL("--async-taint: %s", problem.c_str());
+        }
 
         // Enable the flight recorder before the template build so the
         // compile/instrument/freeze phases land in the trace too.
@@ -186,6 +271,7 @@ main(int argc, char **argv)
                 options.mode, options.policy.granularity,
                 options.features, options.engine);
             httpdOptions.maxSteps = options.maxSteps;
+            httpdOptions.async = options.async;
             tmpl = std::make_unique<SessionTemplate>(
                 std::string(workloads::kHttpdSource),
                 std::move(httpdOptions));
