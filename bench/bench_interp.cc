@@ -72,45 +72,66 @@ struct Row
 int repeats = 3;
 
 /**
+ * Minimum simulated instructions one timed sample must retire; short
+ * workloads are re-run back to back until the floor is met (see
+ * benchutil::runsForInstructionFloor — this is what un-skewed the
+ * httpd row, which retires ~57k instructions per smoke serve).
+ */
+uint64_t minSampleInstrs = 4'000'000;
+
+/**
  * `fn` runs one workload and returns a SpecRun/HttpdRun: a RunResult
  * in .result plus .runSeconds, the host time spent inside
  * Machine::run() alone. Using that (rather than timing the whole
  * call) excludes the compile/instrument/setup pipeline, which is
  * identical for both engines and would otherwise dilute the
  * interpreter ratio on short workloads.
+ *
+ * The first run is an untimed warm-up (host page cache, allocator
+ * arenas, branch predictors) that also tells us the per-run
+ * instruction count for the sample floor; each timed sample then
+ * aggregates enough runs to retire minSampleInstrs, and the minimum
+ * per-run time across samples wins.
  */
 template <typename Fn>
 Measurement
 timeRun(Fn &&fn)
 {
     Measurement m;
-    for (int rep = 0; rep < repeats; ++rep) {
-        auto run = fn();
-        const RunResult &result = run.result;
+    auto checkOk = [](const RunResult &result) {
         if (!result.ok()) {
             std::fprintf(stderr, "bench_interp: run failed (%s: %s)\n",
                          faultKindName(result.fault.kind),
                          result.fault.detail.c_str());
             std::exit(1);
         }
-        if (rep == 0) {
-            m.instructions = result.instructions;
-            m.cycles = result.cycles;
-            m.alerts = result.alerts.size();
-            m.seconds = run.runSeconds;
-            continue;
+    };
+    auto warm = fn();
+    checkOk(warm.result);
+    m.instructions = warm.result.instructions;
+    m.cycles = warm.result.cycles;
+    m.alerts = warm.result.alerts.size();
+    int runsPerSample = benchutil::runsForInstructionFloor(
+        m.instructions, minSampleInstrs);
+    for (int rep = 0; rep < repeats; ++rep) {
+        double sampleSeconds = 0;
+        for (int i = 0; i < runsPerSample; ++i) {
+            auto run = fn();
+            checkOk(run.result);
+            // The simulation is deterministic; a repeat that
+            // disagrees with itself is a bug, not noise.
+            if (run.result.instructions != m.instructions ||
+                run.result.cycles != m.cycles ||
+                run.result.alerts.size() != m.alerts) {
+                std::fprintf(stderr, "bench_interp: NON-DETERMINISTIC "
+                                     "repeat\n");
+                std::exit(1);
+            }
+            sampleSeconds += run.runSeconds;
         }
-        // The simulation is deterministic; a repeat that disagrees
-        // with itself is a bug, not noise.
-        if (result.instructions != m.instructions ||
-            result.cycles != m.cycles ||
-            result.alerts.size() != m.alerts) {
-            std::fprintf(stderr, "bench_interp: NON-DETERMINISTIC "
-                                 "repeat\n");
-            std::exit(1);
-        }
-        if (run.runSeconds < m.seconds)
-            m.seconds = run.runSeconds;
+        double perRun = sampleSeconds / runsPerSample;
+        if (rep == 0 || perRun < m.seconds)
+            m.seconds = perRun;
     }
     return m;
 }

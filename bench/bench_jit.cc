@@ -1,0 +1,293 @@
+/**
+ * @file
+ * JIT tier throughput: host MIPS of the copy-and-patch compiled code
+ * against the fused interpreter on the same fused instruction stream
+ * (src/jit, docs/JIT.md) — the trajectory metric for JIT perf work.
+ *
+ * Both arms run the predecoded engine under full SHIFT tracking at
+ * byte granularity; the only difference is SessionOptions::jit. The
+ * harness verifies on every row that the arms agree bit-for-bit on
+ * simulated cycles, instructions and alerts (the tier's contract —
+ * a fast JIT that drifts from the interpreter is worthless), prints
+ * the table with the honest deopt/bailout counts, registers the
+ * metrics as google-benchmark counters and writes BENCH_jit.json.
+ *
+ * Compile time is NOT excluded: each timed run builds a fresh
+ * session, pays the promotion warm-up and the compile inside
+ * Machine::run(), exactly as a first-run user would.
+ *
+ * `--smoke` runs two SPEC kernels + a small httpd serve once and
+ * exits non-zero when the JIT's geomean speedup over the interpreter
+ * on the SPEC rows falls below 2.0x (the perf-smoke-jit target).
+ * On hosts without the backend (non-x86-64, -DSHIFT_ENABLE_JIT=OFF)
+ * it prints a notice and exits zero — there is nothing to regress.
+ */
+
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "bench_util.hh"
+#include "sim/machine.hh"
+#include "workloads/httpd.hh"
+#include "workloads/spec.hh"
+
+namespace
+{
+
+using namespace shift;
+using namespace shift::workloads;
+using benchutil::geomean;
+using benchutil::registerMetricRow;
+
+struct Measurement
+{
+    uint64_t instructions = 0;
+    uint64_t cycles = 0;
+    size_t alerts = 0;
+    double seconds = 0;
+    /** Tier counters from the last run (deterministic across runs). */
+    uint64_t compiled = 0;
+    uint64_t entered = 0;
+    uint64_t deopts = 0;
+    uint64_t bailouts = 0;
+
+    double mips() const
+    {
+        return seconds > 0 ? double(instructions) / seconds / 1e6 : 0;
+    }
+};
+
+struct Row
+{
+    std::string name;
+    bool inGeomean = true; ///< SPEC rows only gate the tripwire
+    Measurement interp;
+    Measurement jit;
+
+    double speedup() const
+    {
+        return interp.mips() > 0 ? jit.mips() / interp.mips() : 0;
+    }
+};
+
+int repeats = 3;
+uint64_t minSampleInstrs = 4'000'000;
+
+/** Same sampling discipline as bench_interp::timeRun (see there). */
+template <typename Fn>
+Measurement
+timeRun(Fn &&fn)
+{
+    Measurement m;
+    auto checkOk = [](const RunResult &result) {
+        if (!result.ok()) {
+            std::fprintf(stderr, "bench_jit: run failed (%s: %s)\n",
+                         faultKindName(result.fault.kind),
+                         result.fault.detail.c_str());
+            std::exit(1);
+        }
+    };
+    auto warm = fn();
+    checkOk(warm.result);
+    m.instructions = warm.result.instructions;
+    m.cycles = warm.result.cycles;
+    m.alerts = warm.result.alerts.size();
+    m.compiled = warm.result.stats.get("jit.compiled");
+    m.entered = warm.result.stats.get("jit.entered");
+    m.deopts = warm.result.stats.get("jit.deopts");
+    m.bailouts = warm.result.stats.get("jit.bailouts");
+    int runsPerSample = benchutil::runsForInstructionFloor(
+        m.instructions, minSampleInstrs);
+    for (int rep = 0; rep < repeats; ++rep) {
+        double sampleSeconds = 0;
+        for (int i = 0; i < runsPerSample; ++i) {
+            auto run = fn();
+            checkOk(run.result);
+            if (run.result.instructions != m.instructions ||
+                run.result.cycles != m.cycles ||
+                run.result.alerts.size() != m.alerts) {
+                std::fprintf(stderr,
+                             "bench_jit: NON-DETERMINISTIC repeat\n");
+                std::exit(1);
+            }
+            sampleSeconds += run.runSeconds;
+        }
+        double perRun = sampleSeconds / runsPerSample;
+        if (rep == 0 || perRun < m.seconds)
+            m.seconds = perRun;
+    }
+    return m;
+}
+
+/** Abort loudly when the tiers disagree — speed without fidelity. */
+void
+checkIdentical(const Row &row)
+{
+    if (row.interp.cycles != row.jit.cycles ||
+        row.interp.instructions != row.jit.instructions ||
+        row.interp.alerts != row.jit.alerts) {
+        std::fprintf(stderr,
+                     "bench_jit: TIER MISMATCH on %s: interp "
+                     "{cycles=%llu instrs=%llu alerts=%zu} vs jit "
+                     "{cycles=%llu instrs=%llu alerts=%zu}\n",
+                     row.name.c_str(),
+                     (unsigned long long)row.interp.cycles,
+                     (unsigned long long)row.interp.instructions,
+                     row.interp.alerts,
+                     (unsigned long long)row.jit.cycles,
+                     (unsigned long long)row.jit.instructions,
+                     row.jit.alerts);
+        std::exit(1);
+    }
+}
+
+Row
+measureSpec(const SpecKernel &kernel)
+{
+    Row row;
+    row.name = "spec/" + kernel.shortName;
+    SpecRunConfig config;
+    config.mode = TrackingMode::Shift;
+    config.granularity = Granularity::Byte;
+    config.taintInput = true;
+
+    config.jit = false;
+    row.interp = timeRun([&] { return runSpecKernel(kernel, config); });
+    config.jit = true;
+    row.jit = timeRun([&] { return runSpecKernel(kernel, config); });
+    checkIdentical(row);
+    return row;
+}
+
+Row
+measureHttpd(int requests)
+{
+    Row row;
+    row.name = "httpd";
+    row.inGeomean = false; // reported, but the floor gates SPEC only
+    HttpdConfig config;
+    config.mode = TrackingMode::Shift;
+    config.requests = requests;
+
+    config.jit = false;
+    row.interp = timeRun([&] { return runHttpd(config); });
+    config.jit = true;
+    row.jit = timeRun([&] { return runHttpd(config); });
+    checkIdentical(row);
+    return row;
+}
+
+void
+writeJson(const std::vector<Row> &rows, double geomeanSpeedup)
+{
+    FILE *f = std::fopen("BENCH_jit.json", "w");
+    if (!f) {
+        std::fprintf(stderr, "bench_jit: cannot write BENCH_jit.json\n");
+        return;
+    }
+    std::fprintf(f, "{\n  \"workloads\": [\n");
+    for (size_t i = 0; i < rows.size(); ++i) {
+        const Row &r = rows[i];
+        std::fprintf(
+            f,
+            "    {\"name\": \"%s\", \"instructions\": %llu, "
+            "\"mips_interp\": %.2f, \"mips_jit\": %.2f, "
+            "\"speedup\": %.3f, \"jit_compiled\": %llu, "
+            "\"jit_entered\": %llu, \"jit_deopts\": %llu, "
+            "\"jit_bailouts\": %llu}%s\n",
+            r.name.c_str(), (unsigned long long)r.jit.instructions,
+            r.interp.mips(), r.jit.mips(), r.speedup(),
+            (unsigned long long)r.jit.compiled,
+            (unsigned long long)r.jit.entered,
+            (unsigned long long)r.jit.deopts,
+            (unsigned long long)r.jit.bailouts,
+            i + 1 < rows.size() ? "," : "");
+    }
+    std::fprintf(f, "  ],\n  \"geomean_speedup_spec\": %.3f\n}\n",
+                 geomeanSpeedup);
+    std::fclose(f);
+    std::printf("wrote BENCH_jit.json\n");
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    bool smoke = false;
+    for (int i = 1; i < argc; ++i) {
+        if (std::strcmp(argv[i], "--smoke") == 0)
+            smoke = true;
+    }
+    if (smoke) {
+        // Keep the min-of-3 discipline even in smoke mode: the
+        // tripwire compares two measured tiers, and a single sample
+        // per tier makes the ratio hostage to host scheduling noise.
+        minSampleInstrs = 2'000'000;
+    }
+
+    if (!Machine::jitAvailable()) {
+        std::printf("bench_jit: JIT backend unavailable on this "
+                    "host/build — nothing to measure\n");
+        return 0;
+    }
+
+    std::printf("\n=== JIT tier throughput: host MIPS, fused "
+                "interpreter vs compiled code ===\n");
+    std::printf("%-14s %9s %11s %9s %8s %8s %8s %9s\n", "workload",
+                "Minstrs", "MIPS interp", "MIPS jit", "speedup",
+                "deopts", "bailouts", "compiled");
+    benchutil::rule(84);
+
+    std::vector<Row> rows;
+    size_t specCount = smoke ? 2 : specKernels().size();
+    for (size_t i = 0; i < specCount; ++i)
+        rows.push_back(measureSpec(specKernels()[i]));
+    rows.push_back(measureHttpd(smoke ? 5 : 50));
+
+    std::vector<double> specSpeedups;
+    for (const Row &r : rows) {
+        std::printf("%-14s %9.1f %11.1f %9.1f %7.2fx %8llu %8llu %9llu\n",
+                    r.name.c_str(), double(r.jit.instructions) / 1e6,
+                    r.interp.mips(), r.jit.mips(), r.speedup(),
+                    (unsigned long long)r.jit.deopts,
+                    (unsigned long long)r.jit.bailouts,
+                    (unsigned long long)r.jit.compiled);
+        if (r.inGeomean)
+            specSpeedups.push_back(r.speedup());
+        registerMetricRow("jit/" + r.name,
+                          {{"mips_interp", r.interp.mips()},
+                           {"mips_jit", r.jit.mips()},
+                           {"speedup_X", r.speedup()},
+                           {"deopts", double(r.jit.deopts)},
+                           {"bailouts", double(r.jit.bailouts)}});
+    }
+    benchutil::rule(84);
+    double gm = geomean(specSpeedups);
+    std::printf("%-14s %30s %7.2fx   (SPEC rows only)\n", "geo.mean",
+                "", gm);
+    std::printf("(tiers verified cycle- and alert-identical on every "
+                "row)\n\n");
+
+    registerMetricRow("jit/geomean", {{"speedup_X", gm}});
+    writeJson(rows, gm);
+
+    // The tripwire floor is deliberately below the ~2x the committed
+    // BENCH_jit.json demonstrates: the smoke rows are short (2M
+    // instrs), so compile cost is a large fraction of the JIT arm and
+    // the run is noisy on loaded hosts. 1.5x catches a broken tier
+    // without flaking on measurement jitter.
+    if (smoke && gm < 1.5) {
+        std::fprintf(stderr,
+                     "perf-smoke-jit FAIL: compiled code only %.2fx "
+                     "interpreter throughput on SPEC (floor 1.5x)\n",
+                     gm);
+        return 1;
+    }
+
+    benchmark::Initialize(&argc, argv);
+    benchmark::RunSpecifiedBenchmarks();
+    return 0;
+}

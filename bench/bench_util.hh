@@ -35,6 +35,26 @@ geomean(const std::vector<double> &values)
     return std::exp(logSum / static_cast<double>(values.size()));
 }
 
+/**
+ * Host-throughput sampling discipline, shared by the MIPS benches
+ * (bench_interp, bench_jit): how many back-to-back runs one timed
+ * sample must aggregate so it retires at least `floorInstrs`
+ * simulated instructions. A short workload (the 5-request smoke
+ * httpd serve retires ~60k instructions in ~1.5ms) otherwise
+ * measures timer granularity, cold host caches and allocator
+ * first-touch instead of steady-state throughput — the historical
+ * httpd MIPS outlier. Callers should also run one untimed warm-up
+ * before the first sample.
+ */
+inline int
+runsForInstructionFloor(uint64_t perRunInstrs, uint64_t floorInstrs)
+{
+    if (perRunInstrs == 0 || perRunInstrs >= floorInstrs)
+        return 1;
+    return static_cast<int>((floorInstrs + perRunInstrs - 1) /
+                            perRunInstrs);
+}
+
 /** Print a horizontal rule sized to a header line. */
 inline void
 rule(size_t width)

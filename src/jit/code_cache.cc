@@ -1,0 +1,105 @@
+/**
+ * @file
+ * The executable code cache: hotness counting, promotion, and the
+ * lifecycle of compiled buffers (see docs/JIT.md).
+ */
+
+#include "jit/jit.hh"
+
+#include "support/logging.hh"
+
+#if SHIFT_JIT_BACKEND
+#include <sys/mman.h>
+#endif
+
+namespace shift::jit
+{
+
+bool
+available()
+{
+    return SHIFT_JIT_BACKEND != 0;
+}
+
+const CompiledFunction CodeCache::kUncompilable;
+
+CompiledFunction::~CompiledFunction()
+{
+#if SHIFT_JIT_BACKEND
+    if (buf)
+        munmap(buf, size);
+#endif
+}
+
+CodeCache::CodeCache(std::shared_ptr<const DecodedProgram> program,
+                     CompileEnv env, uint32_t threshold,
+                     size_t maxBytes)
+    : program_(std::move(program)),
+      env_(env),
+      threshold_(threshold ? threshold : kDefaultThreshold),
+      maxBytes_(maxBytes ? maxBytes : kDefaultMaxBytes),
+      hot_(program_->functions.size()),
+      fns_(program_->functions.size())
+{
+    SHIFT_ASSERT(program_, "code cache needs a program");
+}
+
+const CompiledFunction *
+CodeCache::hot(int func, Credit *credit)
+{
+    const CompiledFunction *f =
+        fns_[func].load(std::memory_order_acquire);
+    if (f)
+        return f == &kUncompilable ? nullptr : f;
+    // Exactly one caller observes the crossing and compiles; racers
+    // keep interpreting until the body is published. The counter
+    // keeps counting past the threshold, which is harmless.
+    uint32_t h =
+        hot_[func].fetch_add(1, std::memory_order_relaxed) + 1;
+    if (h != threshold_)
+        return nullptr;
+    std::lock_guard<std::mutex> lock(compileMutex_);
+    f = fns_[func].load(std::memory_order_acquire);
+    if (f)
+        return f == &kUncompilable ? nullptr : f;
+    std::unique_ptr<CompiledFunction> compiled =
+        compileFunction(program_->functions[func], env_);
+    if (!compiled) {
+        fns_[func].store(&kUncompilable, std::memory_order_release);
+        return nullptr;
+    }
+    // Flush-when-full: unpublish everything and restart hotness, so
+    // only what is still hot comes back. Concurrent executors keep
+    // running the old buffers safely — owned_ retains them until the
+    // cache dies — and their next lookup falls back to interpreting
+    // until the function re-crosses the threshold. Uncompilable
+    // sentinels survive the flush (they hold no bytes and a retry
+    // would fail the same way). A single unit larger than the whole
+    // budget still publishes: the bound can't be met, not honored by
+    // thrashing.
+    size_t live = liveBytes_.load(std::memory_order_relaxed);
+    if (live > 0 && live + compiled->size > maxBytes_) {
+        for (auto &slot : fns_) {
+            const CompiledFunction *cur =
+                slot.load(std::memory_order_acquire);
+            if (cur && cur != &kUncompilable)
+                slot.store(nullptr, std::memory_order_release);
+        }
+        for (auto &hcnt : hot_)
+            hcnt.store(0, std::memory_order_relaxed);
+        liveBytes_.store(0, std::memory_order_relaxed);
+        evictions_.fetch_add(1, std::memory_order_relaxed);
+        credit->evictions += 1;
+    }
+    f = compiled.get();
+    owned_.push_back(std::move(compiled));
+    compiledFunctions_.fetch_add(1, std::memory_order_relaxed);
+    compiledBlocks_.fetch_add(f->blocks, std::memory_order_relaxed);
+    liveBytes_.fetch_add(f->size, std::memory_order_relaxed);
+    credit->blocks += f->blocks;
+    credit->codeBytes += f->size;
+    fns_[func].store(f, std::memory_order_release);
+    return f;
+}
+
+} // namespace shift::jit

@@ -1,0 +1,634 @@
+/**
+ * @file
+ * A minimal x86-64 byte emitter for the JIT tier: just the encodings
+ * the template lowering in src/jit/compiler.cc needs, with forward
+ * labels resolved by rel32 fixup. No scheduling, no register
+ * allocation — the compiler drives it with a fixed register plan.
+ *
+ * Encoding notes kept deliberately simple:
+ *  - Memory operands are always [base + disp32] (mod=10). A SIB byte
+ *    is inserted when the base register is rsp/r12 (rm == 4); rbp/r13
+ *    need no special case because mod=10 always carries a disp.
+ *  - All label jumps use rel32 forms; short-jump compaction is not
+ *    worth the complexity at these buffer sizes (a few KB/function).
+ *
+ * The emitter itself is portable C++ (it only builds byte vectors);
+ * only mapping the result executable is platform work, and that lives
+ * in code_cache.cc behind SHIFT_JIT_BACKEND.
+ */
+
+#ifndef SHIFT_JIT_X64_EMITTER_HH
+#define SHIFT_JIT_X64_EMITTER_HH
+
+#include <cstdint>
+#include <cstring>
+#include <vector>
+
+#include "support/logging.hh"
+
+namespace shift::jit
+{
+
+enum Reg : uint8_t
+{
+    RAX = 0,
+    RCX = 1,
+    RDX = 2,
+    RBX = 3,
+    RSP = 4,
+    RBP = 5,
+    RSI = 6,
+    RDI = 7,
+    R8 = 8,
+    R9 = 9,
+    R10 = 10,
+    R11 = 11,
+    R12 = 12,
+    R13 = 13,
+    R14 = 14,
+    R15 = 15,
+};
+
+/** x86 condition codes (the cc nibble of 0F 8x / 0F 9x). */
+enum Cond : uint8_t
+{
+    CC_O = 0x0,
+    CC_NO = 0x1,
+    CC_B = 0x2,  ///< unsigned <
+    CC_AE = 0x3, ///< unsigned >=
+    CC_E = 0x4,
+    CC_NE = 0x5,
+    CC_BE = 0x6, ///< unsigned <=
+    CC_A = 0x7,  ///< unsigned >
+    CC_S = 0x8,
+    CC_NS = 0x9,
+    CC_L = 0xc,  ///< signed <
+    CC_GE = 0xd, ///< signed >=
+    CC_LE = 0xe, ///< signed <=
+    CC_G = 0xf,  ///< signed >
+};
+
+class Emitter
+{
+  public:
+    Emitter()
+    {
+        // A typical compiled function lands in the 10-30KB range;
+        // reserving up front keeps the hot emit path free of
+        // reallocation (compile time shows up in end-to-end MIPS
+        // because every session compiles its own hot set).
+        buf_.reserve(32 * 1024);
+        labels_.reserve(256);
+        fixups_.reserve(256);
+    }
+
+    size_t size() const { return buf_.size(); }
+    const uint8_t *data() const { return buf_.data(); }
+
+    // ---- labels ----------------------------------------------------
+
+    int newLabel()
+    {
+        labels_.push_back(-1);
+        return int(labels_.size()) - 1;
+    }
+
+    void bind(int label)
+    {
+        SHIFT_ASSERT(labels_[label] < 0, "label bound twice");
+        labels_[label] = int64_t(buf_.size());
+    }
+
+    bool bound(int label) const { return labels_[label] >= 0; }
+
+    /** Patch every recorded rel32 against final label offsets. */
+    void finalize()
+    {
+        for (const Fixup &f : fixups_) {
+            int64_t target = labels_[f.label];
+            SHIFT_ASSERT(target >= 0, "unbound jit label");
+            int64_t rel = target - (int64_t(f.at) + 4);
+            SHIFT_ASSERT(rel >= INT32_MIN && rel <= INT32_MAX,
+                         "jit rel32 overflow");
+            int32_t rel32 = int32_t(rel);
+            std::memcpy(&buf_[f.at], &rel32, 4);
+        }
+        fixups_.clear();
+    }
+
+    // ---- control flow ----------------------------------------------
+
+    void jmp(int label)
+    {
+        byte(0xe9);
+        rel32(label);
+    }
+
+    void jcc(Cond cc, int label)
+    {
+        byte(0x0f);
+        byte(0x80 | cc);
+        rel32(label);
+    }
+
+    void jmpReg(Reg r)
+    {
+        rexOpt(0, 4, r);
+        byte(0xff);
+        modrm(3, 4, r & 7);
+    }
+
+    void callReg(Reg r)
+    {
+        rexOpt(0, 2, r);
+        byte(0xff);
+        modrm(3, 2, r & 7);
+    }
+
+    void ret() { byte(0xc3); }
+
+    // ---- moves -----------------------------------------------------
+
+    void movRegImm64(Reg dst, uint64_t imm)
+    {
+        if (imm == 0) {
+            xorRegReg32(dst, dst);
+            return;
+        }
+        if (imm <= UINT32_MAX) {
+            // mov r32, imm32 zero-extends.
+            rexOpt(0, 0, dst);
+            byte(0xb8 | (dst & 7));
+            word32(uint32_t(imm));
+            return;
+        }
+        rex(1, 0, dst);
+        byte(0xb8 | (dst & 7));
+        word64(imm);
+    }
+
+    void movRegReg(Reg dst, Reg src)
+    {
+        rex(1, src, dst);
+        byte(0x89);
+        modrm(3, src & 7, dst & 7);
+    }
+
+    /** mov dst, qword [base + disp] */
+    void movRegMem(Reg dst, Reg base, int32_t disp)
+    {
+        rex(1, dst, base);
+        byte(0x8b);
+        mem(dst, base, disp);
+    }
+
+    /** mov qword [base + disp], src */
+    void movMemReg(Reg base, int32_t disp, Reg src)
+    {
+        rex(1, src, base);
+        byte(0x89);
+        mem(src, base, disp);
+    }
+
+    /** mov qword [base + disp], imm32 (sign-extended) */
+    void movMemImm32(Reg base, int32_t disp, int32_t imm)
+    {
+        rex(1, 0, base);
+        byte(0xc7);
+        mem(Reg(0), base, disp);
+        word32(uint32_t(imm));
+    }
+
+    /** movzx dst32, byte [base + disp] */
+    void movzxByteMem(Reg dst, Reg base, int32_t disp)
+    {
+        rexOpt(0, dst, base);
+        byte(0x0f);
+        byte(0xb6);
+        mem(dst, base, disp);
+    }
+
+    /** movzx dst32, word [base + disp] */
+    void movzxWordMem(Reg dst, Reg base, int32_t disp)
+    {
+        rexOpt(0, dst, base);
+        byte(0x0f);
+        byte(0xb7);
+        mem(dst, base, disp);
+    }
+
+    /** mov dst32, dword [base + disp] (zero-extends into dst64) */
+    void movRegMem32(Reg dst, Reg base, int32_t disp)
+    {
+        rexOpt(0, dst, base);
+        byte(0x8b);
+        mem(dst, base, disp);
+    }
+
+    /** mov word [base + disp], src16 */
+    void movWordMemReg(Reg base, int32_t disp, Reg src)
+    {
+        byte(0x66); // operand-size prefix precedes REX
+        rexOpt(0, src, base);
+        byte(0x89);
+        mem(src, base, disp);
+    }
+
+    /** mov dword [base + disp], src32 */
+    void movMemReg32(Reg base, int32_t disp, Reg src)
+    {
+        rexOpt(0, src, base);
+        byte(0x89);
+        mem(src, base, disp);
+    }
+
+    /** mov byte [base + disp], imm8 */
+    void movByteMemImm(Reg base, int32_t disp, uint8_t imm)
+    {
+        rexOpt(0, 0, base);
+        byte(0xc6);
+        mem(Reg(0), base, disp);
+        byte(imm);
+    }
+
+    /**
+     * mov byte [base + disp], src8. Forces a REX prefix so sil/dil
+     * and r8b+ encode correctly for any src.
+     */
+    void movByteMemReg(Reg base, int32_t disp, Reg src)
+    {
+        rex8(src, base);
+        byte(0x88);
+        mem(src, base, disp);
+    }
+
+    // ---- arithmetic / logic ----------------------------------------
+
+    enum Alu : uint8_t
+    {
+        ALU_ADD = 0,
+        ALU_OR = 1,
+        ALU_AND = 4,
+        ALU_SUB = 5,
+        ALU_XOR = 6,
+        ALU_CMP = 7,
+    };
+
+    void aluRegReg(Alu op, Reg dst, Reg src)
+    {
+        rex(1, src, dst);
+        byte(uint8_t(op << 3) | 0x01);
+        modrm(3, src & 7, dst & 7);
+    }
+
+    void aluRegImm32(Alu op, Reg dst, int32_t imm)
+    {
+        rex(1, 0, dst);
+        if (imm >= -128 && imm <= 127) {
+            byte(0x83); // sign-extended imm8 short form
+            modrm(3, op, dst & 7);
+            byte(uint8_t(imm));
+            return;
+        }
+        byte(0x81);
+        modrm(3, op, dst & 7);
+        word32(uint32_t(imm));
+    }
+
+    void aluRegReg32(Alu op, Reg dst, Reg src)
+    {
+        rexOpt(0, src, dst);
+        byte(uint8_t(op << 3) | 0x01);
+        modrm(3, src & 7, dst & 7);
+    }
+
+    /** op qword [base + disp], imm32 (sign-extended; imm8 short form
+     *  when the value fits — the charge-accounting adds almost always
+     *  do, and the 3-byte saving per add is the bulk of the code-size
+     *  win of the compiled tier). */
+    void aluMemImm32(Alu op, Reg base, int32_t disp, int32_t imm)
+    {
+        rex(1, 0, base);
+        if (imm >= -128 && imm <= 127) {
+            byte(0x83);
+            mem(Reg(op), base, disp);
+            byte(uint8_t(imm));
+            return;
+        }
+        byte(0x81);
+        mem(Reg(op), base, disp);
+        word32(uint32_t(imm));
+    }
+
+    /** op dword [base + disp], imm32 (32-bit operand) */
+    void aluMemImm32_32(Alu op, Reg base, int32_t disp, int32_t imm)
+    {
+        rexOpt(0, 0, base);
+        if (imm >= -128 && imm <= 127) {
+            byte(0x83);
+            mem(Reg(op), base, disp);
+            byte(uint8_t(imm));
+            return;
+        }
+        byte(0x81);
+        mem(Reg(op), base, disp);
+        word32(uint32_t(imm));
+    }
+
+    /** op qword [base + disp], src */
+    void aluMemReg(Alu op, Reg base, int32_t disp, Reg src)
+    {
+        rex(1, src, base);
+        byte(uint8_t(op << 3) | 0x01);
+        mem(src, base, disp);
+    }
+
+    /** op dst, qword [base + disp] */
+    void aluRegMem(Alu op, Reg dst, Reg base, int32_t disp)
+    {
+        rex(1, dst, base);
+        byte(uint8_t(op << 3) | 0x03);
+        mem(dst, base, disp);
+    }
+
+    void xorRegReg32(Reg dst, Reg src)
+    {
+        rexOpt(0, src, dst);
+        byte(0x31);
+        modrm(3, src & 7, dst & 7);
+    }
+
+    void testRegReg(Reg a, Reg b)
+    {
+        rex(1, b, a);
+        byte(0x85);
+        modrm(3, b & 7, a & 7);
+    }
+
+    void testRegReg32(Reg a, Reg b)
+    {
+        rexOpt(0, b, a);
+        byte(0x85);
+        modrm(3, b & 7, a & 7);
+    }
+
+    void cmpRegImm32(Reg r, int32_t imm)
+    {
+        aluRegImm32(ALU_CMP, r, imm);
+    }
+
+    /** cmp byte [base + disp], imm8 */
+    void cmpByteMemImm(Reg base, int32_t disp, uint8_t imm)
+    {
+        rexOpt(0, 7, base);
+        byte(0x80);
+        mem(Reg(7), base, disp);
+        byte(imm);
+    }
+
+    /** cmp dword reg32, imm32 */
+    void cmpRegImm32_32(Reg r, int32_t imm)
+    {
+        rexOpt(0, 0, r);
+        byte(0x81);
+        modrm(3, 7, r & 7);
+        word32(uint32_t(imm));
+    }
+
+    void imulRegReg(Reg dst, Reg src)
+    {
+        rex(1, dst, src);
+        byte(0x0f);
+        byte(0xaf);
+        modrm(3, dst & 7, src & 7);
+    }
+
+    void negReg(Reg r)
+    {
+        rex(1, 3, r);
+        byte(0xf7);
+        modrm(3, 3, r & 7);
+    }
+
+    /** rdx:rax /= r, unsigned: quotient in rax, remainder in rdx. */
+    void divReg(Reg r)
+    {
+        rex(1, 6, r);
+        byte(0xf7);
+        modrm(3, 6, r & 7);
+    }
+
+    /** rdx:rax /= r, signed: quotient in rax, remainder in rdx. */
+    void idivReg(Reg r)
+    {
+        rex(1, 7, r);
+        byte(0xf7);
+        modrm(3, 7, r & 7);
+    }
+
+    /** Sign-extend rax into rdx:rax (the idiv setup). */
+    void cqo()
+    {
+        byte(0x48);
+        byte(0x99);
+    }
+
+    void notReg(Reg r)
+    {
+        rex(1, 2, r);
+        byte(0xf7);
+        modrm(3, 2, r & 7);
+    }
+
+    // ---- shifts ----------------------------------------------------
+
+    enum Shift : uint8_t
+    {
+        SH_SHL = 4,
+        SH_SHR = 5,
+        SH_SAR = 7,
+    };
+
+    void shiftRegImm(Shift op, Reg r, uint8_t imm)
+    {
+        if (imm == 0)
+            return;
+        rex(1, op, r);
+        if (imm == 1) {
+            byte(0xd1);
+            modrm(3, op, r & 7);
+            return;
+        }
+        byte(0xc1);
+        modrm(3, op, r & 7);
+        byte(imm);
+    }
+
+    /** shift r by cl */
+    void shiftRegCl(Shift op, Reg r)
+    {
+        rex(1, op, r);
+        byte(0xd3);
+        modrm(3, op, r & 7);
+    }
+
+    // ---- extensions / setcc ----------------------------------------
+
+    /** movsx dst64 from 8/16/32-bit src (same register allowed). */
+    void movsxReg(Reg dst, Reg src, unsigned srcBytes)
+    {
+        switch (srcBytes) {
+        case 1:
+            rex(1, dst, src);
+            byte(0x0f);
+            byte(0xbe);
+            break;
+        case 2:
+            rex(1, dst, src);
+            byte(0x0f);
+            byte(0xbf);
+            break;
+        case 4:
+            rex(1, dst, src);
+            byte(0x63); // movsxd
+            break;
+        default:
+            SHIFT_ASSERT(false, "movsx size");
+        }
+        modrm(3, dst & 7, src & 7);
+    }
+
+    /** movzx dst from 8/16-bit src; 32-bit uses mov r32, r32. */
+    void movzxReg(Reg dst, Reg src, unsigned srcBytes)
+    {
+        switch (srcBytes) {
+        case 1:
+            rex(1, dst, src); // REX.W harmless; forces sil/dil access
+            byte(0x0f);
+            byte(0xb6);
+            modrm(3, dst & 7, src & 7);
+            break;
+        case 2:
+            rex(1, dst, src);
+            byte(0x0f);
+            byte(0xb7);
+            modrm(3, dst & 7, src & 7);
+            break;
+        case 4:
+            rexOpt(0, src, dst);
+            byte(0x89);
+            modrm(3, src & 7, dst & 7);
+            break;
+        default:
+            SHIFT_ASSERT(false, "movzx size");
+        }
+    }
+
+    /** setcc r8 (REX forced so any register's low byte works). */
+    void setcc(Cond cc, Reg r)
+    {
+        rex8(Reg(0), r);
+        byte(0x0f);
+        byte(0x90 | cc);
+        modrm(3, 0, r & 7);
+    }
+
+    // ---- stack -----------------------------------------------------
+
+    void push(Reg r)
+    {
+        rexOpt(0, 0, r);
+        byte(0x50 | (r & 7));
+    }
+
+    void pop(Reg r)
+    {
+        rexOpt(0, 0, r);
+        byte(0x58 | (r & 7));
+    }
+
+  private:
+    struct Fixup
+    {
+        size_t at;
+        int label;
+    };
+
+    std::vector<uint8_t> buf_;
+    std::vector<int64_t> labels_;
+    std::vector<Fixup> fixups_;
+
+    void byte(uint8_t b) { buf_.push_back(b); }
+
+    void word32(uint32_t v)
+    {
+        size_t at = buf_.size();
+        buf_.resize(at + 4);
+        std::memcpy(&buf_[at], &v, 4);
+    }
+
+    void word64(uint64_t v)
+    {
+        size_t at = buf_.size();
+        buf_.resize(at + 8);
+        std::memcpy(&buf_[at], &v, 8);
+    }
+
+    void rel32(int label)
+    {
+        fixups_.push_back({buf_.size(), label});
+        word32(0);
+    }
+
+    void modrm(uint8_t mod, uint8_t reg, uint8_t rm)
+    {
+        byte(uint8_t(mod << 6) | uint8_t(reg << 3) | rm);
+    }
+
+    /** REX with W as given; reg/base extension bits from operands. */
+    void rex(uint8_t w, uint8_t reg, uint8_t rm)
+    {
+        byte(0x40 | uint8_t(w << 3) | uint8_t(((reg >> 3) & 1) << 2) |
+             ((rm >> 3) & 1));
+    }
+
+    /** REX only when an extension bit (or W) is needed. */
+    void rexOpt(uint8_t w, uint8_t reg, uint8_t rm)
+    {
+        if (w || reg >= 8 || rm >= 8)
+            rex(w, reg, rm);
+    }
+
+    /** REX for byte-register ops: always emitted (sil/dil/r8b..). */
+    void rex8(uint8_t reg, uint8_t rm)
+    {
+        rex(0, reg, rm);
+    }
+
+    /** [base + disp] with SIB when base is rsp/r12, using the shortest
+     *  displacement encoding (none / disp8 / disp32). rbp/r13 cannot
+     *  take the no-displacement form (mod=0 rm=5 means rip-relative),
+     *  so they fall through to disp8 with a zero byte. */
+    void mem(Reg regField, Reg base, int32_t disp)
+    {
+        uint8_t rm = base & 7;
+        uint8_t mod;
+        if (disp == 0 && rm != 5)
+            mod = 0;
+        else if (disp >= -128 && disp <= 127)
+            mod = 1;
+        else
+            mod = 2;
+        modrm(mod, regField & 7, rm == 4 ? 4 : rm);
+        if (rm == 4)
+            byte(0x24); // SIB: scale=0, index=none, base=rsp/r12
+        if (mod == 1)
+            byte(uint8_t(disp));
+        else if (mod == 2)
+            word32(uint32_t(disp));
+    }
+};
+
+} // namespace shift::jit
+
+#endif // SHIFT_JIT_X64_EMITTER_HH

@@ -27,7 +27,7 @@ void
 Memory::tlbFlush() const
 {
     tlb_.fill(TlbEntry{});
-    tagTlb_ = TlbEntry{};
+    tagTlb_.fill(TlbEntry{});
 }
 
 Memory::Snapshot

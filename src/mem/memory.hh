@@ -29,6 +29,7 @@
 #define SHIFT_MEM_MEMORY_HH
 
 #include <array>
+#include <cstddef>
 #include <cstdint>
 #include <cstring>
 #include <functional>
@@ -294,6 +295,37 @@ class Memory
      */
     const TaintSummary &taintSummary() const { return summary_; }
 
+    /**
+     * The indexed translation-cache entries, for the JIT's inline
+     * load/store fast paths (entry layout pinned below). The array
+     * lives for the Memory's lifetime; compiled code re-reads entries
+     * on every access, so fills and flushes need no notification. The
+     * tag region's own entries are exposed separately (jitTagTlb).
+     */
+    const void *jitTlb() const { return tlb_.data(); }
+
+    /**
+     * The tag region's dedicated translation-cache entries (same
+     * layout as jitTlb() entries, indexed by key like tlbSlot), for
+     * the JIT's inline FusedChk fast paths: their taint-bitmap reads
+     * are the one tag-space access pattern hot enough to warrant
+     * bypassing the helpers. Data-side inline paths still exclude
+     * region 0 — stores there must mark the taint summary, which
+     * stays the helpers' job.
+     */
+    const void *jitTagTlb() const { return tagTlb_.data(); }
+
+    /** Geometry of the jitTlb()/jitTagTlb() arrays. */
+    static constexpr size_t kJitTlbEntries = 16;
+    static constexpr size_t kJitTagTlbEntries = 4;
+    static constexpr size_t kJitTlbEntrySize = 24;
+
+    /**
+     * Byte offset of a page's NaT sidecar (checked against Page): the
+     * JIT's inline spill/fill fast paths address it directly.
+     */
+    static constexpr size_t kJitPageNatOff = kPageSize;
+
   private:
     /**
      * Fetch the page backing addr, honouring demand-map regions. With
@@ -396,7 +428,25 @@ class Memory
 
     /** No valid page key has all bits set (keys are va >> 12). */
     static constexpr uint64_t kNoPageKey = ~0ULL;
-    static constexpr size_t kTlbEntries = 16; ///< power of two
+    static constexpr size_t kTlbEntries = 16;   ///< power of two
+    // The instrumented stream's bitmap checks bounce between a few
+    // tag pages (source, destination, stack tags), so the tag region
+    // gets a small indexed set instead of one entry.
+    static constexpr size_t kTagTlbEntries = 4; ///< power of two
+
+    // The JIT's inline load/store fast paths (src/jit/compiler.cc)
+    // probe the indexed entries directly through jitTlb(), so the
+    // entry and page layouts are baked into emitted code.
+    static_assert(offsetof(TlbEntry, key) == 0 &&
+                      offsetof(TlbEntry, page) == 8 &&
+                      offsetof(TlbEntry, writable) == 16 &&
+                      sizeof(TlbEntry) == kJitTlbEntrySize &&
+                      kTlbEntries == kJitTlbEntries &&
+                      kTagTlbEntries == kJitTagTlbEntries,
+                  "TlbEntry layout is baked into JIT-emitted code");
+    static_assert(offsetof(Page, data) == 0 &&
+                      offsetof(Page, nat) == kJitPageNatOff,
+                  "Page layout is baked into JIT-emitted code");
 
     Page *
     tlbLookup(uint64_t key) const
@@ -433,7 +483,7 @@ class Memory
     tlbSlot(uint64_t key) const
     {
         if ((key >> (kRegionShift - kPageShift)) == kTagRegion)
-            return tagTlb_;
+            return tagTlb_[key & (kTagTlbEntries - 1)];
         return tlb_[key & (kTlbEntries - 1)];
     }
 
@@ -446,7 +496,7 @@ class Memory
     // Mutable: a translation cache is transparent state, filled on the
     // const read paths too.
     mutable std::array<TlbEntry, kTlbEntries> tlb_{};
-    mutable TlbEntry tagTlb_{};
+    mutable std::array<TlbEntry, kTagTlbEntries> tagTlb_{};
     bool tlbEnabled_ = true;
 };
 

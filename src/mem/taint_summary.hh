@@ -30,6 +30,7 @@
 #ifndef SHIFT_MEM_TAINT_SUMMARY_HH
 #define SHIFT_MEM_TAINT_SUMMARY_HH
 
+#include <cstddef>
 #include <cstdint>
 #include <unordered_map>
 
@@ -169,7 +170,28 @@ class TaintSummary
     std::unordered_map<uint64_t, uint64_t> pages_;
     mutable Way cache_[kCacheWays];
 
+    // The JIT's inline probes read the ways directly (jitWays()).
+    static_assert(offsetof(Way, key) == 0 &&
+                      offsetof(Way, bits) == 8 && sizeof(Way) == 16,
+                  "Way layout is baked into JIT-emitted code");
+
   public:
+    /**
+     * The probe-cache ways, for the JIT's inline Fp* probe bodies
+     * (way layout pinned below). A cached way whose key matches
+     * yields the verdict directly (bits == nullptr is "known
+     * clean"); anything else — way miss, dirty line — takes the
+     * out-of-line helper, which consults findBits()/deopts exactly
+     * as the interpreter would.
+     */
+    const void *jitWays() const { return cache_; }
+
+    /** Geometry of the jitWays() array (checked against Way). */
+    static constexpr size_t kJitWays = 16;
+    static constexpr size_t kJitWaySize = 16;
+    static_assert(kJitWays == kCacheWays && kJitWaySize == sizeof(Way),
+                  "jitWays geometry out of sync with the probe cache");
+
     TaintSummary() = default;
     TaintSummary(const TaintSummary &other) : pages_(other.pages_) {}
     TaintSummary &

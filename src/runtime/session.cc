@@ -212,6 +212,8 @@ Session::build(const std::vector<std::string> &sources)
         machine_->setAsyncTier(asyncTier_.get());
     }
     machine_->setFastPathEnabled(options_.fastPath);
+    machine_->setJitEnabled(options_.jit, options_.jitThreshold,
+                            options_.jitCacheBytes);
     if (obs::Recorder *rec = obs::Recorder::active()) {
         std::vector<std::string> names;
         for (const auto &fn : program_.functions)

@@ -70,6 +70,18 @@ struct SessionOptions
      */
     bool fastPath = false;
 
+    /**
+     * Compile hot functions to host code (docs/JIT.md). Simulated
+     * numbers (instructions, cycles, taint state, verdicts) are
+     * bit-identical to the interpreter — only host throughput changes
+     * — so this is safe anywhere; it defaults off to keep single-run
+     * benchmarks honest about what they measure. Silent no-op on
+     * hosts/builds where Machine::jitAvailable() is false.
+     */
+    bool jit = false;
+    uint32_t jitThreshold = 0;  ///< promotion threshold, 0 = default
+    size_t jitCacheBytes = 0;   ///< code-cache byte budget, 0 = default
+
     /** Apply the control-speculation optimizer before tracking. */
     bool speculate = false;
     minic::SpeculateOptions speculateOptions;

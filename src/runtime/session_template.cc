@@ -14,6 +14,11 @@ SessionTemplate::SessionTemplate(const std::vector<std::string> &sources,
                                     speculateStats_, optStats_);
     proto_ = std::make_unique<Machine>(program_, options_.features,
                                        options_.engine);
+    // The prototype's settings determine what capture() puts in the
+    // snapshot: with the JIT on, the eagerly-created code cache rides
+    // along so the whole fleet shares one set of compiled bodies.
+    proto_->setFastPathEnabled(options_.fastPath);
+    proto_->setJitEnabled(options_.jit, options_.jitThreshold);
 }
 
 SessionTemplate::SessionTemplate(const std::string &source,
@@ -82,6 +87,10 @@ SessionClone::SessionClone(const SessionTemplate &tmpl, int cloneId)
         machine_->setAsyncTier(asyncTier_.get());
     }
     machine_->setFastPathEnabled(tmpl.options_.fastPath);
+    // The snapshot already carries the template's shared code cache
+    // when the JIT is on; this validates/adopts it (and is the off
+    // switch when it is not).
+    machine_->setJitEnabled(tmpl.options_.jit, tmpl.options_.jitThreshold);
     if (obs::Recorder *rec = obs::Recorder::active()) {
         std::vector<std::string> names;
         for (const auto &fn : tmpl.program_.functions)

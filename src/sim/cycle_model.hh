@@ -35,6 +35,11 @@ struct CycleModel
     uint64_t nullified = 1;    ///< predicated-off ops still use a slot
     uint64_t loadUseStall = 2; ///< consumer in the slot right after a
                                ///< load stalls on the result
+
+    // Costs are baked into JIT-compiled code (see src/jit), so the
+    // code cache must be able to tell whether a machine's model still
+    // matches the one it compiled against.
+    bool operator==(const CycleModel &) const = default;
 };
 
 } // namespace shift

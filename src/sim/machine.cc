@@ -29,14 +29,9 @@ constexpr uint64_t kStackBase = regionBase(kStackRegion) + 0x10000;
 constexpr uint64_t kStackSize = 4ULL << 20;
 constexpr uint64_t kHeapGap = 1ULL << 20;
 constexpr uint64_t kHeapMax = 1ULL << 32;
-constexpr size_t kMaxCallDepth = 1 << 16;
-
-// Cold-block demotion: once a fast superblock has deopted this many
-// times AND deopts account for at least half its entries, its guards
-// are evidently failing for good (persistently tainted working set)
-// and the promotion sites stop handing it fast-tier entries instead
-// of paying a probe-and-deopt round trip forever.
-constexpr uint32_t kFpColdDeopts = 8;
+// Cold-block demotion (kFpColdDeopts) and the call-depth limit
+// (kMaxCallDepth) live in machine.hh now: the JIT runtime helpers
+// replicate the same policies and must agree.
 
 } // namespace
 
@@ -97,6 +92,11 @@ Machine::Machine(const Program &program, const MachineSnapshot &snap,
         fpEnters_.assign(decoded_->fastBlocks.size(), 0);
         fpDeopts_.assign(decoded_->fastBlocks.size(), 0);
         fpCold_.assign(decoded_->fastBlocks.size(), 0);
+        if (snap.jitCache) {
+            jitCache_ = snap.jitCache;
+            jitEnabled_ = true;
+            jitThreshold_ = jitCache_->threshold();
+        }
     } else {
         resolveLabels();
         mem_.setTranslationCacheEnabled(false);
@@ -125,6 +125,8 @@ Machine::capture() const
     snap.heapBreak = heapBreak_;
     snap.heapLimit = heapLimit_;
     snap.decoded = decoded_;
+    if (jitEnabled_)
+        snap.jitCache = jitCache_;
     return snap;
 }
 
@@ -312,6 +314,37 @@ Machine::setTraceHook(TraceFn fn)
     fpEnters_.assign(decoded_->fastBlocks.size(), 0);
     fpDeopts_.assign(decoded_->fastBlocks.size(), 0);
     fpCold_.assign(decoded_->fastBlocks.size(), 0);
+}
+
+void
+Machine::setJitEnabled(bool enabled, uint32_t threshold,
+                       size_t cacheBytes)
+{
+    jitEnabled_ = false;
+    jitActive_ = nullptr;
+    if (!enabled) {
+        jitCache_.reset();
+        return;
+    }
+    if (engine_ != ExecEngine::Predecoded || !decoded_ ||
+        !jit::available())
+        return; // silent no-op: portable builds just interpret
+    jitEnabled_ = true;
+    jitThreshold_ = threshold;
+    jitCacheBytes_ = cacheBytes;
+    // Create the cache eagerly so capture() can hand it to clones
+    // before anything runs. run() re-validates the environment (the
+    // cycle model or fast-path switch may change in between) and
+    // replaces a stale cache then.
+    jit::CompileEnv env{cycleModel_, features_.natSetClear,
+                        features_.natAwareCompare, fastEnabled_,
+                        asyncTier_ != nullptr};
+    if (!jitCache_ || jitCache_->program() != decoded_.get() ||
+        !(jitCache_->env() == env) ||
+        (threshold != 0 && jitCache_->threshold() != threshold) ||
+        (cacheBytes != 0 && jitCache_->maxBytes() != cacheBytes))
+        jitCache_ = std::make_shared<jit::CodeCache>(
+            decoded_, env, threshold, cacheBytes);
 }
 
 void
@@ -1321,6 +1354,85 @@ Machine::runDecoded(uint64_t maxSteps)
         }
         return target;
     };
+    // JIT tier (docs/JIT.md): at every control-transfer landing point
+    // (all of which are superblock leaders in compiled code), feed the
+    // hotness counter and, once the function is compiled, run native
+    // code until it bails back. The compiled code accumulates into
+    // jitCtx_ and the hook folds the deltas into the same locals the
+    // interpreter uses, so all simulated numbers stay bit-identical.
+    // Returns 0 = keep interpreting here, 1 = ran and bailed out
+    // (locals re-synced to the bail point), 2 = ran and stopped.
+    auto jitHook = [&]() -> int {
+        if (!jitActive_ || stopped_)
+            return 0;
+        jit::CodeCache::Credit credit;
+        const jit::CompiledFunction *jf =
+            jitActive_->hot(curFunc_, &credit);
+        jitCompiled_ += credit.blocks;
+        jitCodeBytes_ += credit.codeBytes;
+        jitEvictions_ += credit.evictions;
+        if (!jf)
+            return 0;
+        const void *entry = jf->entryFor(inFast, pc);
+        if (!entry)
+            return 0;
+        uint64_t budget = maxSteps - steps;
+        if (budget == 0)
+            return 0;
+        jitCtx_.cycles = 0;
+        jitCtx_.instrs = 0;
+        jitCtx_.stall = 0;
+        jitCtx_.coldBails = 0;
+        jitCtx_.deopts = 0;
+        jitCtx_.fpEntered = 0;
+        jitCtx_.loadMask = loadMask;
+        jitCtx_.stepsLeft = static_cast<int64_t>(budget);
+        jf->invoke(&jitCtx_, entry);
+        ++jitEntered_;
+        // On a fault the runtime helpers already folded-and-zeroed the
+        // accumulators into the members (so the fault handler saw a
+        // synced machine); these adds then fold zeros.
+        steps += budget - static_cast<uint64_t>(jitCtx_.stepsLeft);
+        cycles += jitCtx_.cycles;
+        instrs += jitCtx_.instrs;
+        stallCycles_ += jitCtx_.stall;
+        fpColdBails_ += jitCtx_.coldBails;
+        jitDeopts_ += jitCtx_.deopts;
+        fpEnteredTotal_ += jitCtx_.fpEntered;
+        loadMask = jitCtx_.loadMask;
+        pc = jitCtx_.exitPc;
+        inFast = jitCtx_.exitInFast != 0;
+        // Compiled calls and returns cross function boundaries (the
+        // transfer helpers update curFunc_/callStack_), so the local
+        // decode view must follow before resuming.
+        df = &decoded_->functions[curFunc_];
+        code = inFast ? df->fast.data() : df->code.data();
+        if (stopped_)
+            return 2;
+        ++jitBailouts_;
+        return 1;
+    };
+// The JIT never runs under the tracing/hot-pc instantiations (run()
+// refuses to activate it there), so the production check is the only
+// one that compiles in. SHIFT_STOPPED expands per dispatch mode at
+// the use site; no do-while wrapper, because the portable mode's
+// `break` must reach the enclosing switch.
+#define SHIFT_JIT_CHECK()                                               \
+    if constexpr (!kObs && !kHotPc) {                                   \
+        if (jitHook() == 2)                                             \
+            SHIFT_STOPPED();                                            \
+    }
+
+    // Run-start entry: the resume pc is a block leader whenever the
+    // previous exit was one (which every JIT bail and most interpreter
+    // stops are); otherwise entryFor misses and we interpret.
+    if constexpr (!kObs && !kHotPc) {
+        if (jitHook() == 2) {
+            sync();
+            dispatches_ += steps;
+            return;
+        }
+    }
 
 #if SHIFT_THREADED_DISPATCH
     // One entry per Opcode, in declaration order.
@@ -1872,6 +1984,7 @@ nullified:
         if (!kAsync && gpr_[dp->r2].nat) {
             charge(cycleModel_.branchTaken);
             pc = maybeFast(static_cast<uint64_t>(dp->target));
+            SHIFT_JIT_CHECK();
         } else {
             charge(cycleModel_.branch);
             ++pc;
@@ -1881,11 +1994,13 @@ nullified:
     SHIFT_OP(Br)
         charge(cycleModel_.branchTaken);
         pc = maybeFast(static_cast<uint64_t>(dp->target));
+        SHIFT_JIT_CHECK();
         SHIFT_NEXT_FAST();
 
     SHIFT_OP(BrCall)
         if (dp->callee >= 0) {
             enterFunction(dp->callee);
+            SHIFT_JIT_CHECK();
         } else {
             int slot = -1 - dp->callee;
             const BuiltinFn *fn = builtinSlotFns_[slot];
@@ -1930,6 +2045,7 @@ nullified:
             SHIFT_STOPPED();
         }
         enterFunction(*callee);
+        SHIFT_JIT_CHECK();
         SHIFT_NEXT();
     }
 
@@ -1947,6 +2063,7 @@ nullified:
             df = &decoded_->functions[curFunc_];
             inFast = frame.fast;
             code = inFast ? df->fast.data() : df->code.data();
+            SHIFT_JIT_CHECK();
         }
         SHIFT_NEXT();
 
@@ -2068,6 +2185,7 @@ nullified:
         if (!stopped_) {
             resync();
             ++pc;
+            SHIFT_JIT_CHECK();
         }
         SHIFT_NEXT();
 
@@ -2690,6 +2808,7 @@ doneRun:
     sync();
     dispatches_ += steps;
 #endif
+#undef SHIFT_JIT_CHECK
 #undef SHIFT_OP
 #undef SHIFT_NEXT
 #undef SHIFT_NEXT_FAST
@@ -2716,6 +2835,40 @@ Machine::run(uint64_t maxSteps)
 {
     SHIFT_ASSERT(!ran_, "Machine::run() may only be called once");
     ran_ = true;
+
+    // JIT activation. Everything that changes execution semantics is
+    // re-validated here: the tier only drives the production
+    // interpreter instantiation (no trace hook, no observer — those
+    // need per-instruction visibility compiled code doesn't provide),
+    // and the cache must have been compiled against this machine's
+    // exact program and compile-time environment. A mismatched cache
+    // (e.g. the cycle model was tuned after setJitEnabled, or a
+    // trace-hook re-decode replaced the program) is replaced rather
+    // than trusted.
+    jitActive_ = nullptr;
+    if (jitEnabled_ && engine_ == ExecEngine::Predecoded && decoded_ &&
+        !trace_ && !obs_ && !obsForce_ && jit::available()) {
+        jit::CompileEnv env{cycleModel_, features_.natSetClear,
+                            features_.natAwareCompare, fastEnabled_,
+                            asyncTier_ != nullptr};
+        if (!jitCache_ || jitCache_->program() != decoded_.get() ||
+            !(jitCache_->env() == env))
+            jitCache_ = std::make_shared<jit::CodeCache>(
+                decoded_, env, jitThreshold_, jitCacheBytes_);
+        jitCtx_.m = this;
+        jitCtx_.cyFlat = &cyclesBy_[0][0];
+        jitCtx_.inFlat = &instrsBy_[0][0];
+        jitCtx_.gpr = gpr_.data();
+        jitCtx_.pred = pred_.data();
+        jitCtx_.fpCold = fpCold_.data();
+        jitCtx_.brRegs = br_.data();
+        jitCtx_.tlb = mem_.jitTlb();
+        jitCtx_.sumWays = mem_.taintSummary().jitWays();
+        jitCtx_.fpEnters = fpEnters_.data();
+        jitCtx_.unat = &unat_;
+        jitCtx_.tagTlb = mem_.jitTagTlb();
+        jitActive_ = jitCache_.get();
+    }
 
     // Note: a step is one stepper iteration. The legacy engine spends a
     // step on every Label pseudo-op while the predecoded engine has
@@ -2820,6 +2973,15 @@ Machine::run(uint64_t maxSteps)
                        std::to_string(fb.slowPc),
                    fpDeopts_[b]);
         }
+    }
+    if (jitCompiled_ || jitEntered_ || jitDeopts_ || jitBailouts_ ||
+        jitCodeBytes_) {
+        st.add("jit.compiled", jitCompiled_);
+        st.add("jit.entered", jitEntered_);
+        st.add("jit.deopts", jitDeopts_);
+        st.add("jit.bailouts", jitBailouts_);
+        st.add("jit.codeBytes", jitCodeBytes_);
+        st.add("jit.evictions", jitEvictions_);
     }
     if (!hotPc_.empty()) {
         // Per-PC hot spots: top-K flat-table entries, keyed

@@ -34,6 +34,7 @@
 
 #include "isa/instruction.hh"
 #include "isa/program.hh"
+#include "jit/jit.hh"
 #include "mem/cache.hh"
 #include "mem/memory.hh"
 #include "obs/trace.hh"
@@ -52,6 +53,25 @@ namespace shift
 {
 
 class Machine;
+
+namespace jit
+{
+struct JitOps;
+}
+
+/**
+ * Fast-tier cold demotion: a superblock whose deopt count reaches this
+ * AND is at least half its enter count is marked cold and bails to the
+ * instrumented stream at entry. Shared by the interpreter and the JIT
+ * runtime helpers so both tiers demote identically.
+ */
+constexpr uint32_t kFpColdDeopts = 8;
+
+/**
+ * Call-stack depth limit, shared by the interpreter's enterFunction
+ * and the JIT call helpers (both fault identically at the crossing).
+ */
+constexpr size_t kMaxCallDepth = 1 << 16;
 
 /** Architectural feature switches (paper section 6.3 enhancements). */
 struct CpuFeatures
@@ -132,6 +152,14 @@ struct MachineSnapshot
 
     /** Shared immutable decode result (null under ExecEngine::Legacy). */
     std::shared_ptr<const DecodedProgram> decoded;
+
+    /**
+     * Shared executable code cache (null unless the source machine had
+     * the JIT tier enabled). Clones adopt it read-mostly: compiled
+     * bodies are immutable once published, so a whole fleet shares one
+     * set of RX buffers and one set of hotness counters.
+     */
+    std::shared_ptr<jit::CodeCache> jitCache;
 };
 
 /** The simulated machine. */
@@ -279,6 +307,33 @@ class Machine
     uint64_t fastBlocksEntered() const { return fpEnteredTotal_; }
     uint64_t fastDeopts() const { return fpDeoptTotal_; }
 
+    // ----- JIT tier (docs/JIT.md) ---------------------------------------
+
+    /**
+     * Enable the JIT tier: functions whose entry count crosses the
+     * promotion threshold (0 = the cache default) are compiled to host
+     * code and entered from the interpreter's dispatch points. Only
+     * meaningful on the predecoded engine when jitAvailable(); the
+     * call is a silent no-op elsewhere, so callers can set it
+     * unconditionally. Call after setFastPathEnabled — the compiled
+     * code bakes the fast-tier promotion policy in. The cache is
+     * created eagerly so capture() can share it with clones.
+     */
+    void setJitEnabled(bool enabled, uint32_t threshold = 0,
+                       size_t cacheBytes = 0);
+    bool jitEnabled() const { return jitEnabled_; }
+
+    /** True when this build/host can generate and run native code. */
+    static bool jitAvailable() { return jit::available(); }
+
+    /** JIT counters (also emitted as jit.* stats). */
+    uint64_t jitCompiled() const { return jitCompiled_; }
+    uint64_t jitEntered() const { return jitEntered_; }
+    uint64_t jitDeopts() const { return jitDeopts_; }
+    uint64_t jitBailouts() const { return jitBailouts_; }
+    uint64_t jitCodeBytes() const { return jitCodeBytes_; }
+    uint64_t jitEvictions() const { return jitEvictions_; }
+
     // ----- observability (docs/OBSERVABILITY.md) ------------------------
 
     /**
@@ -316,6 +371,9 @@ class Machine
     dift::AsyncTaintTier *asyncTier() const { return asyncTier_; }
 
   private:
+    /** The JIT runtime helpers replay handler semantics on our state. */
+    friend struct jit::JitOps;
+
     struct Gpr
     {
         uint64_t val = 0;
@@ -483,6 +541,24 @@ class Machine
     std::vector<uint8_t> fpCold_;
     /** Deopt-cause attribution (always on; deopts are off the hot path). */
     uint64_t fpDeoptCause_[static_cast<size_t>(obs::DeoptCause::kCount)] = {};
+
+    // JIT-tier state (see setJitEnabled). jitCache_ is the shared
+    // owner (travels in MachineSnapshot); jitActive_ is set by run()
+    // only after validating that the cache matches this machine's
+    // program and compile environment, and is what the dispatch hook
+    // actually consults.
+    bool jitEnabled_ = false;
+    uint32_t jitThreshold_ = 0;
+    size_t jitCacheBytes_ = 0; ///< code-cache byte budget (0 = default)
+    std::shared_ptr<jit::CodeCache> jitCache_;
+    jit::CodeCache *jitActive_ = nullptr;
+    jit::JitCtx jitCtx_;
+    uint64_t jitCompiled_ = 0; ///< superblocks compiled by this machine
+    uint64_t jitEntered_ = 0;  ///< entries into compiled code
+    uint64_t jitDeopts_ = 0;   ///< fast-tier deopts taken inside it
+    uint64_t jitBailouts_ = 0; ///< exits back to the interpreter
+    uint64_t jitCodeBytes_ = 0; ///< native bytes emitted by this machine
+    uint64_t jitEvictions_ = 0; ///< code-cache flushes this machine forced
 
     // Observability state (see setObserver). The hot-spot table is a
     // flat per-original-instruction counter array indexed by

@@ -125,6 +125,8 @@ Fleet::serve(const std::vector<FleetJob> &jobs)
     report.optStats = tmpl_->optStats();
     report.fastBlocksEntered = report.stats.get("fastpath.entered");
     report.fastDeopts = report.stats.get("fastpath.deopts");
+    report.jitBlocksEntered = report.stats.get("jit.entered");
+    report.jitDeopts = report.stats.get("jit.deopts");
 
     std::sort(results.begin(), results.end(),
               [](const FleetJobResult &a, const FleetJobResult &b) {

@@ -115,6 +115,16 @@ struct FleetReport
     uint64_t fastBlocksEntered = 0;
     uint64_t fastDeopts = 0;
 
+    /**
+     * JIT-tier aggregates across all clones (see docs/JIT.md):
+     * entries into template-shared compiled code and fast-tier deopts
+     * taken inside it. Both zero when the fleet ran with jit off (or
+     * on hosts where the backend is unavailable). Compile counts and
+     * bailouts live in `stats` under "jit.compiled"/"jit.bailouts".
+     */
+    uint64_t jitBlocksEntered = 0;
+    uint64_t jitDeopts = 0;
+
     /** Counter-wise sum of every clone's detailed stats. */
     StatSet stats;
 

@@ -562,7 +562,8 @@ AttackRun
 runAttackScenario(const AttackScenario &scenario, bool exploit,
                   Granularity granularity, ExecEngine engine,
                   OptimizerOptions optimize, bool fastPath,
-                  dift::AsyncTaintOptions async)
+                  dift::AsyncTaintOptions async, bool jit,
+                  uint32_t jitThreshold)
 {
     SessionOptions options;
     options.mode = TrackingMode::Shift;
@@ -573,6 +574,8 @@ runAttackScenario(const AttackScenario &scenario, bool exploit,
     options.optimize = optimize;
     options.fastPath = fastPath;
     options.async = async;
+    options.jit = jit;
+    options.jitThreshold = jitThreshold;
 
     Session session(scenario.source, options);
     if (exploit)

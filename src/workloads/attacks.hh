@@ -54,16 +54,19 @@ struct AttackRun
 /**
  * Run a scenario under SHIFT at the given granularity. With
  * `exploit` false this is the false-positive check. `optimize`
- * applies the post-instrumentation optimizer and `fastPath` the
- * taint-clean fast tier (detection must be unchanged under both; the
- * differential suites lean on this).
+ * applies the post-instrumentation optimizer, `fastPath` the
+ * taint-clean fast tier and `jit` the host-code tier (detection must
+ * be unchanged under all three; the differential suites lean on
+ * this). `jitThreshold` tunes promotion, 0 = default.
  */
 AttackRun runAttackScenario(const AttackScenario &scenario, bool exploit,
                             Granularity granularity,
                             ExecEngine engine = ExecEngine::Predecoded,
                             OptimizerOptions optimize = {},
                             bool fastPath = false,
-                            dift::AsyncTaintOptions async = {});
+                            dift::AsyncTaintOptions async = {},
+                            bool jit = false,
+                            uint32_t jitThreshold = 0);
 
 /** All eight scenarios, in the paper's table order. */
 const std::vector<AttackScenario> &attackScenarios();

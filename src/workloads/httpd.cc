@@ -178,6 +178,8 @@ runHttpd(const HttpdConfig &config)
     options.optimize = config.optimize;
     options.fastPath = config.fastPath;
     options.async = config.async;
+    options.jit = config.jit;
+    options.jitThreshold = config.jitThreshold;
     options.policy.taintNetwork = config.taintRequests;
 
     Session session(kHttpdSource, options);

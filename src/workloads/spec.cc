@@ -987,6 +987,8 @@ runSpecKernel(const SpecKernel &kernel, const SpecRunConfig &config)
     options.optimize = config.optimize;
     options.fastPath = config.fastPath;
     options.async = config.async;
+    options.jit = config.jit;
+    options.jitThreshold = config.jitThreshold;
 
     Session session(kernel.source, options);
     int scale = config.scale > 0 ? config.scale : kernel.defaultScale;

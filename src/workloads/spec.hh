@@ -59,6 +59,8 @@ struct SpecRunConfig
     OptimizerOptions optimize; ///< post-instrumentation optimizer
     bool fastPath = false;    ///< taint-clean fast tier (FAST-PATH.md)
     dift::AsyncTaintOptions async; ///< decoupled tier (ASYNC-TAINT.md)
+    bool jit = false;         ///< native tier (JIT.md)
+    uint32_t jitThreshold = 0; ///< promotion threshold, 0 = default
     int scale = 0;            ///< 0 = kernel default
 };
 

@@ -67,6 +67,12 @@ expect_usage_error("expected thread, inline, or auto"
     ${SHIFTD} --async-consumer sidecar)
 expect_usage_error("missing value after --async-consumer"
     ${SHIFTD} --async-consumer)
+expect_usage_error("promotion threshold"
+    ${SHIFTD} --jit=0)
+expect_usage_error("promotion threshold"
+    ${SHIFTD} --jit=-7)
+expect_usage_error("expected an integer"
+    ${SHIFTD} --jit=warm)
 
 # --- shiftc -----------------------------------------------------------
 expect_usage_error("max-steps must be positive"
@@ -83,6 +89,12 @@ expect_usage_error("unknown option"
     ${SHIFTC} --async prog.mc)
 expect_usage_error("expected thread, inline, or auto"
     ${SHIFTC} --async-consumer coprocessor prog.mc)
+expect_usage_error("promotion threshold"
+    ${SHIFTC} --jit=0 prog.mc)
+expect_usage_error("promotion threshold"
+    ${SHIFTC} --jit=2000000000 prog.mc)
+expect_usage_error("expected an integer"
+    ${SHIFTC} --jit=hot prog.mc)
 
 if(failures GREATER 0)
     message(FATAL_ERROR "${failures} CLI validation case(s) failed")

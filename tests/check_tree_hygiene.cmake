@@ -42,6 +42,11 @@ foreach(path IN LISTS tracked_list)
     if(path MATCHES "\\.trace\\.json$" OR path MATCHES "(^|/)metrics\\.prom$")
         list(APPEND offenders "${path}")
     endif()
+    # JIT droppings: perf-map style code-cache dumps are per-run
+    # debugging artifacts, never sources.
+    if(path MATCHES "\\.jitdump$")
+        list(APPEND offenders "${path}")
+    endif()
 endforeach()
 
 if(offenders)
@@ -50,8 +55,8 @@ if(offenders)
     string(JOIN "\n  " sample_text ${sample})
     message(FATAL_ERROR
         "tree_hygiene: ${count} tracked build/run artifact(s) — build "
-        "trees, *.trace.json, and metrics.prom must never be "
-        "committed:\n  ${sample_text}")
+        "trees, *.trace.json, *.jitdump, and metrics.prom must never "
+        "be committed:\n  ${sample_text}")
 endif()
 
 message(STATUS "tree_hygiene: ok (no build directory tracked)")

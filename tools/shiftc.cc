@@ -62,7 +62,10 @@ usage()
         "(default 32)\n"
         "  --async-consumer MODE    consumer placement: thread, "
         "inline, or auto (default auto: inline on single-hart "
-        "hosts)\n");
+        "hosts)\n"
+        "  --jit[=THRESHOLD]        compile hot superblocks to host "
+        "code after THRESHOLD executions (default 32; no-op on "
+        "non-x86-64 hosts)\n");
 }
 
 std::string
@@ -214,6 +217,17 @@ main(int argc, char **argv)
                     SHIFT_FATAL("--async-consumer: expected thread, "
                                 "inline, or auto, got '%s'",
                                 mode.c_str());
+            } else if (arg == "--jit" || arg.rfind("--jit=", 0) == 0) {
+                options.jit = true;
+                if (arg.size() > 5) {
+                    long long threshold =
+                        parseInteger("--jit", arg.substr(6));
+                    if (threshold <= 0 || threshold > (1 << 30))
+                        SHIFT_FATAL("--jit: promotion threshold %lld "
+                                    "out of range", threshold);
+                    options.jitThreshold =
+                        static_cast<uint32_t>(threshold);
+                }
             } else if (!arg.empty() && arg[0] == '-') {
                 SHIFT_FATAL("unknown option '%s'", arg.c_str());
             } else if (sourcePath.empty()) {

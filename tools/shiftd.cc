@@ -60,6 +60,9 @@ usage()
         "(default 32)\n"
         "  --async-consumer MODE    consumer placement: thread, "
         "inline, or auto (default auto: inline on single-hart hosts)\n"
+        "  --jit[=THRESHOLD]        compile hot superblocks to host "
+        "code after THRESHOLD executions per clone (default 32; "
+        "no-op on non-x86-64 hosts)\n"
         "  --json                   print the report as JSON "
         "(includes the stats schema)\n"
         "  --trace FILE             record a flight-recorder trace "
@@ -229,6 +232,17 @@ main(int argc, char **argv)
                     SHIFT_FATAL("--async-consumer: expected thread, "
                                 "inline, or auto, got '%s'",
                                 mode.c_str());
+            } else if (arg == "--jit" || arg.rfind("--jit=", 0) == 0) {
+                options.jit = true;
+                if (arg.size() > 5) {
+                    long long threshold =
+                        parseInteger("--jit", arg.substr(6));
+                    if (threshold <= 0 || threshold > (1 << 30))
+                        SHIFT_FATAL("--jit: promotion threshold %lld "
+                                    "out of range", threshold);
+                    options.jitThreshold =
+                        static_cast<uint32_t>(threshold);
+                }
             } else if (arg == "--json") {
                 json = true;
             } else if (arg == "--trace") {
@@ -272,6 +286,8 @@ main(int argc, char **argv)
                 options.features, options.engine);
             httpdOptions.maxSteps = options.maxSteps;
             httpdOptions.async = options.async;
+            httpdOptions.jit = options.jit;
+            httpdOptions.jitThreshold = options.jitThreshold;
             tmpl = std::make_unique<SessionTemplate>(
                 std::string(workloads::kHttpdSource),
                 std::move(httpdOptions));
