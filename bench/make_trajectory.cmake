@@ -50,12 +50,18 @@ if(DEFINED BENCH_SOURCE_DIR)
         endif()
     endforeach()
 endif()
-list(SORT bench_files)
 
+# Emit rows in the fixed known_benches order so trajectory diffs are
+# stable tier by tier (a lexicographic sort interleaved unrelated
+# benches whenever a new BENCH_*.json appeared). Benches not in the
+# known list — a new bench binary whose name has not been registered
+# here yet — follow after, sorted, rather than being dropped.
+set(ordered_files "")
 foreach(name IN LISTS known_benches)
     set(have FALSE)
     foreach(path IN LISTS bench_files)
         if(path MATCHES "BENCH_${name}\\.json$")
+            list(APPEND ordered_files "${path}")
             set(have TRUE)
         endif()
     endforeach()
@@ -65,6 +71,14 @@ foreach(name IN LISTS known_benches)
             "(bench_${name} not run, no committed baseline) — skipping")
     endif()
 endforeach()
+set(extra_files "")
+foreach(path IN LISTS bench_files)
+    if(NOT path IN_LIST ordered_files)
+        list(APPEND extra_files "${path}")
+    endif()
+endforeach()
+list(SORT extra_files)
+set(bench_files ${ordered_files} ${extra_files})
 
 if(NOT bench_files)
     if(REQUIRE_NONEMPTY)

@@ -1,7 +1,9 @@
 #include "policy.hh"
 
 #include <cctype>
+#include <cstring>
 
+#include "core/taint_map.hh"
 #include "support/logging.hh"
 
 namespace shift
@@ -187,31 +189,75 @@ PolicyEngine::checkSystem(const std::string &command,
     return std::nullopt;
 }
 
+namespace
+{
+
+/**
+ * Position of the next case-insensitive "<script" at or after `from`,
+ * or npos. memchr for the rare '<' carries the scan, so the per-byte
+ * tolower compares only run on candidates.
+ */
+size_t
+findScriptTag(const std::string &html, size_t from)
+{
+    static const char kRest[] = "script"; // after the '<'
+    constexpr size_t kTagLen = 7;
+    while (from + kTagLen <= html.size()) {
+        const char *hit = static_cast<const char *>(std::memchr(
+            html.data() + from, '<', html.size() - from));
+        if (!hit)
+            return std::string::npos;
+        size_t i = static_cast<size_t>(hit - html.data());
+        if (i + kTagLen > html.size())
+            return std::string::npos;
+        bool match = true;
+        for (size_t j = 0; j < kTagLen - 1; ++j) {
+            if (std::tolower(static_cast<unsigned char>(
+                    html[i + 1 + j])) != kRest[j]) {
+                match = false;
+                break;
+            }
+        }
+        if (match)
+            return i;
+        from = i + 1;
+    }
+    return std::string::npos;
+}
+
+} // namespace
+
 std::optional<SecurityAlert>
 PolicyEngine::checkHtml(const std::string &html,
                         const std::vector<bool> &taint) const
 {
     if (!cfg_.h5)
         return std::nullopt;
-    static const std::string kTag = "<script";
-    if (html.size() < kTag.size())
-        return std::nullopt;
-    for (size_t i = 0; i + kTag.size() <= html.size(); ++i) {
-        bool match = true;
-        for (size_t j = 0; j < kTag.size(); ++j) {
-            if (std::tolower(static_cast<unsigned char>(html[i + j])) !=
-                kTag[j]) {
-                match = false;
-                break;
-            }
-        }
-        if (!match)
-            continue;
-        for (size_t j = 0; j < kTag.size(); ++j) {
+    constexpr size_t kTagLen = 7; // "<script"
+    for (size_t i = findScriptTag(html, 0); i != std::string::npos;
+         i = findScriptTag(html, i + 1)) {
+        for (size_t j = 0; j < kTagLen; ++j) {
             if (taintedAt(taint, i + j)) {
                 return makeAlert("H5",
                                  "tainted <script> tag in HTML output");
             }
+        }
+    }
+    return std::nullopt;
+}
+
+std::optional<SecurityAlert>
+PolicyEngine::checkHtml(const std::string &html, const TaintMap &taint,
+                        uint64_t addr) const
+{
+    if (!cfg_.h5)
+        return std::nullopt;
+    constexpr size_t kTagLen = 7; // "<script"
+    for (size_t i = findScriptTag(html, 0); i != std::string::npos;
+         i = findScriptTag(html, i + 1)) {
+        if (taint.anyTainted(addr + i, kTagLen)) {
+            return makeAlert("H5",
+                             "tainted <script> tag in HTML output");
         }
     }
     return std::nullopt;

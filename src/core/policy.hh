@@ -45,6 +45,8 @@
 namespace shift
 {
 
+class TaintMap;
+
 /** Parsed policy configuration. */
 struct PolicyConfig
 {
@@ -120,6 +122,17 @@ class PolicyEngine
     std::optional<SecurityAlert>
     checkHtml(const std::string &html,
               const std::vector<bool> &taint) const;
+
+    /**
+     * H5 against the live taint map: finds the `<script` candidates
+     * first and queries taint only at match positions, so the caller
+     * need not materialize a per-byte taint vector for the whole
+     * (possibly large) response body. `addr` is where `html` lives in
+     * simulated memory.
+     */
+    std::optional<SecurityAlert>
+    checkHtml(const std::string &html, const TaintMap &taint,
+              uint64_t addr) const;
 
     /**
      * L1-L3: map a NaT-consumption hardware fault to the policy it

@@ -1,5 +1,7 @@
 #include "taint_map.hh"
 
+#include <algorithm>
+
 #include "support/bitops.hh"
 #include "support/logging.hh"
 
@@ -22,24 +24,64 @@ TaintMap::setBit(uint64_t addr, bool value)
 }
 
 void
-TaintMap::taint(uint64_t addr, uint64_t len)
+TaintMap::setRange(uint64_t addr, uint64_t len, bool value)
 {
-    unsigned unit = 1U << granularityShift(granularity_);
+    // Eight tracking units share a tag byte, so a range write touches
+    // each tag byte once (and skips the read-modify-write entirely when
+    // the range covers all eight bits) instead of doing a full memory
+    // round-trip per unit. Server workloads clear taint on every I/O
+    // buffer, which made the per-unit loop the hottest host function.
+    unsigned shift = granularityShift(granularity_);
+    uint64_t unit = 1ULL << shift;
     // Walk aligned units so an unaligned range still covers the unit
     // holding its last byte.
-    uint64_t first = addr & ~static_cast<uint64_t>(unit - 1);
-    for (uint64_t a = first; a < addr + len; a += unit)
-        setBit(a, true);
+    uint64_t a = addr & ~(unit - 1);
+    uint64_t end = addr + len;
+    if (a >= end)
+        return;
+    uint64_t lastGranule = (end - 1) >> shift;
+    for (uint64_t g = a >> shift; g <= lastGranule;) {
+        uint64_t tagAddr = tagByteAddr(g << shift, granularity_);
+        unsigned lo = static_cast<unsigned>(g & 7);
+        unsigned count = static_cast<unsigned>(
+            std::min<uint64_t>(8 - lo, lastGranule - g + 1));
+        uint8_t mask = static_cast<uint8_t>(lowMask(count) << lo);
+        if (!value && !mirror_ &&
+            !mem_->taintSummary().lineDirty(tagAddr)) {
+            // A clean summary line proves the tag byte is zero, so
+            // this clear would write back the zero it read: skip the
+            // round-trip. Only without a mirror — the mirror contract
+            // is "fires for every bit written", and the async tier's
+            // shadow maintenance relies on it.
+            g += count;
+            continue;
+        }
+        uint64_t byte = 0;
+        if (mask != 0xFF) {
+            MemFault fault = mem_->read(tagAddr, 1, byte);
+            SHIFT_ASSERT(fault == MemFault::None);
+        }
+        byte = value ? (byte | mask) : (byte & ~mask);
+        MemFault fault = mem_->write(tagAddr, 1, byte);
+        SHIFT_ASSERT(fault == MemFault::None);
+        if (mirror_) {
+            for (unsigned b = 0; b < count; ++b)
+                mirror_(tagAddr, lo + b, value);
+        }
+        g += count;
+    }
+}
+
+void
+TaintMap::taint(uint64_t addr, uint64_t len)
+{
+    setRange(addr, len, true);
 }
 
 void
 TaintMap::clear(uint64_t addr, uint64_t len)
 {
-    unsigned unit = 1U << granularityShift(granularity_);
-    // Clear every unit any byte of the range touches.
-    uint64_t first = addr & ~static_cast<uint64_t>(unit - 1);
-    for (uint64_t a = first; a < addr + len; a += unit)
-        setBit(a, false);
+    setRange(addr, len, false);
 }
 
 bool
@@ -56,11 +98,32 @@ TaintMap::isTainted(uint64_t addr) const
 bool
 TaintMap::anyTainted(uint64_t addr, uint64_t len) const
 {
-    unsigned unit = 1U << granularityShift(granularity_);
-    uint64_t first = addr & ~static_cast<uint64_t>(unit - 1);
-    for (uint64_t a = first; a < addr + len; a += unit) {
-        if (isTainted(a))
-            return true;
+    // Same tag-byte batching as setRange: one read covers eight units.
+    // The taint summary's contract (a clean line proves the bitmap
+    // bytes under it are zero) additionally lets whole tag bytes be
+    // skipped without touching memory — the common case for server
+    // buffers that never held tainted data.
+    const TaintSummary &summary = mem_->taintSummary();
+    unsigned shift = granularityShift(granularity_);
+    uint64_t unit = 1ULL << shift;
+    uint64_t a = addr & ~(unit - 1);
+    uint64_t end = addr + len;
+    if (a >= end)
+        return false;
+    uint64_t lastGranule = (end - 1) >> shift;
+    for (uint64_t g = a >> shift; g <= lastGranule;) {
+        uint64_t tagAddr = tagByteAddr(g << shift, granularity_);
+        unsigned lo = static_cast<unsigned>(g & 7);
+        unsigned count = static_cast<unsigned>(
+            std::min<uint64_t>(8 - lo, lastGranule - g + 1));
+        if (summary.lineDirty(tagAddr)) {
+            uint64_t byte = 0;
+            MemFault fault = mem_->read(tagAddr, 1, byte);
+            SHIFT_ASSERT(fault == MemFault::None);
+            if (byte & (lowMask(count) << lo))
+                return true;
+        }
+        g += count;
     }
     return false;
 }
@@ -68,20 +131,68 @@ TaintMap::anyTainted(uint64_t addr, uint64_t len) const
 std::vector<bool>
 TaintMap::taintOf(uint64_t addr, uint64_t len) const
 {
+    // Policy checks read whole strings through this. Walk tag bytes
+    // (eight units each) rather than data bytes, skip tag bytes whose
+    // summary line is clean (the vector is zero-initialized), and only
+    // expand a tag byte into per-unit bits when it is nonzero.
     std::vector<bool> out(len);
-    for (uint64_t i = 0; i < len; ++i)
-        out[i] = isTainted(addr + i);
+    if (len == 0)
+        return out;
+    const TaintSummary &summary = mem_->taintSummary();
+    unsigned shift = granularityShift(granularity_);
+    uint64_t lastGranule = (addr + len - 1) >> shift;
+    for (uint64_t g = addr >> shift; g <= lastGranule;) {
+        uint64_t tagAddr = tagByteAddr(g << shift, granularity_);
+        unsigned lo = static_cast<unsigned>(g & 7);
+        unsigned count = static_cast<unsigned>(
+            std::min<uint64_t>(8 - lo, lastGranule - g + 1));
+        if (summary.lineDirty(tagAddr)) {
+            uint64_t byte = 0;
+            MemFault fault = mem_->read(tagAddr, 1, byte);
+            SHIFT_ASSERT(fault == MemFault::None);
+            if (byte & (lowMask(count) << lo)) {
+                // Unit g covers data bytes [g<<shift, (g+1)<<shift);
+                // mark the slice of them inside [addr, addr+len).
+                for (unsigned b = 0; b < count; ++b) {
+                    if (!bit(byte, lo + b))
+                        continue;
+                    uint64_t unitBase = (g + b) << shift;
+                    uint64_t from = std::max(unitBase, addr);
+                    uint64_t to = std::min<uint64_t>(
+                        unitBase + (uint64_t(1) << shift), addr + len);
+                    for (uint64_t v = from; v < to; ++v)
+                        out[v - addr] = true;
+                }
+            }
+        }
+        g += count;
+    }
     return out;
 }
 
 uint64_t
 TaintMap::countTainted(uint64_t addr, uint64_t len) const
 {
-    unsigned unit = 1U << granularityShift(granularity_);
+    unsigned shift = granularityShift(granularity_);
+    uint64_t unit = 1ULL << shift;
     uint64_t count = 0;
-    uint64_t first = addr & ~static_cast<uint64_t>(unit - 1);
-    for (uint64_t a = first; a < addr + len; a += unit)
-        count += isTainted(a);
+    uint64_t a = addr & ~(unit - 1);
+    uint64_t end = addr + len;
+    if (a >= end)
+        return 0;
+    uint64_t lastGranule = (end - 1) >> shift;
+    for (uint64_t g = a >> shift; g <= lastGranule;) {
+        uint64_t tagAddr = tagByteAddr(g << shift, granularity_);
+        unsigned lo = static_cast<unsigned>(g & 7);
+        unsigned n = static_cast<unsigned>(
+            std::min<uint64_t>(8 - lo, lastGranule - g + 1));
+        uint64_t byte = 0;
+        MemFault fault = mem_->read(tagAddr, 1, byte);
+        SHIFT_ASSERT(fault == MemFault::None);
+        count += static_cast<uint64_t>(
+            __builtin_popcountll(byte & (lowMask(n) << lo)));
+        g += n;
+    }
     return count;
 }
 

@@ -68,6 +68,7 @@ class TaintMap
 
   private:
     void setBit(uint64_t addr, bool value);
+    void setRange(uint64_t addr, uint64_t len, bool value);
 
     Memory *mem_;
     Granularity granularity_;

@@ -27,6 +27,7 @@
 #include "jit/jit_internal.hh"
 #include "jit/x64_emitter.hh"
 
+#include <algorithm>
 #include <cstring>
 
 #include "dift/annotate.hh"
@@ -36,6 +37,7 @@
 
 #if SHIFT_JIT_BACKEND
 #include <sys/mman.h>
+#include <unistd.h>
 #endif
 
 namespace shift::jit
@@ -122,8 +124,10 @@ isTerminator(Opcode op)
 /**
  * Ops that always hand control back to the interpreter. Calls and
  * returns between SHIFT functions stay native (the transfer helpers
- * link across compiled bodies); a call to a host built-in bails,
- * because built-ins run against a fully synced machine.
+ * link across compiled bodies), and so do built-in calls and system
+ * calls: their helpers spill the whole machine first, run the handler
+ * exactly as the interpreter would, and link back into compiled code
+ * at the post-call pc (JitOps::builtin/syscall).
  */
 bool
 isExitOp(const DecodedInstr &dp, const CompileEnv &env)
@@ -166,9 +170,6 @@ isExitOp(const DecodedInstr &dp, const CompileEnv &env)
         }
     }
     switch (dp.op) {
-      case Opcode::BrCall:
-        return dp.callee < 0;
-      case Opcode::Syscall:
       case Opcode::Halt:
       case Opcode::Label:
         return true;
@@ -378,6 +379,32 @@ struct PendingCharges
     }
 };
 
+/**
+ * void thunk(JitCtx *rdi, const void *rsi): establish the fixed
+ * register plan and tail-jump to a block entry. The stack stays
+ * 16-aligned at every emitted call site. Whole-function buffers carry
+ * this at offset 0; the lazy tier compiles it once standalone
+ * (compileEntryThunk) and pairs it with every block entry.
+ */
+void
+emitEntryThunk(Emitter &e)
+{
+    e.push(RBX);
+    e.push(RBP);
+    e.push(R12);
+    e.push(R13);
+    e.push(R14);
+    e.push(R15);
+    e.aluRegImm32(Emitter::ALU_SUB, RSP, 8);
+    e.movRegReg(R15, RDI);
+    e.movRegMem(R14, R15, kOffGpr);
+    e.movRegMem(R13, R15, kOffPred);
+    e.movRegMem(R12, R15, kOffCyFlat);
+    e.movRegMem(RBX, R15, kOffInFlat);
+    e.movRegMem(RBP, R15, kOffLoadMask);
+    e.jmpReg(RSI);
+}
+
 /** Static knowledge of the live load-use mask (rbp). */
 struct MaskState
 {
@@ -402,15 +429,7 @@ class FunctionCompiler
     {
         const auto &slow = df_.code;
         const auto &fast = df_.fast;
-        if (slow.empty())
-            return false;
-        slowLead_.assign(slow.size(), 0);
-        fastLead_.assign(fast.size(), 0);
-        slowLead_[0] = 1;
-        if (!fast.empty())
-            fastLead_[0] = 1;
-        if (!markLeaders(slow, false) ||
-            (!fast.empty() && !markLeaders(fast, true)))
+        if (!computeLeaders(df_, env_, slowLead_, fastLead_))
             return false;
 
         epilogue_ = e_.newLabel();
@@ -431,6 +450,61 @@ class FunctionCompiler
         return true;
     }
 
+    /**
+     * Lazy tier: emit the single block led by (inFast, start), entry
+     * at offset 0 (the cache's shared entry thunk supplies the
+     * register-plan prologue). Every out-edge compiles to a stub that
+     * probes the target's publication slot and falls back to the
+     * blockLink helper, so blocks stitch together as they are
+     * published. False = malformed stream or `start` is not a leader.
+     */
+    bool emitLazyBlock(CompiledFunction &out, int funcIndex,
+                       bool inFast, size_t start,
+                       const std::atomic<const void *> *slowSlots,
+                       const std::atomic<const void *> *fastSlots,
+                       const std::vector<uint8_t> &slowLead,
+                       const std::vector<uint8_t> &fastLead)
+    {
+        // Leaders come precomputed from the LazyFunction (validated
+        // at its creation): recomputing them per block compile made
+        // lazy compilation O(blocks x function size).
+        slowLead_ = slowLead;
+        fastLead_ = fastLead;
+        const auto &s = inFast ? df_.fast : df_.code;
+        const auto &lead = inFast ? fastLead_ : slowLead_;
+        if (start >= s.size() || !lead[start])
+            return false;
+        size_t end = start;
+        while (true) {
+            if (isTerminator(s[end].op)) {
+                ++end;
+                break;
+            }
+            ++end;
+            if (end >= s.size())
+                return false; // fell off without a sentinel
+            if (lead[end])
+                break;
+        }
+        lazy_ = true;
+        lazyFunc_ = funcIndex;
+        lazyInFast_ = inFast;
+        lazyStart_ = start;
+        slowSlots_ = slowSlots;
+        fastSlots_ = fastSlots;
+        epilogue_ = e_.newLabel();
+        lazyEntry_ = e_.newLabel();
+        std::vector<int32_t> entry(s.size(), -1);
+        if (!emitBlock(s, inFast, start, end, entry))
+            return false;
+        emitLazyEdges();
+        emitRefundStubs();
+        emitEpilogue();
+        e_.finalize();
+        out.blocks = blocks_;
+        return true;
+    }
+
     const Emitter &emitter() const { return e_; }
 
   private:
@@ -443,6 +517,23 @@ class FunctionCompiler
     uint32_t blocks_ = 0;
     PendingCharges pending_;
     MaskState mask_;
+
+    // Lazy per-block mode (emitLazyBlock): out-edges become slot-probe
+    // stubs instead of intra-buffer label jumps.
+    bool lazy_ = false;
+    int lazyFunc_ = 0;
+    bool lazyInFast_ = false;
+    size_t lazyStart_ = 0;
+    int lazyEntry_ = -1;
+    const std::atomic<const void *> *slowSlots_ = nullptr;
+    const std::atomic<const void *> *fastSlots_ = nullptr;
+    struct LazyEdge
+    {
+        int label;
+        bool inFast;
+        uint32_t pc;
+    };
+    std::vector<LazyEdge> lazyEdges_;
 
     struct RefundStub
     {
@@ -457,34 +548,6 @@ class FunctionCompiler
     int32_t blockLen_ = 0;
     int32_t opIndex_ = 0; // of the op being lowered, within its block
 
-    /** Leaders: targets, terminator successors, probe deopt pcs. */
-    bool markLeaders(const std::vector<DecodedInstr> &s, bool inFast)
-    {
-        for (size_t i = 0; i < s.size(); ++i) {
-            const DecodedInstr &dp = s[i];
-            if (isTerminator(dp.op) && i + 1 < s.size())
-                (inFast ? fastLead_ : slowLead_)[i + 1] = 1;
-            if (dp.op == Opcode::Br || dp.op == Opcode::Chk) {
-                auto t = size_t(dp.target);
-                if (t >= s.size())
-                    return false;
-                (inFast ? fastLead_ : slowLead_)[t] = 1;
-                if (!inFast && env_.fastEnabled && !df_.fast.empty()) {
-                    int32_t fe = df_.fastEntry[t];
-                    if (fe >= 0)
-                        fastLead_[size_t(fe)] = 1;
-                }
-            }
-            if (inFast && isProbeOp(dp.op)) {
-                auto t = size_t(dp.target);
-                if (t >= df_.code.size())
-                    return false;
-                slowLead_[t] = 1;
-            }
-        }
-        return true;
-    }
-
     void makeLabels(const std::vector<uint8_t> &lead,
                     std::vector<int> &lbl)
     {
@@ -496,34 +559,24 @@ class FunctionCompiler
 
     int blockLabel(bool inFast, size_t pc)
     {
-        const std::vector<int> &t = inFast ? fastLbl_ : slowLbl_;
-        SHIFT_ASSERT(pc < t.size() && t[pc] >= 0,
+        const std::vector<uint8_t> &lead =
+            inFast ? fastLead_ : slowLead_;
+        SHIFT_ASSERT(pc < lead.size() && lead[pc],
                      "jit jump to a non-leader pc");
-        return t[pc];
+        if (!lazy_)
+            return (inFast ? fastLbl_ : slowLbl_)[pc];
+        // Lazy mode: the block's own head loops back directly; any
+        // other leader is an out-edge stub (one per distinct target).
+        if (inFast == lazyInFast_ && pc == lazyStart_)
+            return lazyEntry_;
+        for (const LazyEdge &edge : lazyEdges_)
+            if (edge.inFast == inFast && edge.pc == pc)
+                return edge.label;
+        lazyEdges_.push_back({e_.newLabel(), inFast, uint32_t(pc)});
+        return lazyEdges_.back().label;
     }
 
-    /**
-     * void thunk(JitCtx *rdi, const void *rsi): establish the fixed
-     * register plan and tail-jump to a block entry. The stack stays
-     * 16-aligned at every emitted call site.
-     */
-    void emitThunk()
-    {
-        e_.push(RBX);
-        e_.push(RBP);
-        e_.push(R12);
-        e_.push(R13);
-        e_.push(R14);
-        e_.push(R15);
-        e_.aluRegImm32(Emitter::ALU_SUB, RSP, 8);
-        e_.movRegReg(R15, RDI);
-        e_.movRegMem(R14, R15, kOffGpr);
-        e_.movRegMem(R13, R15, kOffPred);
-        e_.movRegMem(R12, R15, kOffCyFlat);
-        e_.movRegMem(RBX, R15, kOffInFlat);
-        e_.movRegMem(RBP, R15, kOffLoadMask);
-        e_.jmpReg(RSI);
-    }
+    void emitThunk() { emitEntryThunk(e_); }
 
     void emitEpilogue()
     {
@@ -604,10 +657,54 @@ class FunctionCompiler
             // Fallthrough into the next leader's block, which is the
             // next one emitted (emitStream walks the stream in order),
             // so no jump is needed — just commit the pending charges
-            // before the next block's step debit.
+            // before the next block's step debit. Lazy blocks have no
+            // next block in-buffer; the fallthrough is an out-edge.
             pending_.flush(e_);
+            if (lazy_)
+                e_.jmp(blockLabel(inFast, end));
         }
         return true;
+    }
+
+    /**
+     * One stub per distinct lazy out-edge: load the target's
+     * publication slot (its address is baked; the arrays never move)
+     * and jump straight into the published block, else ask blockLink
+     * to resolve/compile/queue it — a miss there spills a clean bail
+     * at the target pc, with the source block fully retired either
+     * way (edges are only crossed after every refund settled).
+     */
+    void emitLazyEdges()
+    {
+        for (const LazyEdge &edge : lazyEdges_) {
+            e_.bind(edge.label);
+            const std::atomic<const void *> *slot =
+                (edge.inFast ? fastSlots_ : slowSlots_) + edge.pc;
+            e_.movRegImm64(RAX, reinterpret_cast<uint64_t>(slot));
+            e_.movRegMem(RAX, RAX, 0);
+            e_.cmpRegImm32(RAX, int32_t(kLazySlotQueued));
+            int miss = e_.newLabel();
+            e_.jcc(CC_BE, miss); // null/dead/queued: not runnable
+            e_.jmpReg(RAX);
+            e_.bind(miss);
+            e_.movMemReg(R15, kOffLoadMask, RBP);
+            e_.movRegReg(RDI, R15);
+            e_.movRegImm64(RSI, uint64_t(lazyFunc_));
+            e_.movRegImm64(RDX, uint64_t(edge.pc) |
+                                    (edge.inFast ? (1ULL << 32) : 0));
+            e_.movRegImm64(RAX,
+                           reinterpret_cast<uint64_t>(
+                               reinterpret_cast<void *>(
+                                   &JitOps::blockLink)));
+            e_.callReg(RAX);
+            e_.cmpRegImm32(RAX, 1);
+            int go = e_.newLabel();
+            e_.jcc(CC_NE, go);
+            e_.jmp(epilogue_);
+            e_.bind(go);
+            e_.jmpReg(RAX);
+        }
+        lazyEdges_.clear();
     }
 
     // ---- per-op framing --------------------------------------------
@@ -795,14 +892,20 @@ class FunctionCompiler
             pending_.flush(e_);
             emitBranchTarget(inFast, size_t(dp.target));
             return true;
-          case Opcode::BrCall: // callee >= 0: built-ins exited above
-            emitTransferCall(dp, &JitOps::call, pc, inFast);
+          case Opcode::BrCall:
+            if (dp.callee >= 0)
+                emitTransferCall(dp, &JitOps::call, pc, inFast);
+            else
+                emitLinkedCall(dp, &JitOps::builtin, pc, inFast);
             return true;
           case Opcode::BrCalli:
             emitTransferCall(dp, &JitOps::calli, pc, inFast);
             return true;
           case Opcode::BrRet:
             emitTransferCall(dp, &JitOps::ret, pc, inFast);
+            return true;
+          case Opcode::Syscall:
+            emitLinkedCall(dp, &JitOps::syscall, pc, inFast);
             return true;
           case Opcode::Ld:
             // Plain and fill loads get the inline translation-cache
@@ -1991,20 +2094,137 @@ class FunctionCompiler
         e_.bind(go);
         e_.jmpReg(RAX);
     }
+
+    /**
+     * Built-in calls and system calls: same shape as emitTransferCall
+     * plus the linked-continue arm — a zero return means the handler
+     * ran and control advanced to pc + 1 in the same stream, so fall
+     * straight into the successor block's compiled code instead of
+     * bailing out for the rest of the superblock. These are
+     * terminators too: the op retires inside the helper on every
+     * path, so the block's step debit stands unrefunded.
+     */
+    void emitLinkedCall(const DecodedInstr &dp, HelperFn fn, size_t pc,
+                        bool inFast)
+    {
+        pending_.flush(e_);
+        zeroMask();
+        e_.movMemReg(R15, kOffLoadMask, RBP);
+        e_.movRegReg(RDI, R15);
+        e_.movRegImm64(RSI, reinterpret_cast<uint64_t>(&dp));
+        e_.movRegImm64(RDX,
+                       uint64_t(pc) | (inFast ? (1ULL << 32) : 0));
+        e_.movRegImm64(RAX, reinterpret_cast<uint64_t>(
+                                reinterpret_cast<void *>(fn)));
+        e_.callReg(RAX);
+        e_.testRegReg(RAX, RAX);
+        int moved = e_.newLabel();
+        e_.jcc(CC_NE, moved);
+        e_.jmp(blockLabel(inFast, pc + 1));
+        e_.bind(moved);
+        e_.cmpRegImm32(RAX, 1);
+        int go = e_.newLabel();
+        e_.jcc(CC_NE, go);
+        e_.jmp(epilogue_);
+        e_.bind(go);
+        e_.jmpReg(RAX);
+    }
 };
 
 } // namespace
 
-std::unique_ptr<CompiledFunction>
-compileFunction(const DecodedFunction &df, const CompileEnv &env)
+CodeArena::~CodeArena()
 {
 #if SHIFT_JIT_BACKEND
-    auto out = std::make_unique<CompiledFunction>();
-    FunctionCompiler fc(df, env);
-    if (!fc.emit(*out))
-        return nullptr;
-    const Emitter &e = fc.emitter();
+    for (Chunk &c : chunks_) {
+        if (c.rw)
+            munmap(c.rw, c.cap);
+        if (c.rx)
+            munmap(const_cast<uint8_t *>(c.rx), c.cap);
+    }
+#endif
+}
+
+#if SHIFT_JIT_BACKEND
+bool
+CodeArena::grow(size_t need)
+{
+    size_t pageMask = size_t(sysconf(_SC_PAGESIZE)) - 1;
+    size_t cap = std::max(kChunkBytes, (need + pageMask) & ~pageMask);
+    int fd = memfd_create("shift-jit-code", MFD_CLOEXEC);
+    if (fd < 0)
+        return false;
+    if (ftruncate(fd, off_t(cap)) != 0) {
+        close(fd);
+        return false;
+    }
+    void *rw = mmap(nullptr, cap, PROT_READ | PROT_WRITE, MAP_SHARED,
+                    fd, 0);
+    void *rx = rw == MAP_FAILED
+                   ? MAP_FAILED
+                   : mmap(nullptr, cap, PROT_READ | PROT_EXEC,
+                          MAP_SHARED, fd, 0);
+    // The two mappings keep the memfd alive; the descriptor can go.
+    close(fd);
+    if (rw == MAP_FAILED)
+        return false;
+    if (rx == MAP_FAILED) {
+        munmap(rw, cap);
+        return false;
+    }
+    chunks_.push_back({static_cast<uint8_t *>(rw),
+                       static_cast<const uint8_t *>(rx), cap, 0});
+    return true;
+}
+#endif
+
+const void *
+CodeArena::place(const void *bytes, size_t size)
+{
+#if SHIFT_JIT_BACKEND
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (chunks_.empty() || chunks_.back().cap - chunks_.back().used < size) {
+        if (!grow(size))
+            return nullptr;
+    }
+    Chunk &c = chunks_.back();
+    std::memcpy(c.rw + c.used, bytes, size);
+    const void *rx = c.rx + c.used;
+    // Keep placements cache-line aligned for the next block.
+    c.used = (c.used + size + 63) & ~size_t(63);
+    return rx;
+#else
+    (void)bytes;
+    (void)size;
+    return nullptr;
+#endif
+}
+
+namespace
+{
+
+#if SHIFT_JIT_BACKEND
+/**
+ * Hand the emitted bytes to the arena when one is given (one memcpy,
+ * no syscalls); otherwise copy them into a fresh private W^X buffer
+ * (RW, fill, RX).
+ */
+std::unique_ptr<CompiledFunction>
+sealBuffer(const Emitter &e, std::unique_ptr<CompiledFunction> out,
+           CodeArena *arena)
+{
     size_t size = e.size();
+    if (arena) {
+        if (const void *rx = arena->place(e.data(), size)) {
+            out->buf = const_cast<void *>(rx);
+            out->size = size;
+            out->ownsBuf = false;
+            out->thunk =
+                reinterpret_cast<CompiledFunction::Thunk>(out->buf);
+            return out;
+        }
+        // Arena unavailable (no memfd support): private buffer below.
+    }
     void *buf = mmap(nullptr, size, PROT_READ | PROT_WRITE,
                      MAP_PRIVATE | MAP_ANONYMOUS, -1, 0);
     if (buf == MAP_FAILED)
@@ -2018,9 +2238,119 @@ compileFunction(const DecodedFunction &df, const CompileEnv &env)
     out->size = size;
     out->thunk = reinterpret_cast<CompiledFunction::Thunk>(buf);
     return out;
+}
+#endif
+
+} // namespace
+
+bool
+computeLeaders(const DecodedFunction &df, const CompileEnv &env,
+               std::vector<uint8_t> &slowLead,
+               std::vector<uint8_t> &fastLead)
+{
+    const auto &slow = df.code;
+    const auto &fast = df.fast;
+    if (slow.empty())
+        return false;
+    slowLead.assign(slow.size(), 0);
+    fastLead.assign(fast.size(), 0);
+    slowLead[0] = 1;
+    if (!fast.empty())
+        fastLead[0] = 1;
+    // Leaders: targets, terminator successors, probe deopt pcs.
+    auto mark = [&](const std::vector<DecodedInstr> &s, bool inFast) {
+        for (size_t i = 0; i < s.size(); ++i) {
+            const DecodedInstr &dp = s[i];
+            if (isTerminator(dp.op) && i + 1 < s.size())
+                (inFast ? fastLead : slowLead)[i + 1] = 1;
+            if (dp.op == Opcode::Br || dp.op == Opcode::Chk) {
+                auto t = size_t(dp.target);
+                if (t >= s.size())
+                    return false;
+                (inFast ? fastLead : slowLead)[t] = 1;
+                if (!inFast && env.fastEnabled && !df.fast.empty()) {
+                    int32_t fe = df.fastEntry[t];
+                    if (fe >= 0)
+                        fastLead[size_t(fe)] = 1;
+                }
+            }
+            if (inFast && isProbeOp(dp.op)) {
+                auto t = size_t(dp.target);
+                if (t >= df.code.size())
+                    return false;
+                slowLead[t] = 1;
+            }
+        }
+        return true;
+    };
+    if (!mark(slow, false))
+        return false;
+    if (!fast.empty() && !mark(fast, true))
+        return false;
+    return true;
+}
+
+std::unique_ptr<CompiledFunction>
+compileFunction(const DecodedFunction &df, const CompileEnv &env,
+                CodeArena *arena)
+{
+#if SHIFT_JIT_BACKEND
+    auto out = std::make_unique<CompiledFunction>();
+    FunctionCompiler fc(df, env);
+    if (!fc.emit(*out))
+        return nullptr;
+    return sealBuffer(fc.emitter(), std::move(out), arena);
 #else
     (void)df;
     (void)env;
+    (void)arena;
+    return nullptr;
+#endif
+}
+
+std::unique_ptr<CompiledFunction>
+compileBlock(const DecodedFunction &df, const CompileEnv &env,
+             int funcIndex, bool inFast, size_t pc,
+             const std::atomic<const void *> *slowSlots,
+             const std::atomic<const void *> *fastSlots,
+             const std::vector<uint8_t> &slowLead,
+             const std::vector<uint8_t> &fastLead,
+             CodeArena *arena)
+{
+#if SHIFT_JIT_BACKEND
+    auto out = std::make_unique<CompiledFunction>();
+    FunctionCompiler fc(df, env);
+    if (!fc.emitLazyBlock(*out, funcIndex, inFast, pc, slowSlots,
+                          fastSlots, slowLead, fastLead))
+        return nullptr;
+    return sealBuffer(fc.emitter(), std::move(out), arena);
+#else
+    (void)df;
+    (void)env;
+    (void)funcIndex;
+    (void)inFast;
+    (void)pc;
+    (void)slowSlots;
+    (void)fastSlots;
+    (void)slowLead;
+    (void)fastLead;
+    (void)arena;
+    return nullptr;
+#endif
+}
+
+std::unique_ptr<CompiledFunction>
+compileEntryThunk()
+{
+#if SHIFT_JIT_BACKEND
+    Emitter e;
+    emitEntryThunk(e);
+    e.finalize();
+    auto out = std::make_unique<CompiledFunction>();
+    // The entry thunk gets its own private buffer: it outlives cache
+    // flushes and needs no arena bookkeeping.
+    return sealBuffer(e, std::move(out), nullptr);
+#else
     return nullptr;
 #endif
 }

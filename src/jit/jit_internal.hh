@@ -92,6 +92,21 @@ struct JitOps
     static uint64_t calli(JitCtx *c, const DecodedInstr *dp,
                           uint64_t pcw);
     static uint64_t ret(JitCtx *c, const DecodedInstr *dp, uint64_t pcw);
+    // Linked policy-boundary exits: run the built-in / system-call
+    // handler against a fully spilled machine (exactly the
+    // interpreter's sequence, async fence included), then return 0 to
+    // continue natively at the post-call pc, 1 on fault/stop, or a
+    // host address when the handler moved control somewhere compiled.
+    static uint64_t builtin(JitCtx *c, const DecodedInstr *dp,
+                            uint64_t pcw);
+    static uint64_t syscall(JitCtx *c, const DecodedInstr *dp,
+                            uint64_t pcw);
+    /**
+     * Lazy-tier block stitching (SysV: rdi=ctx, rsi=func, rdx=pcw):
+     * resolve the target block, compiling or enqueueing it under the
+     * cache's policy; a miss spills a clean bail at the target pc.
+     */
+    static uint64_t blockLink(JitCtx *c, uint64_t func, uint64_t pcw);
 
     // Shared pieces (members so they see Machine's privates).
     /** The JIT's sync(): fold ctx deltas into the Machine pre-fault. */

@@ -24,6 +24,7 @@
 
 #include <bit>
 
+#include "dift/tier.hh"
 #include "sim/machine.hh"
 #include "support/bitops.hh"
 #include "support/logging.hh"
@@ -889,20 +890,18 @@ uint64_t
 JitOps::transfer(JitCtx *c, int func, uint64_t pc, bool fast)
 {
     Machine &m = *c->m;
-    // Compiled targets need no more heat: peek skips hot()'s atomic
-    // add on the (dominant) already-compiled case.
-    const jit::CompiledFunction *jf = m.jitActive_->peek(func);
-    if (!jf) {
+    // Compiled targets need no more heat: peekAt skips the hotness
+    // accounting on the (dominant) already-compiled case.
+    jit::CodeCache::Entry en = m.jitActive_->peekAt(func, fast, pc);
+    if (!en) {
         jit::CodeCache::Credit credit;
-        jf = m.jitActive_->hot(func, &credit);
+        en = m.jitActive_->entryAt(func, fast, pc, &credit);
         m.jitCompiled_ += credit.blocks;
         m.jitCodeBytes_ += credit.codeBytes;
         m.jitEvictions_ += credit.evictions;
     }
-    if (jf) {
-        if (const void *entry = jf->entryFor(fast, pc))
-            return reinterpret_cast<uint64_t>(entry);
-    }
+    if (en)
+        return reinterpret_cast<uint64_t>(en.code);
     spill(c, pc | (fast ? (1ULL << 32) : 0));
     return 1;
 }
@@ -982,6 +981,102 @@ JitOps::ret(JitCtx *c, const DecodedInstr *dp, uint64_t pcw)
     m.callStack_.pop_back();
     m.curFunc_ = frame.function;
     return transfer(c, frame.function, frame.returnPc, frame.fast);
+}
+
+/*
+ * Linked built-in call (dp->callee < 0): the interpreter's BrCall
+ * builtin arm run against a fully spilled machine. Historically an
+ * exit op — every per-request policy fence bailed the rest of the
+ * superblock to the interpreter, which is what capped httpd at
+ * ~1.05x. Now the common outcome (handler neither stopped the
+ * machine nor moved control) returns 0 and the call site falls
+ * through to the post-call op's compiled code.
+ */
+uint64_t
+JitOps::builtin(JitCtx *c, const DecodedInstr *dp, uint64_t pcw)
+{
+    Machine &m = *c->m;
+    int slot = -1 - dp->callee;
+    const BuiltinFn *fn = m.builtinSlotFns_[slot];
+    if (!fn) {
+        spill(c, pcw);
+        m.setFault(FaultKind::UnknownFunction, FaultContext::None, 0,
+                   "no function or built-in named '" +
+                       m.decoded_->builtinNames[slot] + "'");
+        return 1;
+    }
+    chg(c, dp->statIdx, m.cycleModel_.call);
+    spill(c, pcw);
+    // Built-ins are policy-check points: fence the async tier so
+    // their TaintMap and argNat reads see the caught-up shadow.
+    if (m.asyncTier_) {
+        if (const dift::Violation *v = m.asyncTier_->fence()) {
+            m.applyAsyncViolation(*v);
+            return 1;
+        }
+    }
+    // See runBuiltin: advance past the call site only when the
+    // built-in neither stopped the machine nor moved control.
+    uint64_t pcBefore = m.pc_;
+    int funcBefore = m.curFunc_;
+    size_t depthBefore = m.callStack_.size();
+    bool fastBefore = m.inFast_;
+    (*fn)(m);
+    if (m.stopped_)
+        return 1;
+    if (m.pc_ == pcBefore && m.curFunc_ == funcBefore &&
+        m.callStack_.size() == depthBefore) {
+        ++m.pc_;
+        if (m.inFast_ == fastBefore) {
+            ++m.jitLinkedBuiltins_;
+            return 0;
+        }
+    }
+    // The handler moved control (alert handlers, longjmp-style
+    // built-ins): land wherever the interpreter's resync would.
+    return transfer(c, m.curFunc_, m.pc_, m.inFast_);
+}
+
+/** Linked system call: the interpreter's Syscall handler. */
+uint64_t
+JitOps::syscall(JitCtx *c, const DecodedInstr *dp, uint64_t pcw)
+{
+    Machine &m = *c->m;
+    chg(c, dp->statIdx, m.cycleModel_.syscallBase);
+    spill(c, pcw);
+    if (m.asyncTier_) {
+        if (const dift::Violation *v = m.asyncTier_->fence()) {
+            m.applyAsyncViolation(*v);
+            return 1;
+        }
+    }
+    if (!m.syscall_) {
+        m.setFault(FaultKind::UnknownFunction, FaultContext::None, 0,
+                   "no system-call handler installed");
+        return 1;
+    }
+    uint64_t pcBefore = m.pc_;
+    int funcBefore = m.curFunc_;
+    bool fastBefore = m.inFast_;
+    m.syscall_(m, dp->imm);
+    if (m.stopped_)
+        return 1;
+    // The interpreter resumes at pc_ + 1 unconditionally (resync then
+    // ++pc), even when the handler rewrote pc_.
+    ++m.pc_;
+    if (m.pc_ == pcBefore + 1 && m.curFunc_ == funcBefore &&
+        m.inFast_ == fastBefore) {
+        ++m.jitLinkedBuiltins_;
+        return 0;
+    }
+    return transfer(c, m.curFunc_, m.pc_, m.inFast_);
+}
+
+uint64_t
+JitOps::blockLink(JitCtx *c, uint64_t func, uint64_t pcw)
+{
+    return transfer(c, static_cast<int>(func), pcw & 0xffffffffu,
+                    (pcw >> 32) != 0);
 }
 
 } // namespace shift::jit

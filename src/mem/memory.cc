@@ -250,13 +250,24 @@ Memory::contentHash(int region) const
 MemFault
 Memory::readBytes(uint64_t addr, void *out, uint64_t len)
 {
+    // Page-wise: one translation per 4 KiB instead of per byte. The
+    // OS layer moves whole request/response/file buffers through
+    // here, which made the per-byte loop a top host cost on server
+    // workloads. Implemented-ness is constant within a page, so one
+    // check per chunk covers every byte of it.
     uint8_t *dst = static_cast<uint8_t *>(out);
-    for (uint64_t i = 0; i < len; ++i) {
-        uint64_t byte;
-        MemFault fault = read(addr + i, 1, byte);
-        if (fault != MemFault::None)
-            return fault;
-        dst[i] = static_cast<uint8_t>(byte);
+    while (len > 0) {
+        if (!isImplemented(addr))
+            return MemFault::Unimplemented;
+        uint64_t off = addr & (kPageSize - 1);
+        uint64_t chunk = std::min(len, kPageSize - off);
+        Page *page = pageFor(addr, false);
+        if (!page)
+            return MemFault::Unmapped;
+        std::memcpy(dst, page->data.data() + off, chunk);
+        dst += chunk;
+        addr += chunk;
+        len -= chunk;
     }
     return MemFault::None;
 }
@@ -265,10 +276,29 @@ MemFault
 Memory::writeBytes(uint64_t addr, const void *src, uint64_t len)
 {
     const uint8_t *bytes = static_cast<const uint8_t *>(src);
-    for (uint64_t i = 0; i < len; ++i) {
-        MemFault fault = write(addr + i, 1, bytes[i]);
-        if (fault != MemFault::None)
-            return fault;
+    while (len > 0) {
+        uint64_t off = addr & (kPageSize - 1);
+        uint64_t chunk = std::min(len, kPageSize - off);
+        if (regionOf(addr) == kTagRegion) {
+            // Tag-space stores must maintain the taint summary; keep
+            // the per-byte path (bulk copies into the bitmap are not
+            // a hot pattern).
+            for (uint64_t i = 0; i < chunk; ++i) {
+                MemFault fault = write(addr + i, 1, bytes[i]);
+                if (fault != MemFault::None)
+                    return fault;
+            }
+        } else {
+            if (!isImplemented(addr))
+                return MemFault::Unimplemented;
+            Page *page = pageFor(addr, false, true);
+            if (!page)
+                return MemFault::Unmapped;
+            std::memcpy(page->data.data() + off, bytes, chunk);
+        }
+        bytes += chunk;
+        addr += chunk;
+        len -= chunk;
     }
     return MemFault::None;
 }
@@ -277,14 +307,26 @@ MemFault
 Memory::readCString(uint64_t addr, std::string &out, uint64_t maxLen)
 {
     out.clear();
-    for (uint64_t i = 0; i < maxLen; ++i) {
-        uint64_t byte;
-        MemFault fault = read(addr + i, 1, byte);
-        if (fault != MemFault::None)
-            return fault;
-        if (byte == 0)
+    uint64_t remaining = maxLen;
+    while (remaining > 0) {
+        if (!isImplemented(addr))
+            return MemFault::Unimplemented;
+        uint64_t off = addr & (kPageSize - 1);
+        uint64_t chunk = std::min(remaining, kPageSize - off);
+        Page *page = pageFor(addr, false);
+        if (!page)
+            return MemFault::Unmapped;
+        const uint8_t *p = page->data.data() + off;
+        const void *nul = std::memchr(p, 0, chunk);
+        if (nul) {
+            out.append(reinterpret_cast<const char *>(p),
+                       static_cast<size_t>(
+                           static_cast<const uint8_t *>(nul) - p));
             return MemFault::None;
-        out.push_back(static_cast<char>(byte));
+        }
+        out.append(reinterpret_cast<const char *>(p), chunk);
+        addr += chunk;
+        remaining -= chunk;
     }
     return MemFault::None;
 }

@@ -161,11 +161,20 @@ storeFormatted(Machine &m, const RuntimeContext &ctx, uint64_t dst,
     if (ctx.tracking()) {
         // Summary: transfer per-byte taint to the destination. Clear
         // the whole range first, then set tainted bytes, so at word
-        // granularity a unit's tag is the OR of its bytes.
+        // granularity a unit's tag is the OR of its bytes. Tainted
+        // bytes cluster (echoed request fields), so set them run by
+        // run rather than one call per byte.
         ctx.taint->clear(dst, f.text.size() + 1);
-        for (size_t i = 0; i < f.text.size(); ++i) {
-            if (f.taint[i])
-                ctx.taint->taint(dst + i, 1);
+        for (size_t i = 0; i < f.text.size();) {
+            if (!f.taint[i]) {
+                ++i;
+                continue;
+            }
+            size_t j = i + 1;
+            while (j < f.text.size() && f.taint[j])
+                ++j;
+            ctx.taint->taint(dst + i, j - i);
+            i = j;
         }
     }
     m.addOsCycles(20 + 4 * f.text.size());
@@ -258,8 +267,11 @@ registerRuntimeBuiltins(Machine &machine, RuntimeContext &ctx)
             if (m.memory().readBytes(buf, data.data(), len) ==
                 MemFault::None) {
                 notePolicyCheck(m, "H5", buf);
-                auto alert = c->policy->checkHtml(
-                    data, c->taint->taintOf(buf, len));
+                // Map-querying overload: probe taint only at
+                // `<script` matches instead of materializing a
+                // per-byte vector for the whole response.
+                auto alert =
+                    c->policy->checkHtml(data, *c->taint, buf);
                 if (applyAlert(m, *c, std::move(alert))) {
                     m.setRetval(static_cast<uint64_t>(-1));
                     return;
@@ -327,8 +339,10 @@ registerRuntimeBuiltins(Machine &machine, RuntimeContext &ctx)
         std::string html = readString(m, addr);
         if (c->tracking()) {
             notePolicyCheck(m, "H5", addr);
-            auto alert = c->policy->checkHtml(
-                html, taintOf(*c, addr, html));
+            // The map-querying overload probes taint only at
+            // `<script` match positions — no per-byte taint vector
+            // for the whole response body.
+            auto alert = c->policy->checkHtml(html, *c->taint, addr);
             if (applyAlert(m, *c, std::move(alert))) {
                 m.setRetval(static_cast<uint64_t>(-1));
                 return;

@@ -213,7 +213,8 @@ Session::build(const std::vector<std::string> &sources)
     }
     machine_->setFastPathEnabled(options_.fastPath);
     machine_->setJitEnabled(options_.jit, options_.jitThreshold,
-                            options_.jitCacheBytes);
+                            options_.jitCacheBytes,
+                            options_.jitBackground, options_.jitLazy);
     if (obs::Recorder *rec = obs::Recorder::active()) {
         std::vector<std::string> names;
         for (const auto &fn : program_.functions)

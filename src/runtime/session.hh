@@ -81,6 +81,8 @@ struct SessionOptions
     bool jit = false;
     uint32_t jitThreshold = 0;  ///< promotion threshold, 0 = default
     size_t jitCacheBytes = 0;   ///< code-cache byte budget, 0 = default
+    bool jitBackground = false; ///< compile on a worker thread
+    bool jitLazy = false;       ///< per-superblock lazy compilation
 
     /** Apply the control-speculation optimizer before tracking. */
     bool speculate = false;

@@ -18,7 +18,9 @@ SessionTemplate::SessionTemplate(const std::vector<std::string> &sources,
     // snapshot: with the JIT on, the eagerly-created code cache rides
     // along so the whole fleet shares one set of compiled bodies.
     proto_->setFastPathEnabled(options_.fastPath);
-    proto_->setJitEnabled(options_.jit, options_.jitThreshold);
+    proto_->setJitEnabled(options_.jit, options_.jitThreshold,
+                          options_.jitCacheBytes, options_.jitBackground,
+                          options_.jitLazy);
 }
 
 SessionTemplate::SessionTemplate(const std::string &source,
@@ -90,7 +92,10 @@ SessionClone::SessionClone(const SessionTemplate &tmpl, int cloneId)
     // The snapshot already carries the template's shared code cache
     // when the JIT is on; this validates/adopts it (and is the off
     // switch when it is not).
-    machine_->setJitEnabled(tmpl.options_.jit, tmpl.options_.jitThreshold);
+    machine_->setJitEnabled(tmpl.options_.jit, tmpl.options_.jitThreshold,
+                            tmpl.options_.jitCacheBytes,
+                            tmpl.options_.jitBackground,
+                            tmpl.options_.jitLazy);
     if (obs::Recorder *rec = obs::Recorder::active()) {
         std::vector<std::string> names;
         for (const auto &fn : tmpl.program_.functions)

@@ -318,7 +318,8 @@ Machine::setTraceHook(TraceFn fn)
 
 void
 Machine::setJitEnabled(bool enabled, uint32_t threshold,
-                       size_t cacheBytes)
+                       size_t cacheBytes, bool background,
+                       bool lazyBlocks)
 {
     jitEnabled_ = false;
     jitActive_ = nullptr;
@@ -332,6 +333,10 @@ Machine::setJitEnabled(bool enabled, uint32_t threshold,
     jitEnabled_ = true;
     jitThreshold_ = threshold;
     jitCacheBytes_ = cacheBytes;
+    jitBackground_ = background;
+    jitLazy_ = lazyBlocks;
+    jit::CompileMode mode = background ? jit::CompileMode::Background
+                                       : jit::CompileMode::Sync;
     // Create the cache eagerly so capture() can hand it to clones
     // before anything runs. run() re-validates the environment (the
     // cycle model or fast-path switch may change in between) and
@@ -342,9 +347,11 @@ Machine::setJitEnabled(bool enabled, uint32_t threshold,
     if (!jitCache_ || jitCache_->program() != decoded_.get() ||
         !(jitCache_->env() == env) ||
         (threshold != 0 && jitCache_->threshold() != threshold) ||
-        (cacheBytes != 0 && jitCache_->maxBytes() != cacheBytes))
+        (cacheBytes != 0 && jitCache_->maxBytes() != cacheBytes) ||
+        jitCache_->mode() != mode ||
+        jitCache_->lazyBlocks() != lazyBlocks)
         jitCache_ = std::make_shared<jit::CodeCache>(
-            decoded_, env, threshold, cacheBytes);
+            decoded_, env, threshold, cacheBytes, mode, lazyBlocks);
 }
 
 void
@@ -1366,15 +1373,12 @@ Machine::runDecoded(uint64_t maxSteps)
         if (!jitActive_ || stopped_)
             return 0;
         jit::CodeCache::Credit credit;
-        const jit::CompiledFunction *jf =
-            jitActive_->hot(curFunc_, &credit);
+        jit::CodeCache::Entry en =
+            jitActive_->entryAt(curFunc_, inFast, pc, &credit);
         jitCompiled_ += credit.blocks;
         jitCodeBytes_ += credit.codeBytes;
         jitEvictions_ += credit.evictions;
-        if (!jf)
-            return 0;
-        const void *entry = jf->entryFor(inFast, pc);
-        if (!entry)
+        if (!en)
             return 0;
         uint64_t budget = maxSteps - steps;
         if (budget == 0)
@@ -1387,7 +1391,7 @@ Machine::runDecoded(uint64_t maxSteps)
         jitCtx_.fpEntered = 0;
         jitCtx_.loadMask = loadMask;
         jitCtx_.stepsLeft = static_cast<int64_t>(budget);
-        jf->invoke(&jitCtx_, entry);
+        en.thunk(&jitCtx_, en.code);
         ++jitEntered_;
         // On a fault the runtime helpers already folded-and-zeroed the
         // accumulators into the members (so the fault handler saw a
@@ -2851,10 +2855,15 @@ Machine::run(uint64_t maxSteps)
         jit::CompileEnv env{cycleModel_, features_.natSetClear,
                             features_.natAwareCompare, fastEnabled_,
                             asyncTier_ != nullptr};
+        jit::CompileMode mode = jitBackground_
+                                    ? jit::CompileMode::Background
+                                    : jit::CompileMode::Sync;
         if (!jitCache_ || jitCache_->program() != decoded_.get() ||
-            !(jitCache_->env() == env))
+            !(jitCache_->env() == env) || jitCache_->mode() != mode ||
+            jitCache_->lazyBlocks() != jitLazy_)
             jitCache_ = std::make_shared<jit::CodeCache>(
-                decoded_, env, jitThreshold_, jitCacheBytes_);
+                decoded_, env, jitThreshold_, jitCacheBytes_, mode,
+                jitLazy_);
         jitCtx_.m = this;
         jitCtx_.cyFlat = &cyclesBy_[0][0];
         jitCtx_.inFlat = &instrsBy_[0][0];
@@ -2975,14 +2984,17 @@ Machine::run(uint64_t maxSteps)
         }
     }
     if (jitCompiled_ || jitEntered_ || jitDeopts_ || jitBailouts_ ||
-        jitCodeBytes_) {
+        jitCodeBytes_ || jitLinkedBuiltins_) {
         st.add("jit.compiled", jitCompiled_);
         st.add("jit.entered", jitEntered_);
         st.add("jit.deopts", jitDeopts_);
         st.add("jit.bailouts", jitBailouts_);
         st.add("jit.codeBytes", jitCodeBytes_);
         st.add("jit.evictions", jitEvictions_);
+        st.add("jit.linkedBuiltinReturns", jitLinkedBuiltins_);
     }
+    if (jitCache_ && jitCache_->queueHighWater())
+        st.setGauge("jit.compileQueueDepth", jitCache_->queueHighWater());
     if (!hotPc_.empty()) {
         // Per-PC hot spots: top-K flat-table entries, keyed
         // function@pc like the deopt attribution so fleet merges

@@ -318,9 +318,16 @@ class Machine
      * unconditionally. Call after setFastPathEnabled — the compiled
      * code bakes the fast-tier promotion policy in. The cache is
      * created eagerly so capture() can share it with clones.
+     *
+     * `background` moves compilation onto the cache's compile thread
+     * (requests queue at the threshold crossing; execution keeps
+     * interpreting until the body installs). `lazyBlocks` compiles at
+     * dual-version-superblock granularity on first hot entry instead
+     * of whole functions. Both default off (the original behavior).
      */
     void setJitEnabled(bool enabled, uint32_t threshold = 0,
-                       size_t cacheBytes = 0);
+                       size_t cacheBytes = 0, bool background = false,
+                       bool lazyBlocks = false);
     bool jitEnabled() const { return jitEnabled_; }
 
     /** True when this build/host can generate and run native code. */
@@ -333,6 +340,8 @@ class Machine
     uint64_t jitBailouts() const { return jitBailouts_; }
     uint64_t jitCodeBytes() const { return jitCodeBytes_; }
     uint64_t jitEvictions() const { return jitEvictions_; }
+    /** Built-in/syscall exits that re-entered compiled code natively. */
+    uint64_t jitLinkedBuiltins() const { return jitLinkedBuiltins_; }
 
     // ----- observability (docs/OBSERVABILITY.md) ------------------------
 
@@ -550,6 +559,8 @@ class Machine
     bool jitEnabled_ = false;
     uint32_t jitThreshold_ = 0;
     size_t jitCacheBytes_ = 0; ///< code-cache byte budget (0 = default)
+    bool jitBackground_ = false; ///< compile on the cache's thread
+    bool jitLazy_ = false;       ///< per-superblock compilation units
     std::shared_ptr<jit::CodeCache> jitCache_;
     jit::CodeCache *jitActive_ = nullptr;
     jit::JitCtx jitCtx_;
@@ -559,6 +570,7 @@ class Machine
     uint64_t jitBailouts_ = 0; ///< exits back to the interpreter
     uint64_t jitCodeBytes_ = 0; ///< native bytes emitted by this machine
     uint64_t jitEvictions_ = 0; ///< code-cache flushes this machine forced
+    uint64_t jitLinkedBuiltins_ = 0; ///< linked builtin/syscall returns
 
     // Observability state (see setObserver). The hot-spot table is a
     // flat per-original-instruction counter array indexed by

@@ -989,6 +989,8 @@ runSpecKernel(const SpecKernel &kernel, const SpecRunConfig &config)
     options.async = config.async;
     options.jit = config.jit;
     options.jitThreshold = config.jitThreshold;
+    options.jitBackground = config.jitBackground;
+    options.jitLazy = config.jitLazy;
 
     Session session(kernel.source, options);
     int scale = config.scale > 0 ? config.scale : kernel.defaultScale;

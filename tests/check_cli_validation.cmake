@@ -73,6 +73,12 @@ expect_usage_error("promotion threshold"
     ${SHIFTD} --jit=-7)
 expect_usage_error("expected an integer"
     ${SHIFTD} --jit=warm)
+expect_usage_error("expected sync or bg"
+    ${SHIFTD} --jit-compile=eager)
+expect_usage_error("expected sync or bg"
+    ${SHIFTD} --jit-compile threaded)
+expect_usage_error("missing value after --jit-compile"
+    ${SHIFTD} --jit-compile)
 
 # --- shiftc -----------------------------------------------------------
 expect_usage_error("max-steps must be positive"
@@ -95,6 +101,10 @@ expect_usage_error("promotion threshold"
     ${SHIFTC} --jit=2000000000 prog.mc)
 expect_usage_error("expected an integer"
     ${SHIFTC} --jit=hot prog.mc)
+expect_usage_error("expected sync or bg"
+    ${SHIFTC} --jit-compile=async prog.mc)
+expect_usage_error("missing value after --jit-compile"
+    ${SHIFTC} --jit-compile)
 
 if(failures GREATER 0)
     message(FATAL_ERROR "${failures} CLI validation case(s) failed")

@@ -346,6 +346,86 @@ TEST(JitCache, EvictionUnderATinyBudgetStaysCorrect)
 }
 
 // ---------------------------------------------------------------------
+// Background compilation and lazy per-block tiers: same simulation,
+// different compile placement (docs/JIT.md).
+// ---------------------------------------------------------------------
+
+/**
+ * Background mode moves compilation onto a worker thread; the serving
+ * thread's simulated run must be bit-identical whether or not the
+ * worker manages to install anything before the run ends. The queue
+ * high-water gauge surfaces in the stable schema once a request has
+ * been enqueued.
+ */
+TEST(JitBackground, CompilesOffThreadAndMatchesInterpreter)
+{
+    SKIP_WITHOUT_JIT();
+    DiffRun runs[2];
+    uint64_t queueDepth = 0;
+    for (bool jitOn : {false, true}) {
+        SessionOptions options = testutil::shiftOptions(Granularity::Byte);
+        options.jit = jitOn;
+        options.jitThreshold = kEager;
+        options.jitBackground = jitOn;
+        Session session(kCleanSource, options);
+        runs[jitOn] = captureRun(session);
+        if (jitOn)
+            queueDepth =
+                runs[jitOn].result.stats.gauge("jit.compileQueueDepth");
+    }
+    EXPECT_TRUE(runs[0].result.exited);
+    expectIdentical(runs[0], runs[1], "background compile");
+    EXPECT_GE(queueDepth, 1u)
+        << "the hot function must have crossed the threshold and been "
+           "queued for the worker";
+}
+
+/**
+ * Lazy mode compiles one dual-version superblock per hot entry rather
+ * than whole functions, so a run that only touches part of a function
+ * compiles fewer blocks than whole-function mode while simulating
+ * identically.
+ */
+TEST(JitLazy, PerBlockCompilationMatchesInterpreter)
+{
+    SKIP_WITHOUT_JIT();
+    DiffRun runs[2];
+    uint64_t lazyCompiled = 0;
+    for (bool jitOn : {false, true}) {
+        SessionOptions options = testutil::shiftOptions(Granularity::Byte);
+        options.jit = jitOn;
+        options.jitThreshold = kEager;
+        options.jitLazy = jitOn;
+        Session session(kCleanSource, options);
+        runs[jitOn] = captureRun(session);
+        if (jitOn)
+            lazyCompiled = session.machine().jitCompiled();
+    }
+    EXPECT_TRUE(runs[0].result.exited);
+    expectIdentical(runs[0], runs[1], "lazy per-block");
+    EXPECT_GT(lazyCompiled, 0u) << "hot entry must compile its block";
+    EXPECT_GT(runs[1].jitEntered, 0u);
+}
+
+/** The full matrix point: background worker + lazy block tiers. */
+TEST(JitLazy, BackgroundLazyMatchesInterpreter)
+{
+    SKIP_WITHOUT_JIT();
+    DiffRun runs[2];
+    for (bool jitOn : {false, true}) {
+        SessionOptions options = testutil::shiftOptions(Granularity::Byte);
+        options.jit = jitOn;
+        options.jitThreshold = kEager;
+        options.jitBackground = jitOn;
+        options.jitLazy = jitOn;
+        Session session(kCleanSource, options);
+        runs[jitOn] = captureRun(session);
+    }
+    EXPECT_TRUE(runs[0].result.exited);
+    expectIdentical(runs[0], runs[1], "background+lazy");
+}
+
+// ---------------------------------------------------------------------
 // Satellite: jit.* counters through StatSet merge (fleet aggregation
 // path) — merging is associative, so worker join order is irrelevant.
 // ---------------------------------------------------------------------
@@ -416,6 +496,48 @@ TEST(JitFleet, TemplateSharesCompiledCodeAcrossClones)
     for (const auto &jr : report.jobResults) {
         ASSERT_EQ(jr.responses.size(), 1u);
         EXPECT_EQ(jr.responses[0], report.jobResults[0].responses[0]);
+    }
+}
+
+/**
+ * Concurrent install/eviction torture, sized for the TSan build: many
+ * clones hammer one shared code cache while (a) the background worker
+ * installs compiled buffers, (b) lazy block slots are CAS-claimed and
+ * published from both the worker and the serving threads, and (c) a
+ * budget a fraction of the working set forces flush-when-full
+ * evictions under all of it. Any unfenced access to the slot arrays,
+ * the publication lists, or the queue is a TSan report; without TSan
+ * this still asserts the fleet serves correctly and deterministically
+ * through the churn.
+ */
+TEST(JitFleet, ConcurrentBackgroundInstallAndEvictionRaces)
+{
+    SKIP_WITHOUT_JIT();
+    SessionOptions options = httpdSessionOptions(
+        TrackingMode::Shift, Granularity::Byte, {},
+        ExecEngine::Predecoded);
+    options.fastPath = true;
+    options.jit = true;
+    options.jitThreshold = kEager;
+    options.jitBackground = true;
+    options.jitLazy = true;
+    options.jitCacheBytes = 8192; // a fraction of the hot working set
+    SessionTemplate tmpl(std::string(kHttpdSource), std::move(options));
+    provisionHttpdOs(tmpl.os(), 512);
+
+    std::vector<svc::FleetJob> jobs;
+    for (int i = 0; i < 16; ++i)
+        jobs.push_back({i, {kHttpdRequest, kHttpdRequest}});
+    svc::Fleet fleet(tmpl, {.workers = 4});
+    svc::FleetReport report = fleet.serve(jobs);
+
+    EXPECT_TRUE(report.allOk);
+    EXPECT_EQ(report.requests, 32u);
+    ASSERT_EQ(report.jobResults.size(), 16u);
+    for (const auto &jr : report.jobResults) {
+        ASSERT_EQ(jr.responses.size(), 2u);
+        EXPECT_EQ(jr.responses[0], report.jobResults[0].responses[0]);
+        EXPECT_EQ(jr.responses[1], jr.responses[0]);
     }
 }
 

@@ -65,7 +65,11 @@ usage()
         "hosts)\n"
         "  --jit[=THRESHOLD]        compile hot superblocks to host "
         "code after THRESHOLD executions (default 32; no-op on "
-        "non-x86-64 hosts)\n");
+        "non-x86-64 hosts)\n"
+        "  --jit-compile MODE       sync (compile on the serving "
+        "thread, default) or bg (worker thread + atomic install)\n"
+        "  --jit-lazy               compile one superblock at a time "
+        "on first hot entry instead of whole functions\n");
 }
 
 std::string
@@ -228,6 +232,19 @@ main(int argc, char **argv)
                     options.jitThreshold =
                         static_cast<uint32_t>(threshold);
                 }
+            } else if (arg.rfind("--jit-compile=", 0) == 0 ||
+                       arg == "--jit-compile") {
+                std::string mode =
+                    arg == "--jit-compile" ? next() : arg.substr(14);
+                if (mode == "sync")
+                    options.jitBackground = false;
+                else if (mode == "bg")
+                    options.jitBackground = true;
+                else
+                    SHIFT_FATAL("--jit-compile: expected sync or bg, "
+                                "got '%s'", mode.c_str());
+            } else if (arg == "--jit-lazy") {
+                options.jitLazy = true;
             } else if (!arg.empty() && arg[0] == '-') {
                 SHIFT_FATAL("unknown option '%s'", arg.c_str());
             } else if (sourcePath.empty()) {
