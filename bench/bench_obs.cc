@@ -15,10 +15,22 @@
  *  - recording: the recorder enabled with the default ring, tracing
  *    for real (reported for scale, not floored — tracing is opt-in).
  *
+ * Two JIT rows (PR 7/8 postdate the original measurement) complete
+ * the picture: baseline-jit is the compiled tier with the recorder
+ * off, and recording-jit enables the recorder on the same
+ * configuration — which forces the interpreter (full observability
+ * needs every retired micro-op, so the JIT gate refuses while a
+ * recorder is attached; docs/JIT.md). The recording-jit overhead is
+ * therefore the honest price of turning tracing on in a JIT-serving
+ * deployment: the recorder's own cost plus the forfeited compiled
+ * tier. Reported, not floored.
+ *
  * `--smoke` runs baseline and dispatch only and exits non-zero when
  * the forced-dispatch run costs more than 2% over baseline — the
  * perf-smoke-obs CI tripwire behind the "single branch on a disabled
- * recorder" claim.
+ * recorder" claim. The gate intentionally stays on the like-for-like
+ * interpreter pair: both arms must retire the same dispatch stream
+ * for a 2% ceiling to mean anything.
  */
 
 #include <chrono>
@@ -58,21 +70,29 @@ int repeats = 7;
 
 enum class ObsConfig
 {
-    Baseline,  ///< recorder off, kObs=false instantiation
-    Dispatch,  ///< recorder off, kObs=true forced (null observer)
-    Recording, ///< recorder on, default ring
+    Baseline,     ///< recorder off, kObs=false instantiation
+    Dispatch,     ///< recorder off, kObs=true forced (null observer)
+    Recording,    ///< recorder on, default ring
+    BaselineJit,  ///< recorder off, compiled tier active
+    RecordingJit, ///< recorder on + jit requested (forces interpreter)
 };
 
 /** One timed run; records into `m` (min host time across calls). */
 void
 runOnce(ObsConfig config, int requests, Measurement &m)
 {
-    if (config == ObsConfig::Recording)
+    if (config == ObsConfig::Recording ||
+        config == ObsConfig::RecordingJit)
         obs::Recorder::enable();
 
     SessionOptions options = httpdSessionOptions(
         TrackingMode::Shift, Granularity::Byte, CpuFeatures{},
         ExecEngine::Predecoded);
+    if (config == ObsConfig::BaselineJit ||
+        config == ObsConfig::RecordingJit) {
+        options.jit = true;
+        options.jitThreshold = 4;
+    }
     Session session(kHttpdSource, options);
     provisionHttpdOs(session.os(), 4 * 1024);
     for (int i = 0; i < requests; ++i)
@@ -86,7 +106,8 @@ runOnce(ObsConfig config, int requests, Measurement &m)
                          std::chrono::steady_clock::now() - start)
                          .count();
 
-    if (config == ObsConfig::Recording)
+    if (config == ObsConfig::Recording ||
+        config == ObsConfig::RecordingJit)
         obs::Recorder::disable();
 
     if (!result.ok()) {
@@ -128,8 +149,9 @@ measure(ObsConfig config, int requests)
 
 void
 writeJson(const Measurement &base, const Measurement &dispatch,
-          const Measurement &recording, double dispatchOverhead,
-          double recordingOverhead)
+          const Measurement &recording, const Measurement &baseJit,
+          const Measurement &recordingJit, double dispatchOverhead,
+          double recordingOverhead, double recordingJitOverhead)
 {
     FILE *f = std::fopen("BENCH_obs.json", "w");
     if (!f) {
@@ -143,13 +165,16 @@ writeJson(const Measurement &base, const Measurement &dispatch,
         "  \"mips_baseline\": %.2f,\n"
         "  \"mips_dispatch_forced\": %.2f,\n"
         "  \"mips_recording\": %.2f,\n"
+        "  \"mips_baseline_jit\": %.2f,\n"
+        "  \"mips_recording_jit\": %.2f,\n"
         "  \"disabled_overhead\": %.4f,\n"
         "  \"recording_overhead\": %.4f,\n"
+        "  \"recording_jit_overhead\": %.4f,\n"
         "  \"recording_events\": %llu\n"
         "}\n",
-        base.mips(), dispatch.mips(), recording.mips(),
-        dispatchOverhead, recordingOverhead,
-        (unsigned long long)recording.events);
+        base.mips(), dispatch.mips(), recording.mips(), baseJit.mips(),
+        recordingJit.mips(), dispatchOverhead, recordingOverhead,
+        recordingJitOverhead, (unsigned long long)recording.events);
     std::fclose(f);
     std::printf("wrote BENCH_obs.json\n");
 }
@@ -184,13 +209,25 @@ main(int argc, char **argv)
     }
     Measurement recording =
         smoke ? Measurement{} : measure(ObsConfig::Recording, requests);
+    Measurement baseJit = smoke ? Measurement{}
+                                : measure(ObsConfig::BaselineJit, requests);
+    Measurement recordingJit =
+        smoke ? Measurement{}
+              : measure(ObsConfig::RecordingJit, requests);
 
     // Cross-configuration identity: observability must never change
-    // what the simulation computes.
+    // what the simulation computes. The JIT rows share the invariant:
+    // the compiled tier retires a bit-identical simulated stream.
     if (dispatch.instructions != base.instructions ||
         dispatch.cycles != base.cycles) {
         std::fprintf(stderr, "bench_obs: SIMULATION CHANGED under "
                              "forced obs dispatch\n");
+        return 1;
+    }
+    if (!smoke && (baseJit.instructions != base.instructions ||
+                   recordingJit.instructions != base.instructions)) {
+        std::fprintf(stderr, "bench_obs: SIMULATION CHANGED under "
+                             "the JIT rows\n");
         return 1;
     }
 
@@ -200,6 +237,12 @@ main(int argc, char **argv)
     double recordingOverhead = base.seconds > 0 && !smoke
                                    ? recording.seconds / base.seconds - 1.0
                                    : 0;
+    // Against the tier the deployment actually runs: what tracing
+    // costs when enabling it also forfeits compiled code.
+    double recordingJitOverhead =
+        baseJit.seconds > 0 && !smoke
+            ? recordingJit.seconds / baseJit.seconds - 1.0
+            : 0;
 
     std::printf("%-18s %12.1f %12.4f %9s\n", "baseline (off)",
                 base.mips(), base.seconds, "—");
@@ -211,6 +254,12 @@ main(int argc, char **argv)
                     "recording", recording.mips(), recording.seconds,
                     100.0 * recordingOverhead,
                     (unsigned long long)recording.events);
+        std::printf("%-18s %12.1f %12.4f %9s\n", "baseline + jit",
+                    baseJit.mips(), baseJit.seconds, "—");
+        std::printf("%-18s %12.1f %12.4f %+9.1f%%  (vs jit; forces "
+                    "interpreter)\n",
+                    "recording + jit", recordingJit.mips(),
+                    recordingJit.seconds, 100.0 * recordingJitOverhead);
     }
     benchutil::rule(56);
     std::printf("(simulated instructions and cycles verified identical "
@@ -219,10 +268,12 @@ main(int argc, char **argv)
     registerMetricRow("obs/httpd",
                       {{"mips_baseline", base.mips()},
                        {"mips_dispatch_forced", dispatch.mips()},
+                       {"mips_baseline_jit", baseJit.mips()},
                        {"disabled_overhead", dispatchOverhead},
-                       {"recording_overhead", recordingOverhead}});
-    writeJson(base, dispatch, recording, dispatchOverhead,
-              recordingOverhead);
+                       {"recording_overhead", recordingOverhead},
+                       {"recording_jit_overhead", recordingJitOverhead}});
+    writeJson(base, dispatch, recording, baseJit, recordingJit,
+              dispatchOverhead, recordingOverhead, recordingJitOverhead);
 
     if (smoke && dispatchOverhead > 0.02) {
         std::fprintf(stderr,

@@ -24,7 +24,7 @@ endif()
 # are normal — only the benches actually run (or committed) have files
 # — so they are reported and skipped, never an error.
 set(known_benches
-    interp fleet overhead fastpath obs async jit)
+    interp fleet overhead fastpath obs async jit prof)
 
 # Collect one file per bench name: build tree first, committed
 # baseline second.

@@ -133,6 +133,16 @@ class AsyncTaintTier
     /** Observer for ring-stall / fence-wait events (may be null). */
     void setObserver(obs::TraceBuffer *obs) { obs_ = obs; }
 
+    /**
+     * Profiled runs measure the threaded consumer's active replay
+     * time, exported as `prof.aux.async-consumer.nanos`: off-engine
+     * host work that overlaps the engine wall clock, reported beside
+     * (never inside) the engine's exhaustive prof.tier.* sum. The
+     * inline consumer needs no aux counter — its replay runs inside
+     * the engine's async-publish carve. Set before start().
+     */
+    void setProfiled(bool profiled) { profiled_ = profiled; }
+
     /** Bootstrap the shadow and launch the consumer thread. */
     void start();
 
@@ -301,6 +311,9 @@ class AsyncTaintTier
     std::thread consumer_;
     bool inlineMode_ = false;
     uint64_t inlineEvents_ = 0;
+    bool profiled_ = false;
+    /** Consumer-thread active replay ns; read after the join. */
+    uint64_t consumerActiveNs_ = 0;
     bool running_ = false;
     std::atomic<bool> stop_{false};
     std::atomic<bool> violated_{false};

@@ -19,6 +19,11 @@
 
 #include "jit/jit.hh"
 
+#include <algorithm>
+#include <chrono>
+
+#include "obs/perfmap.hh"
+#include "obs/trace.hh"
 #include "support/logging.hh"
 
 #if SHIFT_JIT_BACKEND
@@ -36,6 +41,21 @@ available()
 
 const CompiledFunction CodeCache::kUncompilable;
 CodeCache::LazyFunction CodeCache::kLazyDead;
+
+namespace
+{
+
+/** Monotonic nanoseconds for the compile-pipeline latency samples. */
+uint64_t
+nowNs()
+{
+    return uint64_t(std::chrono::duration_cast<std::chrono::nanoseconds>(
+                        std::chrono::steady_clock::now()
+                            .time_since_epoch())
+                        .count());
+}
+
+} // namespace
 
 CompiledFunction::~CompiledFunction()
 {
@@ -125,6 +145,99 @@ CodeCache::flushIfNeededLocked(size_t incoming, Credit *credit)
     liveBytes_.store(0, std::memory_order_relaxed);
     evictions_.fetch_add(1, std::memory_order_relaxed);
     credit->evictions += 1;
+    obs::note(obs::Ev::JitEvict, 0, -1, 0, live, 0);
+}
+
+/**
+ * Seal-side observability, under compileMutex_ after a successful
+ * publish: latency samples, the JitCompile flight-recorder event, and
+ * perf-map / jitdump symbols so host `perf report` attributes samples
+ * inside this unit by guest `<function>@<pc>` (docs/OBSERVABILITY.md).
+ */
+void
+CodeCache::noteSealedLocked(int func, bool inFast, int64_t pc,
+                            const CompiledFunction *f, size_t codeBytes,
+                            const void *codeAddr, uint64_t compileNs,
+                            uint64_t sealNs)
+{
+    compileNanos_.record(compileNs);
+    sealNanos_.record(sealNs);
+    obs::note(obs::Ev::JitCompile, uint16_t(inFast), func,
+              pc >= 0 ? uint64_t(pc) : 0, codeBytes, compileNs);
+    if (!obs::PerfJitSink::active() || !codeAddr || codeBytes == 0)
+        return;
+    const std::string &fn = program_->functions[size_t(func)].src->name;
+    if (pc >= 0) {
+        // Lazy unit: one superblock, entry at offset 0.
+        std::string sym = fn + "@" + std::to_string(pc);
+        if (inFast)
+            sym += ".fast";
+        obs::PerfJitSink::add(sym, codeAddr, codeBytes);
+        return;
+    }
+    // Whole-function unit: both streams share one buffer; per-block
+    // extents come from the entry-offset tables (sorted offsets, each
+    // block runs to the next entry or the buffer end).
+    struct Block
+    {
+        int32_t off;
+        uint32_t pc;
+        bool fast;
+    };
+    std::vector<Block> blocks;
+    for (size_t i = 0; i < f->slowEntry.size(); ++i)
+        if (f->slowEntry[i] >= 0)
+            blocks.push_back({f->slowEntry[i], uint32_t(i), false});
+    for (size_t i = 0; i < f->fastEntry.size(); ++i)
+        if (f->fastEntry[i] >= 0)
+            blocks.push_back({f->fastEntry[i], uint32_t(i), true});
+    if (blocks.empty()) {
+        obs::PerfJitSink::add(fn + "@0", codeAddr, codeBytes);
+        return;
+    }
+    std::sort(blocks.begin(), blocks.end(),
+              [](const Block &a, const Block &b) { return a.off < b.off; });
+    // The entry thunk (and any shared prologue) before the first
+    // block entry gets its own symbol.
+    if (blocks.front().off > 0)
+        obs::PerfJitSink::add(fn + "@thunk", codeAddr,
+                              size_t(blocks.front().off));
+    for (size_t i = 0; i < blocks.size(); ++i) {
+        size_t end = i + 1 < blocks.size() ? size_t(blocks[i + 1].off)
+                                           : codeBytes;
+        if (end <= size_t(blocks[i].off))
+            continue;
+        std::string sym = fn + "@" + std::to_string(blocks[i].pc);
+        if (blocks[i].fast)
+            sym += ".fast";
+        obs::PerfJitSink::add(
+            sym,
+            static_cast<const uint8_t *>(codeAddr) + blocks[i].off,
+            end - size_t(blocks[i].off));
+    }
+}
+
+void
+CodeCache::drainStatsInto(StatSet &stats)
+{
+    {
+        std::lock_guard<std::mutex> lock(compileMutex_);
+        if (queueWaitNanos_.count()) {
+            stats.mergeHistogram("jit.queueWait.nanos", queueWaitNanos_);
+            queueWaitNanos_ = Histogram();
+        }
+        if (compileNanos_.count()) {
+            stats.mergeHistogram("jit.compile.nanos", compileNanos_);
+            compileNanos_ = Histogram();
+        }
+        if (sealNanos_.count()) {
+            stats.mergeHistogram("jit.seal.nanos", sealNanos_);
+            sealNanos_ = Histogram();
+        }
+    }
+    uint64_t bg = bgCompileNanos_.exchange(0, std::memory_order_relaxed);
+    if (bg)
+        stats.add("prof.aux.compile.nanos", bg);
 }
 
 const CompiledFunction *
@@ -197,16 +310,24 @@ CodeCache::hot(int func, Credit *credit)
     // interpreting. The crossing fires exactly once, so a full (or
     // stopped) queue must not drop it — fall back to compiling here.
     if (mode_ == CompileMode::Background &&
-        enqueue({func, 0, 0, 1}))
+        enqueue({func, 0, 0, 1, nowNs()}))
         return nullptr;
     std::lock_guard<std::mutex> lock(compileMutex_);
     if (const CompiledFunction *raced =
             fns_[size_t(func)].load(std::memory_order_acquire))
         return raced == &kUncompilable ? nullptr : raced;
-    return publishFunctionLocked(
-        func,
-        compileFunction(program_->functions[func], env_, &arena_),
-        credit);
+    uint64_t t0 = nowNs();
+    std::unique_ptr<CompiledFunction> compiled =
+        compileFunction(program_->functions[func], env_, &arena_);
+    uint64_t t1 = nowNs();
+    const CompiledFunction *pub =
+        publishFunctionLocked(func, std::move(compiled), credit);
+    uint64_t t2 = nowNs();
+    credit->compileNanos += t2 - t0;
+    if (pub)
+        noteSealedLocked(func, false, -1, pub, pub->size, pub->buf,
+                         t1 - t0, t2 - t1);
+    return pub;
 }
 
 /**
@@ -298,7 +419,7 @@ CodeCache::entryAt(int func, bool inFast, uint64_t pc, Credit *credit)
                 std::memory_order_acq_rel)) {
             if (enqueue({func, int32_t(pc), inFast ? uint8_t(1)
                                                    : uint8_t(0),
-                         0}))
+                         0, nowNs()}))
                 return {};
             // Queue overflow: the mark is set and nobody will serve
             // it — compile synchronously below.
@@ -311,14 +432,23 @@ CodeCache::entryAt(int func, bool inFast, uint64_t pc, Credit *credit)
         }
     }
     std::lock_guard<std::mutex> lock(compileMutex_);
-    const void *code = publishBlockLocked(
-        slots, pc,
+    uint64_t t0 = nowNs();
+    std::unique_ptr<CompiledFunction> compiled =
         compileBlock(program_->functions[func], env_, func, inFast,
                      pc, lf->slow.data(), lf->fast.data(),
-                     lf->slowLead, lf->fastLead, &arena_),
-        credit);
+                     lf->slowLead, lf->fastLead, &arena_);
+    uint64_t t1 = nowNs();
+    size_t unitBytes = compiled ? compiled->size : 0;
+    const void *ourBuf = compiled ? compiled->buf : nullptr;
+    const void *code =
+        publishBlockLocked(slots, pc, std::move(compiled), credit);
+    uint64_t t2 = nowNs();
+    credit->compileNanos += t2 - t0;
     if (!code)
         return {};
+    if (code == ourBuf) // not a racer's earlier install
+        noteSealedLocked(func, inFast, int64_t(pc), nullptr, unitBytes,
+                         code, t1 - t0, t2 - t1);
     return {entryThunk_->thunk, code};
 }
 
@@ -404,13 +534,24 @@ CodeCache::workerLoop()
         queue_.pop_front();
         lock.unlock();
         Credit credit;
+        uint64_t t0 = nowNs();
+        uint64_t queueWait =
+            req.enqueueNs && t0 > req.enqueueNs ? t0 - req.enqueueNs : 0;
         if (req.whole) {
             std::unique_ptr<CompiledFunction> compiled =
                 compileFunction(program_->functions[req.func], env_,
                                 &arena_);
+            uint64_t t1 = nowNs();
             std::lock_guard<std::mutex> cl(compileMutex_);
-            publishFunctionLocked(req.func, std::move(compiled),
-                                  &credit);
+            const CompiledFunction *f = publishFunctionLocked(
+                req.func, std::move(compiled), &credit);
+            uint64_t t2 = nowNs();
+            queueWaitNanos_.record(queueWait);
+            if (f && credit.codeBytes)
+                noteSealedLocked(req.func, false, -1, f, f->size,
+                                 f->buf, t1 - t0, t2 - t1);
+            bgCompileNanos_.fetch_add(t2 - t0,
+                                      std::memory_order_relaxed);
         } else {
             LazyFunction *lf = lazyFns_[size_t(req.func)].load(
                 std::memory_order_acquire);
@@ -428,9 +569,23 @@ CodeCache::workerLoop()
                         req.func, req.inFast != 0, size_t(req.pc),
                         lf->slow.data(), lf->fast.data(),
                         lf->slowLead, lf->fastLead, &arena_);
+                    uint64_t t1 = nowNs();
+                    size_t unitBytes = compiled ? compiled->size : 0;
+                    const void *ourBuf =
+                        compiled ? compiled->buf : nullptr;
                     std::lock_guard<std::mutex> cl(compileMutex_);
-                    publishBlockLocked(slots, size_t(req.pc),
-                                       std::move(compiled), &credit);
+                    const void *code = publishBlockLocked(
+                        slots, size_t(req.pc), std::move(compiled),
+                        &credit);
+                    uint64_t t2 = nowNs();
+                    queueWaitNanos_.record(queueWait);
+                    if (code && code == ourBuf)
+                        noteSealedLocked(req.func, req.inFast != 0,
+                                         int64_t(req.pc), nullptr,
+                                         unitBytes, code, t1 - t0,
+                                         t2 - t1);
+                    bgCompileNanos_.fetch_add(
+                        t2 - t0, std::memory_order_relaxed);
                 }
             }
         }

@@ -61,6 +61,7 @@
 
 #include "sim/cycle_model.hh"
 #include "sim/decoded.hh"
+#include "support/stats.hh"
 
 #if defined(SHIFT_ENABLE_JIT) && defined(__x86_64__) &&                \
     defined(__GNUC__) && (defined(__linux__) || defined(__APPLE__))
@@ -402,6 +403,14 @@ class CodeCache
         uint64_t blocks = 0;    ///< superblocks newly compiled
         uint64_t codeBytes = 0; ///< executable bytes newly published
         uint64_t evictions = 0; ///< flush-when-full events taken
+        /**
+         * Host nanoseconds THIS call spent compiling+sealing
+         * synchronously on the caller's thread (0 for background
+         * installs — the worker accounts its own time, drained as
+         * prof.aux.compile). The profiler carves this span out of
+         * the interpreter tier.
+         */
+        uint64_t compileNanos = 0;
     };
 
     /**
@@ -441,6 +450,17 @@ class CodeCache
     {
         return queueHighWater_.load(std::memory_order_relaxed);
     }
+
+    /**
+     * Compile-pipeline internals, drained exactly once: queue-wait /
+     * compile / seal latency histograms (jit.queueWait.nanos,
+     * jit.compile.nanos, jit.seal.nanos) and the background worker's
+     * accumulated compile time (prof.aux.compile.nanos). Draining
+     * moves the samples out, so a fleet of clones sharing this cache
+     * reports each sample exactly once no matter which clone's run()
+     * folds them — the same exactly-once discipline as Credit.
+     */
+    void drainStatsInto(StatSet &stats);
 
     /**
      * Lookup without counting: returns the compiled body when one is
@@ -508,6 +528,7 @@ class CodeCache
         int32_t pc;
         uint8_t inFast;
         uint8_t whole;
+        uint64_t enqueueNs = 0; ///< for the queue-wait histogram
     };
 
     static constexpr size_t kMaxQueue = 1024;
@@ -520,6 +541,16 @@ class CodeCache
     const void *publishBlockLocked(
         std::vector<std::atomic<const void *>> &slots, size_t pc,
         std::unique_ptr<CompiledFunction> compiled, Credit *credit);
+    /**
+     * Seal-side observability (called under compileMutex_ after a
+     * successful publish): JitCompile flight-recorder event,
+     * compile/seal latency samples, and perf-map/jitdump symbols for
+     * the unit's blocks. `pc` < 0 = whole-function unit.
+     */
+    void noteSealedLocked(int func, bool inFast, int64_t pc,
+                          const CompiledFunction *f, size_t codeBytes,
+                          const void *codeAddr, uint64_t compileNs,
+                          uint64_t sealNs);
     LazyFunction *lazyFunctionFor(int func, Credit *credit);
     void flushIfNeededLocked(size_t incoming, Credit *credit);
     bool enqueue(const CompileReq &req);
@@ -559,6 +590,14 @@ class CodeCache
     std::atomic<uint64_t> pendingBlocks_{0};
     std::atomic<uint64_t> pendingBytes_{0};
     std::atomic<uint64_t> pendingEvictions_{0};
+
+    // Compile-pipeline latency samples, guarded by compileMutex_ and
+    // moved out by drainStatsInto (exactly-once across clones).
+    Histogram queueWaitNanos_;
+    Histogram compileNanos_;
+    Histogram sealNanos_;
+    /** Background worker's total compile+seal time (prof.aux). */
+    std::atomic<uint64_t> bgCompileNanos_{0};
 
     /** Published for functions the backend rejected: never retried. */
     static const CompiledFunction kUncompilable;

@@ -1010,7 +1010,13 @@ JitOps::builtin(JitCtx *c, const DecodedInstr *dp, uint64_t pcw)
     // Built-ins are policy-check points: fence the async tier so
     // their TaintMap and argNat reads see the caught-up shadow.
     if (m.asyncTier_) {
-        if (const dift::Violation *v = m.asyncTier_->fence()) {
+        uint64_t ft0 = m.prof_ ? obs::Profiler::nowNanos() : 0;
+        const dift::Violation *v = m.asyncTier_->fence();
+        if (m.prof_)
+            m.prof_->carveSince(obs::Tier::AsyncPublish, m.curFunc_,
+                                static_cast<uint32_t>(dp->origIndex),
+                                ft0);
+        if (v) {
             m.applyAsyncViolation(*v);
             return 1;
         }
@@ -1021,7 +1027,14 @@ JitOps::builtin(JitCtx *c, const DecodedInstr *dp, uint64_t pcw)
     int funcBefore = m.curFunc_;
     size_t depthBefore = m.callStack_.size();
     bool fastBefore = m.inFast_;
+    // Profiler carve: handler time belongs to the builtin tier, not
+    // the compiled stream it was called from. Runtime-checked (the
+    // compiled code is shared across profiled and unprofiled runs).
+    uint64_t bt0 = m.prof_ ? obs::Profiler::nowNanos() : 0;
     (*fn)(m);
+    if (m.prof_)
+        m.prof_->carveSince(obs::Tier::Builtin, funcBefore,
+                            static_cast<uint32_t>(dp->origIndex), bt0);
     if (m.stopped_)
         return 1;
     if (m.pc_ == pcBefore && m.curFunc_ == funcBefore &&
@@ -1045,7 +1058,13 @@ JitOps::syscall(JitCtx *c, const DecodedInstr *dp, uint64_t pcw)
     chg(c, dp->statIdx, m.cycleModel_.syscallBase);
     spill(c, pcw);
     if (m.asyncTier_) {
-        if (const dift::Violation *v = m.asyncTier_->fence()) {
+        uint64_t ft0 = m.prof_ ? obs::Profiler::nowNanos() : 0;
+        const dift::Violation *v = m.asyncTier_->fence();
+        if (m.prof_)
+            m.prof_->carveSince(obs::Tier::AsyncPublish, m.curFunc_,
+                                static_cast<uint32_t>(dp->origIndex),
+                                ft0);
+        if (v) {
             m.applyAsyncViolation(*v);
             return 1;
         }
@@ -1058,7 +1077,11 @@ JitOps::syscall(JitCtx *c, const DecodedInstr *dp, uint64_t pcw)
     uint64_t pcBefore = m.pc_;
     int funcBefore = m.curFunc_;
     bool fastBefore = m.inFast_;
+    uint64_t st0 = m.prof_ ? obs::Profiler::nowNanos() : 0;
     m.syscall_(m, dp->imm);
+    if (m.prof_)
+        m.prof_->carveSince(obs::Tier::Host, funcBefore,
+                            static_cast<uint32_t>(dp->origIndex), st0);
     if (m.stopped_)
         return 1;
     // The interpreter resumes at pc_ + 1 unconditionally (resync then

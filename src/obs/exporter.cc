@@ -43,21 +43,49 @@ promLabelEscape(const std::string &s)
 }
 
 /**
- * Split an attribution counter ("fastpath.deopts.main@12") into its
- * family and site label. Returns false for plain counters.
+ * Split an attribution metric name into its family and site labels.
+ * Two shapes exist: the site as the last segment
+ * ("fastpath.deopts.main@12") and the site embedded before a unit
+ * suffix ("prof.site.interp-slow.main@12.nanos"); in the latter case
+ * the suffix rejoins the family ("prof.site.interp-slow.nanos") so
+ * one bounded family carries every site as {function=...,pc=...}
+ * labels instead of an unbounded metric-name space. Returns false
+ * for plain metrics.
  */
 bool
-splitSite(const std::string &name, std::string &family, std::string &site)
+splitSite(const std::string &name, std::string &family,
+          std::string &function, std::string &pc)
 {
     size_t at = name.find('@');
-    if (at == std::string::npos)
+    if (at == std::string::npos || at + 1 >= name.size())
         return false;
     size_t dot = name.rfind('.', at);
     if (dot == std::string::npos)
         return false;
+    size_t end = at + 1;
+    while (end < name.size() &&
+           name[end] >= '0' && name[end] <= '9')
+        ++end;
+    if (end == at + 1)
+        return false;
     family = name.substr(0, dot);
-    site = name.substr(dot + 1);
+    if (end < name.size()) {
+        // A unit suffix must follow the pc as its own segment.
+        if (name[end] != '.')
+            return false;
+        family += name.substr(end);
+    }
+    function = name.substr(dot + 1, at - dot - 1);
+    pc = name.substr(at + 1, end - at - 1);
     return true;
+}
+
+/** The {function=...,pc=...} label set for a sited metric. */
+std::string
+siteLabels(const std::string &function, const std::string &pc)
+{
+    return "function=\"" + promLabelEscape(function) + "\",pc=\"" + pc +
+           "\"";
 }
 
 std::string
@@ -96,8 +124,9 @@ renderPrometheus(const StatSet &stats)
     std::string lastFamily;
     stats.forEach([&](const std::string &name, uint64_t value) {
         std::string family;
-        std::string site;
-        bool sited = splitSite(name, family, site);
+        std::string function;
+        std::string pc;
+        bool sited = splitSite(name, family, function, pc);
         if (!sited)
             family = name;
         std::string metric = promName(family);
@@ -110,20 +139,44 @@ renderPrometheus(const StatSet &stats)
         }
         ss << metric;
         if (sited)
-            ss << "{site=\"" << promLabelEscape(site) << "\"}";
+            ss << "{" << siteLabels(function, pc) << "}";
         ss << " " << value << "\n";
     });
 
+    lastFamily.clear();
     stats.forEachGauge([&](const std::string &name, uint64_t value) {
-        std::string metric = promName(name);
-        ss << "# TYPE " << metric << " gauge\n";
-        ss << metric << " " << value << "\n";
+        std::string family;
+        std::string function;
+        std::string pc;
+        bool sited = splitSite(name, family, function, pc);
+        if (!sited)
+            family = name;
+        std::string metric = promName(family);
+        if (family != lastFamily) {
+            ss << "# TYPE " << metric << " gauge\n";
+            lastFamily = family;
+        }
+        ss << metric;
+        if (sited)
+            ss << "{" << siteLabels(function, pc) << "}";
+        ss << " " << value << "\n";
     });
 
+    lastFamily.clear();
     stats.forEachHistogram([&](const std::string &name,
                                const Histogram &h) {
-        std::string metric = promName(name);
-        ss << "# TYPE " << metric << " histogram\n";
+        std::string family;
+        std::string function;
+        std::string pc;
+        bool sited = splitSite(name, family, function, pc);
+        if (!sited)
+            family = name;
+        std::string metric = promName(family);
+        std::string labels = sited ? siteLabels(function, pc) : "";
+        if (family != lastFamily) {
+            ss << "# TYPE " << metric << " histogram\n";
+            lastFamily = family;
+        }
         unsigned top = 0;
         for (unsigned i = 0; i < Histogram::kBuckets; ++i)
             if (h.buckets()[i])
@@ -131,12 +184,22 @@ renderPrometheus(const StatSet &stats)
         uint64_t cumulative = 0;
         for (unsigned i = 0; i <= top; ++i) {
             cumulative += h.buckets()[i];
-            ss << metric << "_bucket{le=\"" << Histogram::bucketHigh(i)
-               << "\"} " << cumulative << "\n";
+            ss << metric << "_bucket{" << labels
+               << (labels.empty() ? "" : ",") << "le=\""
+               << Histogram::bucketHigh(i) << "\"} " << cumulative
+               << "\n";
         }
-        ss << metric << "_bucket{le=\"+Inf\"} " << h.count() << "\n";
-        ss << metric << "_sum " << h.sum() << "\n";
-        ss << metric << "_count " << h.count() << "\n";
+        ss << metric << "_bucket{" << labels
+           << (labels.empty() ? "" : ",") << "le=\"+Inf\"} " << h.count()
+           << "\n";
+        ss << metric << "_sum";
+        if (sited)
+            ss << "{" << labels << "}";
+        ss << " " << h.sum() << "\n";
+        ss << metric << "_count";
+        if (sited)
+            ss << "{" << labels << "}";
+        ss << " " << h.count() << "\n";
     });
 
     return ss.str();

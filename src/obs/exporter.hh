@@ -8,10 +8,11 @@
  *  - Prometheus text exposition (text/plain; version 0.0.4):
  *    counters become `shift_<name>_total`, gauges `shift_<name>`,
  *    histograms the conventional `_bucket{le=...}/_sum/_count`
- *    triple with power-of-two bounds. Attribution counters whose
- *    last name segment embeds a site ("fastpath.deopts.main@12")
- *    become a labelled family (`{site="main@12"}`) instead of an
- *    unbounded metric-name space.
+ *    triple with power-of-two bounds. Attribution metrics of any
+ *    kind whose name embeds a site ("fastpath.deopts.main@12",
+ *    "prof.site.interp-slow.main@12.nanos") become a labelled
+ *    family (`{function="main",pc="12"}`) instead of an unbounded
+ *    metric-name space.
  *  - JSON: {"counters":{...},"gauges":{...},"histograms":{...}},
  *    the machine-readable form shiftd --json embeds.
  *

@@ -1,0 +1,220 @@
+#include "perfmap.hh"
+
+#include <cstdio>
+#include <cstring>
+#include <ctime>
+#include <mutex>
+
+#include "support/logging.hh"
+
+#if defined(__linux__) || defined(__APPLE__)
+#include <sys/mman.h>
+#include <unistd.h>
+#define SHIFT_PERFMAP_POSIX 1
+#else
+#define SHIFT_PERFMAP_POSIX 0
+#endif
+
+namespace shift::obs
+{
+
+namespace
+{
+
+/** jitdump file header (perf's jitdump specification, version 1). */
+struct JitdumpHeader
+{
+    uint32_t magic;      ///< "JiTD" (0x4A695444), writer-endian
+    uint32_t version;    ///< 1
+    uint32_t totalSize;  ///< sizeof(JitdumpHeader)
+    uint32_t elfMach;    ///< EM_* of the emitted code
+    uint32_t pad1;
+    uint32_t pid;
+    uint64_t timestamp;  ///< creation time, CLOCK_MONOTONIC ns
+    uint64_t flags;
+};
+
+/** Common prefix of every jitdump record. */
+struct JitdumpRecordHeader
+{
+    uint32_t id;        ///< 0 = JIT_CODE_LOAD
+    uint32_t totalSize; ///< header + payload + name + code bytes
+    uint64_t timestamp;
+};
+
+/** JIT_CODE_LOAD payload (followed by name\0 and the code bytes). */
+struct JitdumpCodeLoad
+{
+    uint32_t pid;
+    uint32_t tid;
+    uint64_t vma;
+    uint64_t codeAddr;
+    uint64_t codeSize;
+    uint64_t codeIndex;
+};
+
+struct SinkState
+{
+    std::mutex mutex;
+    FILE *file = nullptr;
+    std::string path;
+    bool jitdump = false;
+    uint64_t codeIndex = 0;
+    void *marker = nullptr; ///< executable mmap of the dump header
+    size_t markerSize = 0;
+};
+
+SinkState &
+state()
+{
+    static SinkState s;
+    return s;
+}
+
+uint64_t
+monotonicNanos()
+{
+#if SHIFT_PERFMAP_POSIX
+    struct timespec ts;
+    clock_gettime(CLOCK_MONOTONIC, &ts);
+    return uint64_t(ts.tv_sec) * 1000000000ull + uint64_t(ts.tv_nsec);
+#else
+    return 0;
+#endif
+}
+
+void
+closeLocked(SinkState &s)
+{
+#if SHIFT_PERFMAP_POSIX
+    if (s.marker)
+        munmap(s.marker, s.markerSize);
+#endif
+    s.marker = nullptr;
+    s.markerSize = 0;
+    if (s.file)
+        std::fclose(s.file);
+    s.file = nullptr;
+    s.path.clear();
+    s.jitdump = false;
+    s.codeIndex = 0;
+}
+
+} // namespace
+
+std::atomic<bool> PerfJitSink::active_{false};
+
+bool
+PerfJitSink::enable(const std::string &path)
+{
+    SinkState &s = state();
+    std::lock_guard<std::mutex> lock(s.mutex);
+    closeLocked(s);
+    active_.store(false, std::memory_order_release);
+
+    std::string resolved = path;
+    if (resolved.empty()) {
+#if SHIFT_PERFMAP_POSIX
+        resolved = "/tmp/perf-" + std::to_string(getpid()) + ".map";
+#else
+        resolved = "perf.map";
+#endif
+    }
+    bool jitdump = resolved.size() > 5 &&
+                   resolved.compare(resolved.size() - 5, 5, ".dump") == 0;
+
+    FILE *f = std::fopen(resolved.c_str(), "wb");
+    if (!f) {
+        SHIFT_WARN("cannot open jit symbol sink '%s'", resolved.c_str());
+        return false;
+    }
+    if (jitdump) {
+        JitdumpHeader hdr = {};
+        hdr.magic = 0x4A695444; // "JiTD"
+        hdr.version = 1;
+        hdr.totalSize = sizeof(JitdumpHeader);
+#if defined(__x86_64__)
+        hdr.elfMach = 62; // EM_X86_64
+#endif
+#if SHIFT_PERFMAP_POSIX
+        hdr.pid = uint32_t(getpid());
+#endif
+        hdr.timestamp = monotonicNanos();
+        std::fwrite(&hdr, sizeof(hdr), 1, f);
+        std::fflush(f);
+#if SHIFT_PERFMAP_POSIX
+        // perf inject locates the dump through an executable mmap of
+        // it in the recorded process — map the header page now.
+        long page = sysconf(_SC_PAGESIZE);
+        if (page > 0) {
+            void *m = mmap(nullptr, size_t(page), PROT_READ | PROT_EXEC,
+                           MAP_PRIVATE, fileno(f), 0);
+            if (m != MAP_FAILED) {
+                s.marker = m;
+                s.markerSize = size_t(page);
+            }
+        }
+#endif
+    }
+    s.file = f;
+    s.path = resolved;
+    s.jitdump = jitdump;
+    active_.store(true, std::memory_order_release);
+    return true;
+}
+
+void
+PerfJitSink::disable()
+{
+    SinkState &s = state();
+    std::lock_guard<std::mutex> lock(s.mutex);
+    active_.store(false, std::memory_order_release);
+    closeLocked(s);
+}
+
+std::string
+PerfJitSink::path()
+{
+    SinkState &s = state();
+    std::lock_guard<std::mutex> lock(s.mutex);
+    return s.path;
+}
+
+void
+PerfJitSink::add(const std::string &symbol, const void *code, size_t size)
+{
+    if (!active() || !code || size == 0)
+        return;
+    SinkState &s = state();
+    std::lock_guard<std::mutex> lock(s.mutex);
+    if (!s.file)
+        return;
+    if (!s.jitdump) {
+        std::fprintf(s.file, "%llx %zx %s\n",
+                     (unsigned long long)(uintptr_t)code, size,
+                     symbol.c_str());
+        std::fflush(s.file);
+        return;
+    }
+    JitdumpRecordHeader rec = {};
+    rec.id = 0; // JIT_CODE_LOAD
+    rec.timestamp = monotonicNanos();
+    JitdumpCodeLoad load = {};
+#if SHIFT_PERFMAP_POSIX
+    load.pid = uint32_t(getpid());
+    load.tid = load.pid;
+#endif
+    load.vma = uint64_t(uintptr_t(code));
+    load.codeAddr = load.vma;
+    load.codeSize = size;
+    load.codeIndex = s.codeIndex++;
+    rec.totalSize = uint32_t(sizeof(rec) + sizeof(load) +
+                             symbol.size() + 1 + size);
+    std::fwrite(&rec, sizeof(rec), 1, s.file);
+    std::fwrite(&load, sizeof(load), 1, s.file);
+    std::fwrite(symbol.c_str(), symbol.size() + 1, 1, s.file);
+    std::fwrite(code, size, 1, s.file);
+    std::fflush(s.file);
+}
+
+} // namespace shift::obs

@@ -34,6 +34,8 @@ evName(Ev kind)
       case Ev::TaintStore: return "taint.store";
       case Ev::RingStall: return "dift.ring.stall";
       case Ev::FenceWait: return "dift.fence.wait";
+      case Ev::JitCompile: return "jit.compile";
+      case Ev::JitEvict: return "jit.evict";
       case Ev::kCount: break;
     }
     return "unknown";
@@ -404,6 +406,12 @@ summarize(const TraceEvent &e, const FuncNameFn &funcName)
         break;
       case Ev::FenceWait:
         ss << " lag=" << e.a << " waitNs=" << e.b;
+        break;
+      case Ev::JitCompile:
+        ss << " bytes=" << e.a << " compileNs=" << e.b;
+        break;
+      case Ev::JitEvict:
+        ss << " flushedBytes=" << e.a << " liveAfter=" << e.b;
         break;
       default:
         break;

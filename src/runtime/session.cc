@@ -215,6 +215,10 @@ Session::build(const std::vector<std::string> &sources)
     machine_->setJitEnabled(options_.jit, options_.jitThreshold,
                             options_.jitCacheBytes,
                             options_.jitBackground, options_.jitLazy);
+    if (options_.profile) {
+        profiler_ = std::make_unique<obs::Profiler>();
+        machine_->setProfiler(profiler_.get());
+    }
     if (obs::Recorder *rec = obs::Recorder::active()) {
         std::vector<std::string> names;
         for (const auto &fn : program_.functions)

@@ -84,6 +84,17 @@ struct SessionOptions
     bool jitBackground = false; ///< compile on a worker thread
     bool jitLazy = false;       ///< per-superblock lazy compilation
 
+    /**
+     * Attach the tier-attribution profiler: the run's StatSet gains
+     * the `prof.*` family — host-time attribution across
+     * interpreter / fast-path / JIT / async-publish / compile /
+     * builtin tiers, per {function, pc} site (docs/OBSERVABILITY.md).
+     * Composes with every mode including the JIT; disabled it costs
+     * nothing (separate interpreter instantiation, enforced by
+     * perf-smoke-prof).
+     */
+    bool profile = false;
+
     /** Apply the control-speculation optimizer before tracking. */
     bool speculate = false;
     minic::SpeculateOptions speculateOptions;
@@ -173,6 +184,7 @@ class Session
     OptStats optStats_;
     Os os_;
     std::unique_ptr<Machine> machine_;
+    std::unique_ptr<obs::Profiler> profiler_;
     std::unique_ptr<dift::AsyncTaintTier> asyncTier_;
     std::unique_ptr<TaintMap> taint_;
     std::unique_ptr<PolicyEngine> policy_;

@@ -96,6 +96,13 @@ SessionClone::SessionClone(const SessionTemplate &tmpl, int cloneId)
                             tmpl.options_.jitCacheBytes,
                             tmpl.options_.jitBackground,
                             tmpl.options_.jitLazy);
+    if (tmpl.options_.profile) {
+        // Private table per clone: run() folds it into the clone's
+        // RunResult stats, so the fleet report's prof.* rows are the
+        // ordinary associative StatSet merge across clones.
+        profiler_ = std::make_unique<obs::Profiler>();
+        machine_->setProfiler(profiler_.get());
+    }
     if (obs::Recorder *rec = obs::Recorder::active()) {
         std::vector<std::string> names;
         for (const auto &fn : tmpl.program_.functions)

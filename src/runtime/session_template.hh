@@ -75,6 +75,10 @@ class SessionClone
     int cloneId_;
     Os os_;
     std::unique_ptr<Machine> machine_;
+    /** Per-clone attribution table (null unless options.profile);
+     * folds into the clone's RunResult stats, so fleet aggregation is
+     * the ordinary associative StatSet merge. */
+    std::unique_ptr<obs::Profiler> profiler_;
     /** Per-clone ring + consumer thread (null unless options.async). */
     std::unique_ptr<dift::AsyncTaintTier> asyncTier_;
     std::unique_ptr<TaintMap> taint_;

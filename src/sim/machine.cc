@@ -1090,7 +1090,7 @@ Machine::stepLegacy()
     }
 }
 
-template <bool kObs, bool kHotPc, bool kAsync>
+template <bool kObs, bool kHotPc, bool kAsync, bool kProf>
 void
 Machine::runDecoded(uint64_t maxSteps)
 {
@@ -1167,6 +1167,14 @@ Machine::runDecoded(uint64_t maxSteps)
     // none of this, keeping charge() free of per-instruction
     // observability work.
     uint32_t *const hotData = kHotPc ? hotPc_.data() : nullptr;
+    // Tier-attribution profiler (docs/OBSERVABILITY.md): its own
+    // instantiation axis like kObs, so the production loop compiles
+    // none of this. A countdown in charge() takes a sampling tick
+    // every kSampleEvery charged micro-ops, attributing elapsed host
+    // time to the observed {tier, function, pc}; exact sub-intervals
+    // (async publication, sync compiles, builtins, syscalls) are
+    // carved out by the brackets below so tier sums stay exhaustive.
+    [[maybe_unused]] uint32_t profLeft = obs::Profiler::kSampleEvery;
     auto charge = [&](uint64_t cost) {
         cycles += cost;
         ++instrs;
@@ -1176,6 +1184,28 @@ Machine::runDecoded(uint64_t maxSteps)
             ++hotData[hotPcBase_[curFunc_] +
                       static_cast<uint32_t>(dp->origIndex)];
         }
+        if constexpr (kProf) {
+            if (--profLeft == 0) [[unlikely]] {
+                profLeft = obs::Profiler::kSampleEvery;
+                prof_->sample(inFast ? obs::Tier::InterpFast
+                                     : obs::Tier::InterpSlow,
+                              curFunc_,
+                              static_cast<uint32_t>(dp->origIndex));
+            }
+        }
+    };
+    // Profiler carve brackets: stamp t0 before a bracketed operation,
+    // carve the exact span after. Compile to nothing when !kProf.
+    [[maybe_unused]] auto profT0 = [] {
+        if constexpr (kProf)
+            return obs::Profiler::nowNanos();
+        else
+            return uint64_t{0};
+    };
+    [[maybe_unused]] auto profCarve = [&](obs::Tier tier, uint64_t t0) {
+        if constexpr (kProf)
+            prof_->carveSince(tier, curFunc_,
+                              static_cast<uint32_t>(dp->origIndex), t0);
     };
     auto src2v = [&] {
         return dp->useImm ? static_cast<uint64_t>(dp->imm)
@@ -1191,6 +1221,7 @@ Machine::runDecoded(uint64_t maxSteps)
     [[maybe_unused]] auto pushEv =
         [&](dift::EvKind kind, uint8_t a, uint8_t b, uint8_t c,
             uint8_t flags, uint64_t addr, uint8_t size) {
+            [[maybe_unused]] uint64_t pt0 = profT0();
             dift::Event ev;
             ev.addr = addr;
             ev.pc = dp->origIndex;
@@ -1201,7 +1232,9 @@ Machine::runDecoded(uint64_t maxSteps)
             ev.b = b;
             ev.c = c;
             ev.size = size;
-            return asyncTier_->push(ev);
+            bool viol = asyncTier_->push(ev);
+            profCarve(obs::Tier::AsyncPublish, pt0);
+            return viol;
         };
     // Raise the consumer's pending violation (call after sync()).
     [[maybe_unused]] auto asyncStop = [&] {
@@ -1221,7 +1254,11 @@ Machine::runDecoded(uint64_t maxSteps)
     // see what the synchronous engine's bitmap would hold. True when
     // a violation surfaced — the engine must stop. Call after sync().
     [[maybe_unused]] auto asyncFence = [&]() -> bool {
+        // Fence waits are source-side async overhead too: the engine
+        // is stalled publishing/waiting, not interpreting.
+        [[maybe_unused]] uint64_t pt0 = profT0();
         const dift::Violation *v = asyncTier_->fence();
+        profCarve(obs::Tier::AsyncPublish, pt0);
         if (v) {
             applyAsyncViolation(*v);
             return true;
@@ -1242,14 +1279,16 @@ Machine::runDecoded(uint64_t maxSteps)
             bool zero = dp->p1 & dift::kAnnZeroIdiom;
             bool maybe = !zero && nat;
             if (maybe || gpr_[dp->r1].nat) {
-                if (asyncInline)
+                if (asyncInline) {
+                    [[maybe_unused]] uint64_t pt0 = profT0();
                     asyncTier_->inlineRegWrite(
                         static_cast<uint8_t>(dp->r1),
                         static_cast<uint8_t>(dp->r2),
                         dp->useImm ? uint8_t{0}
                                    : static_cast<uint8_t>(dp->r3),
                         zero);
-                else
+                    profCarve(obs::Tier::AsyncPublish, pt0);
+                } else
                     pushEv(dift::EvKind::RegWrite,
                            static_cast<uint8_t>(dp->r1),
                            static_cast<uint8_t>(dp->r2),
@@ -1378,6 +1417,16 @@ Machine::runDecoded(uint64_t maxSteps)
         jitCompiled_ += credit.blocks;
         jitCodeBytes_ += credit.codeBytes;
         jitEvictions_ += credit.evictions;
+        if constexpr (kProf) {
+            // entryAt timed any synchronous compile it ran on this
+            // thread; carve that span out of the interpreter tier.
+            if (credit.compileNanos)
+                prof_->carveSince(obs::Tier::Compile, curFunc_,
+                                  static_cast<uint32_t>(
+                                      code[pc].origIndex),
+                                  obs::Profiler::nowNanos() -
+                                      credit.compileNanos);
+        }
         if (!en)
             return 0;
         uint64_t budget = maxSteps - steps;
@@ -1391,6 +1440,11 @@ Machine::runDecoded(uint64_t maxSteps)
         jitCtx_.fpEntered = 0;
         jitCtx_.loadMask = loadMask;
         jitCtx_.stepsLeft = static_cast<int64_t>(budget);
+        if constexpr (kProf)
+            prof_->enter(inFast ? obs::Tier::JitFast
+                                : obs::Tier::JitSlow,
+                         curFunc_,
+                         static_cast<uint32_t>(code[pc].origIndex));
         en.thunk(&jitCtx_, en.code);
         ++jitEntered_;
         // On a fault the runtime helpers already folded-and-zeroed the
@@ -1411,8 +1465,18 @@ Machine::runDecoded(uint64_t maxSteps)
         // decode view must follow before resuming.
         df = &decoded_->functions[curFunc_];
         code = inFast ? df->fast.data() : df->code.data();
-        if (stopped_)
+        if (stopped_) {
+            // Attribute the compiled span; pc may be stale on a stop,
+            // so close the context at a neutral site.
+            if constexpr (kProf)
+                prof_->enter(obs::Tier::Host, curFunc_, 0);
             return 2;
+        }
+        if constexpr (kProf)
+            prof_->enter(inFast ? obs::Tier::InterpFast
+                                : obs::Tier::InterpSlow,
+                         curFunc_,
+                         static_cast<uint32_t>(code[pc].origIndex));
         ++jitBailouts_;
         return 1;
     };
@@ -1426,6 +1490,15 @@ Machine::runDecoded(uint64_t maxSteps)
         if (jitHook() == 2)                                             \
             SHIFT_STOPPED();                                            \
     }
+
+    // Attribution starts in the interpreter's tier: begin() opened the
+    // context at Host, charging run setup there; everything from here
+    // accrues to the stream being executed.
+    if constexpr (kProf)
+        prof_->enter(inFast ? obs::Tier::InterpFast
+                            : obs::Tier::InterpSlow,
+                     curFunc_,
+                     static_cast<uint32_t>(code[pc].origIndex));
 
     // Run-start entry: the resume pc is a block leader whenever the
     // previous exit was one (which every JIT bail and most interpreter
@@ -1811,17 +1884,21 @@ nullified:
             if (dp->fill)
                 fl |= dift::kEvFill;
             if (fl != 0 || addrReg.nat || gpr_[dp->r1].nat) {
-                bool viol =
-                    asyncInline
-                        ? asyncTier_->inlineLoad(
-                              static_cast<uint8_t>(dp->r1),
-                              static_cast<uint8_t>(dp->r2), fl, addr,
-                              dp->size, dp->origIndex,
-                              static_cast<int16_t>(curFunc_))
-                        : pushEv(dift::EvKind::Load,
-                                 static_cast<uint8_t>(dp->r1),
-                                 static_cast<uint8_t>(dp->r2), 0, fl,
-                                 addr, dp->size);
+                bool viol;
+                if (asyncInline) {
+                    [[maybe_unused]] uint64_t pt0 = profT0();
+                    viol = asyncTier_->inlineLoad(
+                        static_cast<uint8_t>(dp->r1),
+                        static_cast<uint8_t>(dp->r2), fl, addr,
+                        dp->size, dp->origIndex,
+                        static_cast<int16_t>(curFunc_));
+                    profCarve(obs::Tier::AsyncPublish, pt0);
+                } else {
+                    viol = pushEv(dift::EvKind::Load,
+                                  static_cast<uint8_t>(dp->r1),
+                                  static_cast<uint8_t>(dp->r2), 0, fl,
+                                  addr, dp->size);
+                }
                 if (viol) {
                     sync();
                     asyncStop();
@@ -1910,17 +1987,21 @@ nullified:
                 fl |= dift::kEvSpill;
             if ((fl & (dift::kEvChecked | dift::kEvSpill)) != 0 ||
                 srcReg.nat || addrReg.nat) {
-                bool viol =
-                    asyncInline
-                        ? asyncTier_->inlineStore(
-                              static_cast<uint8_t>(dp->r2),
-                              static_cast<uint8_t>(dp->r1), fl, addr,
-                              dp->size, dp->origIndex,
-                              static_cast<int16_t>(curFunc_))
-                        : pushEv(dift::EvKind::Store,
-                                 static_cast<uint8_t>(dp->r2),
-                                 static_cast<uint8_t>(dp->r1), 0, fl,
-                                 addr, dp->size);
+                bool viol;
+                if (asyncInline) {
+                    [[maybe_unused]] uint64_t pt0 = profT0();
+                    viol = asyncTier_->inlineStore(
+                        static_cast<uint8_t>(dp->r2),
+                        static_cast<uint8_t>(dp->r1), fl, addr,
+                        dp->size, dp->origIndex,
+                        static_cast<int16_t>(curFunc_));
+                    profCarve(obs::Tier::AsyncPublish, pt0);
+                } else {
+                    viol = pushEv(dift::EvKind::Store,
+                                  static_cast<uint8_t>(dp->r2),
+                                  static_cast<uint8_t>(dp->r1), 0, fl,
+                                  addr, dp->size);
+                }
                 if (viol) {
                     sync();
                     asyncStop();
@@ -2031,7 +2112,12 @@ nullified:
             uint64_t pcBefore = pc_;
             int funcBefore = curFunc_;
             size_t depthBefore = callStack_.size();
+            [[maybe_unused]] uint64_t bt0 = profT0();
             (*fn)(*this);
+            if constexpr (kProf)
+                prof_->carveSince(obs::Tier::Builtin, funcBefore,
+                                  static_cast<uint32_t>(dp->origIndex),
+                                  bt0);
             if (!stopped_ && pc_ == pcBefore && curFunc_ == funcBefore &&
                 callStack_.size() == depthBefore)
                 ++pc_;
@@ -2185,7 +2271,11 @@ nullified:
                      "no system-call handler installed");
             SHIFT_STOPPED();
         }
-        syscall_(*this, dp->imm);
+        {
+            [[maybe_unused]] uint64_t st0 = profT0();
+            syscall_(*this, dp->imm);
+            profCarve(obs::Tier::Host, st0);
+        }
         if (!stopped_) {
             resync();
             ++pc;
@@ -2828,11 +2918,18 @@ doneRun:
 // is attached. The kAsync instantiations are the decoupled-taint
 // engines (docs/ASYNC-TAINT.md): event emission compiles in, and the
 // synchronous loops carry zero async instructions.
-template void Machine::runDecoded<false, false, false>(uint64_t);
-template void Machine::runDecoded<true, false, false>(uint64_t);
-template void Machine::runDecoded<true, true, false>(uint64_t);
-template void Machine::runDecoded<false, false, true>(uint64_t);
-template void Machine::runDecoded<true, false, true>(uint64_t);
+template void Machine::runDecoded<false, false, false, false>(uint64_t);
+template void Machine::runDecoded<true, false, false, false>(uint64_t);
+template void Machine::runDecoded<true, true, false, false>(uint64_t);
+template void Machine::runDecoded<false, false, true, false>(uint64_t);
+template void Machine::runDecoded<true, false, true, false>(uint64_t);
+// kProf variants (tier-attribution profiler, docs/OBSERVABILITY.md).
+// No kHotPc+kProf combination: attaching a profiler alongside a full
+// observer forfeits the per-PC hot-spot table (run() documents this).
+template void Machine::runDecoded<false, false, false, true>(uint64_t);
+template void Machine::runDecoded<true, false, false, true>(uint64_t);
+template void Machine::runDecoded<false, false, true, true>(uint64_t);
+template void Machine::runDecoded<true, false, true, true>(uint64_t);
 
 RunResult
 Machine::run(uint64_t maxSteps)
@@ -2883,6 +2980,8 @@ Machine::run(uint64_t maxSteps)
     // step on every Label pseudo-op while the predecoded engine has
     // none, so step counts (but nothing else) differ between engines;
     // only runs that exhaust maxSteps can observe this.
+    if (prof_)
+        prof_->begin();
     if (engine_ == ExecEngine::Predecoded) {
         if (asyncTier_) {
             // Decoupled taint tier: the machine owns the tier's
@@ -2890,11 +2989,19 @@ Machine::run(uint64_t maxSteps)
             // is not wired through the async instantiations (the
             // table stays zero and emits nothing).
             asyncTier_->setObserver(obs_);
+            asyncTier_->setProfiled(prof_ != nullptr);
             asyncTier_->start();
-            if (obs_ || obsForce_)
-                runDecoded<true, false, true>(maxSteps);
-            else
-                runDecoded<false, false, true>(maxSteps);
+            if (obs_ || obsForce_) {
+                if (prof_)
+                    runDecoded<true, false, true, true>(maxSteps);
+                else
+                    runDecoded<true, false, true, false>(maxSteps);
+            } else {
+                if (prof_)
+                    runDecoded<false, false, true, true>(maxSteps);
+                else
+                    runDecoded<false, false, true, false>(maxSteps);
+            }
             // Final fence: any violation the consumer replays out of
             // the remaining events precedes, in program order, the
             // point where the engine stopped — the synchronous
@@ -2902,12 +3009,20 @@ Machine::run(uint64_t maxSteps)
             const dift::Violation *v = asyncTier_->shutdown();
             if (v)
                 applyAsyncViolation(*v);
-        } else if (obs_ && !hotPc_.empty()) {
-            runDecoded<true, true, false>(maxSteps);
+        } else if (obs_ && !hotPc_.empty() && !prof_) {
+            runDecoded<true, true, false, false>(maxSteps);
         } else if (obs_ || obsForce_) {
-            runDecoded<true, false, false>(maxSteps);
+            // A profiler alongside a full observer forfeits the
+            // per-PC hot-spot table (the instantiation matrix stays
+            // at nine; the profiler's own site table subsumes it).
+            if (prof_)
+                runDecoded<true, false, false, true>(maxSteps);
+            else
+                runDecoded<true, false, false, false>(maxSteps);
+        } else if (prof_) {
+            runDecoded<false, false, false, true>(maxSteps);
         } else {
-            runDecoded<false, false, false>(maxSteps);
+            runDecoded<false, false, false, false>(maxSteps);
         }
     } else {
         SHIFT_ASSERT(!asyncTier_,
@@ -3026,6 +3141,20 @@ Machine::run(uint64_t maxSteps)
     }
     if (asyncTier_)
         asyncTier_->statInto(st);
+    if (prof_) {
+        prof_->stop();
+        prof_->statInto(st, [this](int32_t f) -> std::string {
+            if (f < 0 ||
+                static_cast<size_t>(f) >= program_->functions.size())
+                return "host";
+            return program_->functions[static_cast<size_t>(f)].name;
+        });
+    }
+    // Compile-pipeline histograms accumulate in the (possibly shared)
+    // code cache; drain them exactly once into whichever run folds
+    // stats first — StatSet merge keeps fleet aggregates correct.
+    if (jitCache_)
+        jitCache_->drainStatsInto(st);
     result.provenance = provenance_;
     return result;
 }

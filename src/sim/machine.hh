@@ -37,6 +37,7 @@
 #include "jit/jit.hh"
 #include "mem/cache.hh"
 #include "mem/memory.hh"
+#include "obs/profiler.hh"
 #include "obs/trace.hh"
 #include "sim/cycle_model.hh"
 #include "sim/decoded.hh"
@@ -364,6 +365,22 @@ class Machine
      */
     void setObsDispatchForced(bool forced) { obsForce_ = forced; }
 
+    /**
+     * Attach the tier-attribution profiler: run() selects a
+     * profiling interpreter instantiation (separate template axis,
+     * like kObs) that samples host time into {tier, function, pc}
+     * buckets and carves exact sub-intervals for async publication,
+     * JIT compilation, built-ins and system calls. The machine calls
+     * begin()/stop() around the run and folds the tables into the
+     * run's StatSet as `prof.*` (docs/OBSERVABILITY.md). Null
+     * detaches; with none attached the subsystem costs nothing (the
+     * profiling loop is a separate instantiation, enforced by
+     * perf-smoke-prof). Composes with the JIT tier — compiled code
+     * accrues to jit-slow/jit-fast between dispatch hooks.
+     */
+    void setProfiler(obs::Profiler *prof) { prof_ = prof; }
+    obs::Profiler *profiler() const { return prof_; }
+
     // ----- async taint tier (docs/ASYNC-TAINT.md) -----------------------
 
     /**
@@ -421,7 +438,7 @@ class Machine
      * `if constexpr`, so the production (kObs=false) loop carries
      * literally zero disabled-tracing instructions.
      */
-    template <bool kObs, bool kHotPc, bool kAsync>
+    template <bool kObs, bool kHotPc, bool kAsync, bool kProf>
     void runDecoded(uint64_t maxSteps);
 
     /**
@@ -579,6 +596,7 @@ class Machine
     // a recorder is attached.
     obs::TraceBuffer *obs_ = nullptr;
     bool obsForce_ = false;
+    obs::Profiler *prof_ = nullptr;
     dift::AsyncTaintTier *asyncTier_ = nullptr;
     bool asyncViolationApplied_ = false;
     std::vector<uint32_t> hotPc_;

@@ -226,6 +226,7 @@ makeHttpdTemplate(const HttpdFleetConfig &config)
     options.optimize = config.optimize;
     options.fastPath = config.fastPath;
     options.async = config.async;
+    options.profile = config.profile;
     auto tmpl = std::make_unique<SessionTemplate>(
         std::string(kHttpdSource), std::move(options));
     provisionHttpdOs(tmpl->os(), config.fileSize);

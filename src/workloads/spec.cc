@@ -991,6 +991,7 @@ runSpecKernel(const SpecKernel &kernel, const SpecRunConfig &config)
     options.jitThreshold = config.jitThreshold;
     options.jitBackground = config.jitBackground;
     options.jitLazy = config.jitLazy;
+    options.profile = config.profile;
 
     Session session(kernel.source, options);
     int scale = config.scale > 0 ? config.scale : kernel.defaultScale;

@@ -63,6 +63,7 @@ struct SpecRunConfig
     uint32_t jitThreshold = 0; ///< promotion threshold, 0 = default
     bool jitBackground = false; ///< compile on a worker thread
     bool jitLazy = false;       ///< per-superblock lazy compilation
+    bool profile = false;     ///< tier-attribution profiler (prof.*)
     int scale = 0;            ///< 0 = kernel default
 };
 

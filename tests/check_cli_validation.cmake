@@ -79,6 +79,10 @@ expect_usage_error("expected sync or bg"
     ${SHIFTD} --jit-compile threaded)
 expect_usage_error("missing value after --jit-compile"
     ${SHIFTD} --jit-compile)
+expect_usage_error("expected a file path"
+    ${SHIFTD} --profile=)
+expect_usage_error("expected a file path"
+    ${SHIFTD} --jitdump=)
 
 # --- shiftc -----------------------------------------------------------
 expect_usage_error("max-steps must be positive"
@@ -105,6 +109,10 @@ expect_usage_error("expected sync or bg"
     ${SHIFTC} --jit-compile=async prog.mc)
 expect_usage_error("missing value after --jit-compile"
     ${SHIFTC} --jit-compile)
+expect_usage_error("expected a file path"
+    ${SHIFTC} --profile= prog.mc)
+expect_usage_error("expected a file path"
+    ${SHIFTC} --jitdump= prog.mc)
 
 if(failures GREATER 0)
     message(FATAL_ERROR "${failures} CLI validation case(s) failed")

@@ -96,6 +96,11 @@ comparableCounters(const StatSet &stats, bool dropHostTiming = false)
     stats.forEach([&](const std::string &name, uint64_t value) {
         if (name.rfind("jit.", 0) == 0)
             return;
+        // Host-time attribution (profiler tables, background-compile
+        // aux nanos): present only on the arm that compiled, and
+        // wall-clock-dependent besides.
+        if (name.rfind("prof.", 0) == 0)
+            return;
         if (dropHostTiming &&
             (name.rfind("dift.fence.wait", 0) == 0 ||
              name.rfind("dift.ring.stall", 0) == 0 ||

@@ -21,11 +21,14 @@
 #include <thread>
 
 #include "obs/exporter.hh"
+#include "obs/perfmap.hh"
+#include "obs/profiler.hh"
 #include "obs/trace.hh"
 #include "session_helpers.hh"
 #include "support/logging.hh"
 #include "support/stats.hh"
 #include "workloads/attacks.hh"
+#include "workloads/httpd.hh"
 
 namespace shift
 {
@@ -339,11 +342,15 @@ TEST(Exporter, PrometheusShapes)
     EXPECT_NE(text.find("# TYPE shift_fleet_workers gauge"),
               std::string::npos);
     EXPECT_NE(text.find("shift_fleet_workers 4"), std::string::npos);
-    // '@'-attributed counters become one labelled family.
+    // '@'-attributed counters become one labelled family with the
+    // site split into {function, pc} labels — '@' is not legal in a
+    // Prometheus metric name, and per-site label values keep the
+    // family space bounded.
     EXPECT_NE(text.find("shift_fastpath_deopts_total"
-                        "{site=\"main@12\"} 3"),
+                        "{function=\"main\",pc=\"12\"} 3"),
               std::string::npos);
-    EXPECT_NE(text.find("{site=\"handle@7\"} 1"), std::string::npos);
+    EXPECT_NE(text.find("{function=\"handle\",pc=\"7\"} 1"),
+              std::string::npos);
     // Histogram triple with cumulative buckets and +Inf.
     EXPECT_NE(text.find("shift_fleet_latency_cycles_bucket{le=\"+Inf\"} 2"),
               std::string::npos);
@@ -531,6 +538,294 @@ TEST(Logging, FatalEmbedsCloneTag)
         EXPECT_EQ(std::string(e.what()).find("[clone"),
                   std::string::npos);
     }
+}
+
+// ----- tier-attribution profiler ----------------------------------------
+
+/** Resolve func indices the way the tests build them: f<index>. */
+std::string
+testFuncName(int32_t func)
+{
+    return func < 0 ? std::string("host") : "f" + std::to_string(func);
+}
+
+/** Burn enough host time for a measurable steady_clock interval. */
+void
+spin()
+{
+    volatile uint64_t sink = 0;
+    for (int i = 0; i < 20000; ++i)
+        sink = sink + uint64_t(i);
+}
+
+/** A small table with carved, entered and sampled intervals. */
+StatSet
+makeProfileStats(int seed)
+{
+    obs::Profiler p;
+    p.begin();
+    uint64_t t0 = obs::Profiler::nowNanos();
+    spin();
+    p.carveSince(obs::Tier::AsyncPublish, seed, uint32_t(7 * seed), t0);
+    p.enter(obs::Tier::Builtin, seed, 3);
+    spin();
+    p.enter(obs::Tier::Host, -1, 0);
+    spin();
+    p.sample(obs::Tier::InterpSlow, 0, uint32_t(seed));
+    p.stop();
+    StatSet stats;
+    p.statInto(stats, testFuncName);
+    return stats;
+}
+
+uint64_t
+profTierSum(const StatSet &stats)
+{
+    uint64_t sum = 0;
+    stats.forEach([&](const std::string &name, uint64_t value) {
+        if (name.rfind("prof.tier.", 0) == 0)
+            sum += value;
+    });
+    return sum;
+}
+
+TEST(Profiler, AttributionSumsExactlyAcrossTiers)
+{
+    StatSet stats = makeProfileStats(2);
+    uint64_t total = stats.get("prof.total.nanos");
+    EXPECT_GT(total, 0u);
+    // Every attributed nanosecond lands in exactly one tier bucket:
+    // the sum is EXACT, not approximate — the property the profiler's
+    // whole accounting model hangs on.
+    EXPECT_EQ(profTierSum(stats), total);
+    EXPECT_GT(stats.get("prof.tier.async-publish.nanos"), 0u);
+    EXPECT_GT(stats.get("prof.tier.builtin.nanos"), 0u);
+    // The carved interval kept its {tier, function, pc} tag.
+    EXPECT_GT(stats.get("prof.site.async-publish.f2@14.nanos"), 0u);
+    EXPECT_EQ(stats.get("prof.samples"), 1u);
+}
+
+TEST(Profiler, StatSetMergeOfTablesIsAssociative)
+{
+    // Fleet merge discipline: per-clone tables fold to prof.* counters
+    // and the report is an ordinary StatSet merge, so any merge order
+    // must produce the same profile.
+    StatSet a = makeProfileStats(1);
+    StatSet b = makeProfileStats(2);
+    StatSet c = makeProfileStats(3);
+
+    StatSet leftFirst = a; // (a + b) + c
+    leftFirst.merge(b);
+    leftFirst.merge(c);
+    StatSet rightFirst = b; // a + (b + c)
+    rightFirst.merge(c);
+    StatSet result = a;
+    result.merge(rightFirst);
+
+    size_t leftRows = 0;
+    leftFirst.forEach([&](const std::string &name, uint64_t value) {
+        ++leftRows;
+        EXPECT_EQ(result.get(name), value) << name;
+    });
+    size_t rightRows = 0;
+    result.forEach([&](const std::string &, uint64_t) { ++rightRows; });
+    EXPECT_EQ(leftRows, rightRows);
+    // And the merged profile still reconciles.
+    EXPECT_EQ(profTierSum(result), result.get("prof.total.nanos"));
+}
+
+TEST(Profiler, SessionProfileTierSumMatchesTotal)
+{
+    SessionOptions options = testutil::shiftOptions();
+    options.profile = true;
+    Session session(kTaintyProgram, options);
+    session.os().addFile("/in.txt", std::string(48, 'A'));
+    RunResult result = session.run();
+    EXPECT_TRUE(result.exited);
+
+    uint64_t total = result.stats.get("prof.total.nanos");
+    EXPECT_GT(total, 0u);
+    EXPECT_EQ(profTierSum(result.stats), total);
+    // Site rows carry the <function>@<pc> taxonomy.
+    bool sawSite = false;
+    result.stats.forEach([&](const std::string &name, uint64_t) {
+        if (name.rfind("prof.site.", 0) == 0 &&
+            name.find('@') != std::string::npos)
+            sawSite = true;
+    });
+    EXPECT_TRUE(sawSite);
+}
+
+TEST(Profiler, FleetCloneTablesMergeIntoReport)
+{
+    workloads::HttpdFleetConfig config;
+    config.jobs = 4;
+    config.requestsPerJob = 2;
+    config.workers = 2;
+    config.profile = true;
+    workloads::HttpdFleetRun fleet = workloads::runHttpdFleet(config);
+    ASSERT_TRUE(fleet.report.allOk);
+
+    // Four clones, four private tables, one associative StatSet merge:
+    // the aggregate must still reconcile tier-for-tier.
+    uint64_t total = fleet.report.stats.get("prof.total.nanos");
+    EXPECT_GT(total, 0u);
+    EXPECT_EQ(profTierSum(fleet.report.stats), total);
+}
+
+TEST(Profiler, RenderersParseAndWriteBothFormats)
+{
+    StatSet stats = makeProfileStats(2);
+
+    std::string json = obs::renderProfileJson(stats);
+    EXPECT_TRUE(JsonChecker(json).valid()) << json;
+    EXPECT_NE(json.find("\"totalNanos\""), std::string::npos);
+
+    std::string collapsed = obs::renderProfileCollapsed(stats);
+    EXPECT_NE(collapsed.find("shift;async-publish;f2@14 "),
+              std::string::npos);
+
+    std::string summary = obs::renderProfileSummary(stats);
+    EXPECT_NE(summary.find("async-publish"), std::string::npos);
+
+    // writeProfileFile: extension selects the format.
+    std::string cpath = ::testing::TempDir() + "prof_test.collapsed";
+    std::string jpath = ::testing::TempDir() + "prof_test.json";
+    ASSERT_TRUE(obs::writeProfileFile(stats, cpath));
+    ASSERT_TRUE(obs::writeProfileFile(stats, jpath));
+    std::ifstream cin(cpath);
+    std::stringstream cbody;
+    cbody << cin.rdbuf();
+    EXPECT_EQ(cbody.str().rfind("shift;", 0), 0u) << cbody.str();
+    std::ifstream jin(jpath);
+    std::stringstream jbody;
+    jbody << jin.rdbuf();
+    EXPECT_TRUE(JsonChecker(jbody.str()).valid());
+    std::remove(cpath.c_str());
+    std::remove(jpath.c_str());
+}
+
+TEST(Exporter, SiteLabelsAcrossMetricKinds)
+{
+    StatSet stats;
+    stats.add("prof.site.interp-slow.eval@7.nanos", 40);
+    stats.add("prof.site.interp-slow.main@12.nanos", 100);
+    stats.setGauge("jit.resident.main@3", 2);
+    stats.record("async.fence.lag.main@5.cycles", 64);
+
+    std::string text = obs::renderPrometheus(stats);
+    // Counter sites embedded before a unit suffix: the suffix rejoins
+    // the family, both sites share one TYPE line.
+    const char *family = "# TYPE shift_prof_site_interp_slow_nanos_total";
+    size_t first = text.find(family);
+    ASSERT_NE(first, std::string::npos) << text;
+    EXPECT_EQ(text.find(family, first + 1), std::string::npos);
+    EXPECT_NE(text.find("shift_prof_site_interp_slow_nanos_total"
+                        "{function=\"eval\",pc=\"7\"} 40"),
+              std::string::npos);
+    EXPECT_NE(text.find("{function=\"main\",pc=\"12\"} 100"),
+              std::string::npos);
+    // Gauges split the same way.
+    EXPECT_NE(text.find("shift_jit_resident{function=\"main\",pc=\"3\"} 2"),
+              std::string::npos);
+    // Histograms merge the site labels with le on bucket lines and
+    // carry them plain on _sum/_count.
+    EXPECT_NE(text.find("shift_async_fence_lag_cycles_bucket"
+                        "{function=\"main\",pc=\"5\",le=\""),
+              std::string::npos);
+    EXPECT_NE(text.find("shift_async_fence_lag_cycles_sum"
+                        "{function=\"main\",pc=\"5\"} 64"),
+              std::string::npos);
+    EXPECT_NE(text.find("shift_async_fence_lag_cycles_count"
+                        "{function=\"main\",pc=\"5\"} 1"),
+              std::string::npos);
+    // No '@' survives anywhere in the rendered text.
+    EXPECT_EQ(text.find('@'), std::string::npos) << text;
+}
+
+TEST(Exporter, PeriodicExporterStartStopChurn)
+{
+    ConcurrentStatSet live;
+    live.add("engine.instrs.total", 1);
+    std::string path = ::testing::TempDir() + "obs_churn_test.txt";
+
+    // Rapid start/stop cycles, half of them stopping before the first
+    // interval elapses — the shutdown handshake (cv + final render)
+    // is what the TSan tier-2 pass is pointed at.
+    obs::PeriodicExporter exporter;
+    for (int i = 0; i < 10; ++i) {
+        exporter.start(0.001, path, obs::MetricsFormat::Json,
+                       [&live] { return live.snapshot(); });
+        if (i % 2) {
+            uint64_t before = exporter.ticks();
+            while (exporter.ticks() == before)
+                std::this_thread::sleep_for(std::chrono::milliseconds(1));
+        }
+        exporter.stop();
+    }
+    // Every stop() renders once more, so ten cycles tick at least ten
+    // times.
+    EXPECT_GE(exporter.ticks(), 10u);
+    std::remove(path.c_str());
+}
+
+// ----- JIT symbol sink (perf map / jitdump) -----------------------------
+
+TEST(PerfMap, MapFileListsSymbols)
+{
+    std::string path = ::testing::TempDir() + "perfmap_test.map";
+    ASSERT_TRUE(obs::PerfJitSink::enable(path));
+    EXPECT_TRUE(obs::PerfJitSink::active());
+    EXPECT_EQ(obs::PerfJitSink::path(), path);
+
+    static const unsigned char code[16] = {0xc3};
+    obs::PerfJitSink::add("main@12", code, sizeof(code));
+    obs::PerfJitSink::add("main@12.fast", code, sizeof(code));
+    obs::PerfJitSink::disable();
+    EXPECT_FALSE(obs::PerfJitSink::active());
+    EXPECT_EQ(obs::PerfJitSink::path(), "");
+
+    // perf map text format: "<hex addr> <hex size> <name>" per line.
+    std::ifstream in(path);
+    ASSERT_TRUE(in.good());
+    std::string line1;
+    std::string line2;
+    ASSERT_TRUE(std::getline(in, line1));
+    ASSERT_TRUE(std::getline(in, line2));
+    uint64_t addr = 0;
+    uint64_t size = 0;
+    char name[64] = {};
+    ASSERT_EQ(std::sscanf(line1.c_str(), "%llx %llx %63s",
+                          (unsigned long long *)&addr,
+                          (unsigned long long *)&size, name),
+              3)
+        << line1;
+    EXPECT_EQ(addr, (uint64_t)(uintptr_t)code);
+    EXPECT_EQ(size, sizeof(code));
+    EXPECT_STREQ(name, "main@12");
+    EXPECT_NE(line2.find("main@12.fast"), std::string::npos);
+    std::remove(path.c_str());
+}
+
+TEST(PerfMap, JitdumpCarriesMagicAndPayload)
+{
+    std::string path = ::testing::TempDir() + "perfmap_test.dump";
+    ASSERT_TRUE(obs::PerfJitSink::enable(path));
+
+    static const unsigned char code[16] = {0xc3};
+    obs::PerfJitSink::add("handle@7", code, sizeof(code));
+    obs::PerfJitSink::disable();
+
+    std::ifstream in(path, std::ios::binary);
+    ASSERT_TRUE(in.good());
+    uint32_t magic = 0;
+    in.read(reinterpret_cast<char *>(&magic), sizeof(magic));
+    EXPECT_EQ(magic, 0x4A695444u); // "JiTD", writer-endian
+    in.seekg(0, std::ios::end);
+    // Header + one JIT_CODE_LOAD record with name + code payload.
+    EXPECT_GT(size_t(in.tellg()),
+              sizeof(magic) + std::strlen("handle@7") + sizeof(code));
+    std::remove(path.c_str());
 }
 
 } // namespace

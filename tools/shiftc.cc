@@ -22,6 +22,8 @@
 #include <string>
 #include <vector>
 
+#include "obs/perfmap.hh"
+#include "obs/profiler.hh"
 #include "obs/trace.hh"
 #include "runtime/session.hh"
 #include "support/logging.hh"
@@ -69,7 +71,14 @@ usage()
         "  --jit-compile MODE       sync (compile on the serving "
         "thread, default) or bg (worker thread + atomic install)\n"
         "  --jit-lazy               compile one superblock at a time "
-        "on first hot entry instead of whole functions\n");
+        "on first hot entry instead of whole functions\n"
+        "  --profile[=PATH]         tier-attribution profiler: print a "
+        "per-tier host-time summary; with PATH also write the full "
+        "report (collapsed stacks when PATH ends in .collapsed or "
+        ".folded, JSON otherwise)\n"
+        "  --jitdump[=PATH]         publish JIT symbols for host "
+        "`perf`: /tmp/perf-<pid>.map by default, binary jitdump when "
+        "PATH ends in .dump\n");
 }
 
 std::string
@@ -124,6 +133,9 @@ main(int argc, char **argv)
     bool dumpStats = false;
     uint64_t traceLimit = 0;
     std::string tracePath;
+    std::string profilePath;
+    bool jitdump = false;
+    std::string jitdumpPath;
 
     try {
         for (int i = 1; i < argc; ++i) {
@@ -245,6 +257,22 @@ main(int argc, char **argv)
                                 "got '%s'", mode.c_str());
             } else if (arg == "--jit-lazy") {
                 options.jitLazy = true;
+            } else if (arg == "--profile" ||
+                       arg.rfind("--profile=", 0) == 0) {
+                options.profile = true;
+                if (arg.size() > 9) {
+                    profilePath = arg.substr(10);
+                    if (profilePath.empty())
+                        SHIFT_FATAL("--profile=: expected a file path");
+                }
+            } else if (arg == "--jitdump" ||
+                       arg.rfind("--jitdump=", 0) == 0) {
+                jitdump = true;
+                if (arg.size() > 9) {
+                    jitdumpPath = arg.substr(10);
+                    if (jitdumpPath.empty())
+                        SHIFT_FATAL("--jitdump=: expected a file path");
+                }
             } else if (!arg.empty() && arg[0] == '-') {
                 SHIFT_FATAL("unknown option '%s'", arg.c_str());
             } else if (sourcePath.empty()) {
@@ -268,6 +296,10 @@ main(int argc, char **argv)
         // compile/instrument/decode phases land in the trace too.
         if (!tracePath.empty())
             obs::Recorder::enable();
+        // The symbol sink likewise precedes the session: eager JIT
+        // compilation during build() must already see it.
+        if (jitdump)
+            obs::PerfJitSink::enable(jitdumpPath);
 
         Session session(readHostFile(sourcePath), options);
 
@@ -320,6 +352,17 @@ main(int argc, char **argv)
         if (dumpStats) {
             std::fprintf(stderr, "--- stats ---\n%s",
                          result.stats.dump().c_str());
+        }
+        if (options.profile) {
+            std::fprintf(stderr, "%s",
+                         obs::renderProfileSummary(result.stats).c_str());
+            if (!profilePath.empty())
+                obs::writeProfileFile(result.stats, profilePath);
+        }
+        if (jitdump) {
+            std::fprintf(stderr, "jit symbols: %s\n",
+                         obs::PerfJitSink::path().c_str());
+            obs::PerfJitSink::disable();
         }
         if (obs::Recorder *rec = obs::Recorder::active()) {
             if (!result.provenance.empty()) {

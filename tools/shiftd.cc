@@ -25,6 +25,8 @@
 #include <vector>
 
 #include "obs/exporter.hh"
+#include "obs/perfmap.hh"
+#include "obs/profiler.hh"
 #include "obs/trace.hh"
 #include "runtime/session_template.hh"
 #include "support/logging.hh"
@@ -67,6 +69,14 @@ usage()
         "thread, default) or bg (worker thread + atomic install)\n"
         "  --jit-lazy               compile one superblock at a time "
         "on first hot entry instead of whole functions\n"
+        "  --profile[=PATH]         tier-attribution profiler: each "
+        "clone carries its own table, the report merges them; prints "
+        "a per-tier summary, with PATH also writes the full report "
+        "(collapsed stacks when PATH ends in .collapsed or .folded, "
+        "JSON otherwise)\n"
+        "  --jitdump[=PATH]         publish JIT symbols for host "
+        "`perf`: /tmp/perf-<pid>.map by default, binary jitdump when "
+        "PATH ends in .dump\n"
         "  --json                   print the report as JSON "
         "(includes the stats schema)\n"
         "  --trace FILE             record a flight-recorder trace "
@@ -146,6 +156,9 @@ main(int argc, char **argv)
     unsigned workers = 4;
     bool json = false;
     std::string tracePath;
+    std::string profilePath;
+    bool jitdump = false;
+    std::string jitdumpPath;
     double metricsInterval = 0;
     std::string metricsOut = "-";
 
@@ -260,6 +273,22 @@ main(int argc, char **argv)
                                 "got '%s'", mode.c_str());
             } else if (arg == "--jit-lazy") {
                 options.jitLazy = true;
+            } else if (arg == "--profile" ||
+                       arg.rfind("--profile=", 0) == 0) {
+                options.profile = true;
+                if (arg.size() > 9) {
+                    profilePath = arg.substr(10);
+                    if (profilePath.empty())
+                        SHIFT_FATAL("--profile=: expected a file path");
+                }
+            } else if (arg == "--jitdump" ||
+                       arg.rfind("--jitdump=", 0) == 0) {
+                jitdump = true;
+                if (arg.size() > 9) {
+                    jitdumpPath = arg.substr(10);
+                    if (jitdumpPath.empty())
+                        SHIFT_FATAL("--jitdump=: expected a file path");
+                }
             } else if (arg == "--json") {
                 json = true;
             } else if (arg == "--trace") {
@@ -292,6 +321,10 @@ main(int argc, char **argv)
         // compile/instrument/freeze phases land in the trace too.
         if (!tracePath.empty())
             obs::Recorder::enable();
+        // The symbol sink likewise precedes the template: the shared
+        // code cache seals as clones heat up, on any worker thread.
+        if (jitdump)
+            obs::PerfJitSink::enable(jitdumpPath);
 
         // Build the template: a user program, or the built-in httpd
         // workload (its policy/request defaults) when none is given.
@@ -307,6 +340,7 @@ main(int argc, char **argv)
             httpdOptions.jitThreshold = options.jitThreshold;
             httpdOptions.jitBackground = options.jitBackground;
             httpdOptions.jitLazy = options.jitLazy;
+            httpdOptions.profile = options.profile;
             tmpl = std::make_unique<SessionTemplate>(
                 std::string(workloads::kHttpdSource),
                 std::move(httpdOptions));
@@ -385,6 +419,21 @@ main(int argc, char **argv)
             std::printf("  detections: %zu, all ok: %s\n",
                         report.detections,
                         report.allOk ? "yes" : "no");
+        }
+
+        // The fleet report's stats are the StatSet merge of every
+        // clone's run, so the profile renders from the same schema a
+        // single-run shiftc profile does — just summed across clones.
+        if (tmpl->options().profile) {
+            std::fprintf(stderr, "%s",
+                         obs::renderProfileSummary(report.stats).c_str());
+            if (!profilePath.empty())
+                obs::writeProfileFile(report.stats, profilePath);
+        }
+        if (jitdump) {
+            std::fprintf(stderr, "jit symbols: %s\n",
+                         obs::PerfJitSink::path().c_str());
+            obs::PerfJitSink::disable();
         }
 
         bool killed = false;
